@@ -1,0 +1,285 @@
+//! Ablation study over OWL's design decisions (DESIGN.md §5).
+//!
+//! Run with `cargo bench --bench ablation`. Each section switches one
+//! design decision off and reports what changes:
+//!
+//! * **A1 call-stack-guided traversal** (§4.1/§6.1) — without walking
+//!   the report's dynamic call stack, cross-function attacks (Libsafe)
+//!   disappear.
+//! * **A2 control-dependence tracking** (§6.1) — without control flow,
+//!   the CTRL_DEP attacks disappear (ConSeq's blind spot).
+//! * **A3 adhoc-sync annotation** (§5.1) — without annotation the
+//!   verifier has to grind through every benign busy-wait report.
+//! * **A4 verify-before-analyze** (Figure 3 ordering) — analyzing raw
+//!   reports instead of verified ones multiplies analyzer invocations.
+//! * **A5 detector choice** — an Eraser-style lockset front-end floods
+//!   even harder than happens-before.
+//! * **A6 ConSeq baseline** — intra-procedural data-flow-only
+//!   consequence analysis misses the spread-out attacks (§9).
+
+use owl::{evaluate_program, OwlConfig};
+use owl_race::{explore, ExplorerConfig, LocksetDetector};
+use owl_static::{ConseqAnalyzer, VulnAnalyzer, VulnConfig};
+use owl_verify::{RaceVerifier, RaceVerifyConfig};
+use owl_vm::{RandomScheduler, RunConfig, Vm};
+use std::time::Instant;
+
+fn detection_with(config_mod: impl Fn(&mut VulnConfig)) -> (usize, usize) {
+    // Returns (#attacks detected, #attacks total) across the corpus
+    // with a modified vulnerability-analysis configuration.
+    let mut cfg = OwlConfig::quick();
+    config_mod(&mut cfg.vuln);
+    let mut detected = 0;
+    let mut total = 0;
+    for p in owl_corpus::all_programs() {
+        let eval = evaluate_program(&p, &cfg);
+        detected += eval.detected_count();
+        total += eval.attacks.len();
+    }
+    (detected, total)
+}
+
+/// Builds a race-free staged pipeline: `stages` sequential worker
+/// threads, each writing its own cell before the next is spawned (all
+/// ordering comes from fork/join).
+fn fork_join_pipeline(stages: u32) -> (owl_ir::Module, owl_ir::FuncId) {
+    use owl_ir::{ModuleBuilder, Type};
+    let mut mb = ModuleBuilder::new("fork-join");
+    let cells: Vec<_> = (0..stages)
+        .map(|i| mb.global(format!("cell_{i}"), 1, Type::I64))
+        .collect();
+    let workers: Vec<_> = (0..stages)
+        .map(|i| mb.declare_func(format!("stage_{i}"), 1))
+        .collect();
+    for (i, &w) in workers.iter().enumerate() {
+        let mut b = mb.build_func(w);
+        // Read the previous stage's cell (ordered by join), write ours.
+        if i > 0 {
+            let prev = b.global_addr(cells[i - 1]);
+            let v = b.load(prev, Type::I64);
+            let a = b.global_addr(cells[i]);
+            let v2 = b.add(v, 1);
+            b.store(a, v2);
+        } else {
+            let a = b.global_addr(cells[i]);
+            b.store(a, 1);
+        }
+        b.ret(None);
+    }
+    let main = mb.declare_func("main", 0);
+    {
+        let mut b = mb.build_func(main);
+        for &w in &workers {
+            let t = b.thread_create(w, 0);
+            b.thread_join(t); // full ordering between stages
+        }
+        b.ret(None);
+    }
+    (mb.finish(), main)
+}
+
+fn main() {
+    println!("OWL ablation study\n");
+
+    // A1: call-stack-guided traversal.
+    let (with_cs, total) = detection_with(|_| {});
+    let (without_cs, _) = detection_with(|v| v.follow_call_stack = false);
+    println!("A1 call-stack-guided traversal:");
+    println!("   with   : {with_cs}/{total} attacks detected");
+    println!("   without: {without_cs}/{total} attacks detected\n");
+
+    // A2: control-dependence tracking.
+    let (without_ctrl, _) = detection_with(|v| v.track_control = false);
+    println!("A2 control-dependence tracking:");
+    println!("   with   : {with_cs}/{total} attacks detected");
+    println!("   without: {without_ctrl}/{total} attacks detected\n");
+
+    // A3: adhoc-sync annotation — measure the verifier grind saved.
+    println!("A3 adhoc-sync annotation (verification workload):");
+    for name in ["Apache", "MySQL", "Linux"] {
+        let p = owl_corpus::program(name).unwrap();
+        let base = ExplorerConfig {
+            runs_per_input: 10,
+            ..Default::default()
+        };
+        let raw = explore(&p.module, p.entry, &p.workloads, &base);
+        let det = owl_static::AdhocSyncDetector::new(&p.module);
+        let anns: Vec<_> = det
+            .detect(&raw.reports)
+            .into_iter()
+            .map(|(_, a)| a)
+            .collect();
+        let annotated = explore(
+            &p.module,
+            p.entry,
+            &p.workloads,
+            &ExplorerConfig {
+                annotations: anns.clone(),
+                ..base
+            },
+        );
+        println!(
+            "   {name:10} raw reports {:4} -> annotated {:4} ({} annotations)",
+            raw.reports.len(),
+            annotated.reports.len(),
+            anns.len()
+        );
+    }
+    println!();
+
+    // A4: verify-before-analyze ordering.
+    println!("A4 verify-before-analyze (analyzer invocations per program):");
+    for name in ["Apache", "MySQL"] {
+        let p = owl_corpus::program(name).unwrap();
+        let raw = explore(
+            &p.module,
+            p.entry,
+            &p.workloads,
+            &ExplorerConfig {
+                runs_per_input: 10,
+                ..Default::default()
+            },
+        );
+        // Analyze-everything regime.
+        let t0 = Instant::now();
+        let mut analyzed_all = 0;
+        let mut an = VulnAnalyzer::new(&p.module, VulnConfig::default());
+        for r in &raw.reports {
+            if let Some(read) = r.read_access() {
+                let _ = an.analyze(read.site, &read.stack);
+                analyzed_all += 1;
+            }
+        }
+        let all_time = t0.elapsed();
+        // Verify-first regime.
+        let verifier = RaceVerifier::new(
+            &p.module,
+            RaceVerifyConfig {
+                max_schedules: 4,
+                ..Default::default()
+            },
+        );
+        let t1 = Instant::now();
+        let mut analyzed_verified = 0;
+        let mut an2 = VulnAnalyzer::new(&p.module, VulnConfig::default());
+        for r in &raw.reports {
+            let v = verifier.verify(p.entry, p.primary_workload(), r);
+            if v.confirmed {
+                if let Some(read) = r.read_access() {
+                    let _ = an2.analyze(read.site, &read.stack);
+                    analyzed_verified += 1;
+                }
+            }
+        }
+        let verified_time = t1.elapsed();
+        println!(
+            "   {name:10} analyze-all: {analyzed_all:4} invocations ({:6.1} ms) | verify-first: {analyzed_verified:4} invocations ({:6.1} ms incl. verification)",
+            all_time.as_secs_f64() * 1e3,
+            verified_time.as_secs_f64() * 1e3,
+        );
+    }
+    println!();
+
+    // A5: detector choice. Lockset reports once per shared variable
+    // (so raw counts are lower than HB's per-site-pair counts), but it
+    // cannot see fork/join ordering: on a properly staged pipeline it
+    // flags every hand-off as a race while happens-before stays silent.
+    println!("A5 detector front-end:");
+    for name in ["Apache", "MySQL", "Memcached"] {
+        let p = owl_corpus::program(name).unwrap();
+        let hb = explore(
+            &p.module,
+            p.entry,
+            &p.workloads,
+            &ExplorerConfig {
+                runs_per_input: 10,
+                ..Default::default()
+            },
+        );
+        // Lockset over the same schedules.
+        let mut lockset = LocksetDetector::new();
+        for input in &p.workloads {
+            for seed in 1..11 {
+                let mut sched = RandomScheduler::new(seed);
+                let vm = Vm::new(&p.module, p.entry, input.clone(), RunConfig::default());
+                let _ = vm.run(&mut sched, &mut lockset);
+            }
+        }
+        println!(
+            "   {name:10} happens-before {:4} site pairs | lockset {:4} variables",
+            hb.reports.len(),
+            lockset.reports().len()
+        );
+    }
+    {
+        // A fork/join staged pipeline: race-free by construction.
+        let (m, entry) = fork_join_pipeline(24);
+        let hb = explore(
+            &m,
+            entry,
+            &[],
+            &ExplorerConfig {
+                runs_per_input: 5,
+                ..Default::default()
+            },
+        );
+        let mut lockset = LocksetDetector::new();
+        for seed in 1..6 {
+            let mut sched = RandomScheduler::new(seed);
+            let vm = Vm::new(
+                &m,
+                entry,
+                owl_vm::ProgramInput::empty(),
+                RunConfig::default(),
+            );
+            let _ = vm.run(&mut sched, &mut lockset);
+        }
+        println!(
+            "   {:10} happens-before {:4} (correct) | lockset {:4} false positives",
+            "fork-join", // race-free staged hand-offs
+            hb.reports.len(),
+            lockset.reports().len()
+        );
+    }
+    println!();
+
+    // A6: ConSeq-style baseline vs Algorithm 1 on the attack races.
+    println!("A6 consequence analysis (attack hints found):");
+    let mut owl_hits = 0;
+    let mut conseq_hits = 0;
+    let mut cases = 0;
+    for p in owl_corpus::all_programs() {
+        let raw = explore(
+            &p.module,
+            p.entry,
+            &p.workloads,
+            &ExplorerConfig {
+                runs_per_input: 12,
+                ..Default::default()
+            },
+        );
+        for atk in &p.attacks {
+            let Some(report) = raw.reports_on(atk.race_global).next() else {
+                continue;
+            };
+            let Some(read) = report.read_access() else {
+                continue;
+            };
+            cases += 1;
+            let mut an = VulnAnalyzer::new(&p.module, VulnConfig::default());
+            let (owl_reports, _) = an.analyze(read.site, &read.stack);
+            if owl_reports.iter().any(|r| r.class == atk.expected_class) {
+                owl_hits += 1;
+            }
+            let conseq = ConseqAnalyzer::new(&p.module);
+            let conseq_reports = conseq.analyze(read.site);
+            if conseq_reports.iter().any(|r| r.class == atk.expected_class) {
+                conseq_hits += 1;
+            }
+        }
+    }
+    println!("   Algorithm 1 (OWL): {owl_hits}/{cases} attack races produce the expected hint");
+    println!("   ConSeq baseline  : {conseq_hits}/{cases}");
+    println!("   (first raw report per racy global; the full pipeline analyzes");
+    println!("    every verified report and detects 10/10 — see the tables bench)");
+}

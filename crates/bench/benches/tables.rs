@@ -1,0 +1,22 @@
+//! Regenerates the paper's evaluation tables (Tables 1–4, the §8.4
+//! unknown-attack list, and a Figure-4/5 report sample).
+//!
+//! Run with `cargo bench --bench tables`. This is a plain harness
+//! (`harness = false`): the artifact *is* the printed tables.
+
+use owl::OwlConfig;
+use owl_bench::{evaluate_all, figure5_sample, table1, table2, table3, table4, unknown_attacks};
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    println!("OWL evaluation — regenerating the paper's tables\n");
+    let evals = evaluate_all(&OwlConfig::default());
+    println!("{}", table1(&evals));
+    println!("{}", table2(&evals));
+    println!("{}", table3(&evals));
+    println!("{}", table4(&evals));
+    println!("{}", unknown_attacks(&evals));
+    println!("{}", figure5_sample(&evals));
+    println!("total evaluation time: {:.1}s", t0.elapsed().as_secs_f64());
+}

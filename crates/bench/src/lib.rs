@@ -1,0 +1,286 @@
+//! # owl-bench
+//!
+//! Evaluation harness regenerating the OWL paper's tables:
+//!
+//! * **Table 1** — study summary: per program LoC, # attacks, raw race
+//!   reports from the detector front-end.
+//! * **Table 2** — OWL detection results: attacks present vs. attacks
+//!   found, and OWL's final report counts.
+//! * **Table 3** — report reduction: raw reports, adhoc-sync
+//!   annotations, race-verifier eliminations, remaining reports, and
+//!   average analysis cost (including the overall reduction ratio the
+//!   paper headlines as 94.3%).
+//! * **Table 4** — known attacks with their subtle inputs and the
+//!   number of executions needed to trigger them.
+//! * **§8.4** — the previously unknown attacks (SSDB UAF, Apache HTML
+//!   integrity violation, Apache balancer DoS).
+//!
+//! The renderers are plain functions over [`owl::ProgramEvaluation`]s
+//! so the `tables` bench, the integration tests, and EXPERIMENTS.md all
+//! consume the same numbers.
+
+use owl::{OwlConfig, ProgramEvaluation};
+use owl_static::hints;
+use std::fmt::Write as _;
+
+/// Evaluates every corpus program with one configuration.
+pub fn evaluate_all(config: &OwlConfig) -> Vec<ProgramEvaluation> {
+    owl_corpus::all_programs()
+        .iter()
+        .map(|p| owl::evaluate_program(p, config))
+        .collect()
+}
+
+fn row(cols: &[String], widths: &[usize]) -> String {
+    let mut s = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        let _ = write!(s, "{c:<w$}  ", w = w);
+    }
+    s.trim_end().to_string()
+}
+
+/// Renders Table 1 (study summary / detector flood).
+pub fn table1(evals: &[ProgramEvaluation]) -> String {
+    let widths = [10, 8, 8, 14];
+    let mut out = String::from("Table 1: programs, attacks, and raw race reports\n");
+    out.push_str(&row(
+        &["Name", "LoC(IR)", "#Atks", "#Race reports"].map(String::from),
+        &widths,
+    ));
+    out.push('\n');
+    let mut total_reports = 0;
+    let mut total_attacks = 0;
+    for e in evals {
+        total_reports += e.result.stats.raw_reports;
+        total_attacks += e.attacks.len();
+        out.push_str(&row(
+            &[
+                e.name.to_string(),
+                e.loc.to_string(),
+                e.attacks.len().to_string(),
+                e.result.stats.raw_reports.to_string(),
+            ],
+            &widths,
+        ));
+        out.push('\n');
+    }
+    out.push_str(&row(
+        &[
+            "Total".into(),
+            String::new(),
+            total_attacks.to_string(),
+            total_reports.to_string(),
+        ],
+        &widths,
+    ));
+    out.push('\n');
+    out
+}
+
+/// Renders Table 2 (OWL detection results).
+pub fn table2(evals: &[ProgramEvaluation]) -> String {
+    let widths = [10, 8, 6, 12, 14];
+    let mut out = String::from("Table 2: OWL concurrency attack detection results\n");
+    out.push_str(&row(
+        &["Name", "LoC(IR)", "#Atks", "#Atks found", "#OWL reports"].map(String::from),
+        &widths,
+    ));
+    out.push('\n');
+    let (mut atks, mut found, mut reports) = (0, 0, 0);
+    for e in evals {
+        if e.attacks.is_empty() {
+            continue; // Table 2 lists only the attack-bearing programs
+        }
+        let owl_reports = e.result.vulnerable_findings().count();
+        atks += e.attacks.len();
+        found += e.detected_count();
+        reports += owl_reports;
+        out.push_str(&row(
+            &[
+                e.name.to_string(),
+                e.loc.to_string(),
+                e.attacks.len().to_string(),
+                e.detected_count().to_string(),
+                owl_reports.to_string(),
+            ],
+            &widths,
+        ));
+        out.push('\n');
+    }
+    out.push_str(&row(
+        &[
+            "Total".into(),
+            String::new(),
+            atks.to_string(),
+            found.to_string(),
+            reports.to_string(),
+        ],
+        &widths,
+    ));
+    out.push('\n');
+    out
+}
+
+/// Renders Table 3 (report reduction pipeline).
+pub fn table3(evals: &[ProgramEvaluation]) -> String {
+    let widths = [10, 7, 6, 8, 6, 10];
+    let mut out = String::from("Table 3: OWL's reduction of race detector reports\n");
+    out.push_str(&row(
+        &["Name", "R.R.", "A.S.", "R.V.E.", "R.", "A.C.(ms)"].map(String::from),
+        &widths,
+    ));
+    out.push('\n');
+    let (mut rr, mut asy, mut rve, mut rem) = (0usize, 0usize, 0usize, 0usize);
+    for e in evals {
+        let s = &e.result.stats;
+        rr += s.raw_reports;
+        asy += s.adhoc_syncs;
+        rve += s.verifier_eliminated;
+        rem += s.remaining;
+        out.push_str(&row(
+            &[
+                e.name.to_string(),
+                s.raw_reports.to_string(),
+                s.adhoc_syncs.to_string(),
+                s.verifier_eliminated.to_string(),
+                s.remaining.to_string(),
+                format!("{:.2}", s.avg_analysis_cost().as_secs_f64() * 1e3),
+            ],
+            &widths,
+        ));
+        out.push('\n');
+    }
+    let reduction = if rr > 0 {
+        100.0 * (1.0 - rem as f64 / rr as f64)
+    } else {
+        0.0
+    };
+    out.push_str(&row(
+        &[
+            "Total".into(),
+            rr.to_string(),
+            asy.to_string(),
+            rve.to_string(),
+            rem.to_string(),
+            String::new(),
+        ],
+        &widths,
+    ));
+    out.push('\n');
+    let _ = writeln!(
+        out,
+        "Overall report reduction: {reduction:.1}% (paper: 94.3%)"
+    );
+    out
+}
+
+/// Renders Table 4 (known attacks + subtle inputs + trigger effort).
+pub fn table4(evals: &[ProgramEvaluation]) -> String {
+    let widths = [26, 22, 28, 10, 10];
+    let mut out = String::from("Table 4: detection results on known concurrency attacks\n");
+    out.push_str(&row(
+        &[
+            "Name",
+            "Vul. Type",
+            "Subtle Inputs",
+            "Detected",
+            "Trig.runs",
+        ]
+        .map(String::from),
+        &widths,
+    ));
+    out.push('\n');
+    for e in evals {
+        for a in &e.attacks {
+            if !a.spec.known {
+                continue;
+            }
+            out.push_str(&row(
+                &[
+                    a.spec.version.to_string(),
+                    a.spec.vuln_type.to_string(),
+                    a.spec.subtle_inputs.to_string(),
+                    if a.detected() { "yes" } else { "NO" }.to_string(),
+                    a.trigger_executions
+                        .map(|n| n.to_string())
+                        .unwrap_or_else(|| ">20".into()),
+                ],
+                &widths,
+            ));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders the §8.4 section (previously unknown attacks).
+pub fn unknown_attacks(evals: &[ProgramEvaluation]) -> String {
+    let widths = [30, 26, 22, 10];
+    let mut out = String::from("§8.4: previously unknown concurrency attacks\n");
+    out.push_str(&row(
+        &["Name", "Vul. Type", "Advisory", "Detected"].map(String::from),
+        &widths,
+    ));
+    out.push('\n');
+    for e in evals {
+        for a in &e.attacks {
+            if a.spec.known {
+                continue;
+            }
+            out.push_str(&row(
+                &[
+                    a.spec.version.to_string(),
+                    a.spec.vuln_type.to_string(),
+                    a.spec.advisory.unwrap_or("-").to_string(),
+                    if a.detected() { "yes" } else { "NO" }.to_string(),
+                ],
+                &widths,
+            ));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Renders a Figure-4/Figure-5 style sample: the Libsafe finding's call
+/// stack and vulnerable input hint.
+pub fn figure5_sample(evals: &[ProgramEvaluation]) -> String {
+    let mut out = String::from("Figures 4/5: Libsafe call stack and vulnerable input hint\n");
+    let Some(libsafe) = evals.iter().find(|e| e.name == "Libsafe") else {
+        return out;
+    };
+    let program = owl_corpus::program("Libsafe").expect("corpus");
+    let Some(finding) = libsafe.result.finding_on("dying") else {
+        out.push_str("(no finding on `dying`)\n");
+        return out;
+    };
+    if let Some(read) = finding.race.read_access() {
+        out.push_str(&hints::format_call_stack(
+            &program.module,
+            read.site,
+            &read.stack,
+        ));
+    }
+    for vr in &finding.vulns {
+        out.push_str(&hints::format_vuln_report(&program.module, vr));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render_for_one_program() {
+        let p = owl_corpus::program("Libsafe").unwrap();
+        let eval = owl::evaluate_program(&p, &OwlConfig::quick());
+        let evals = vec![eval];
+        assert!(table1(&evals).contains("Libsafe"));
+        assert!(table2(&evals).contains("Libsafe"));
+        assert!(table3(&evals).contains("R.V.E."));
+        assert!(table4(&evals).contains("Buffer Overflow"));
+        let f5 = figure5_sample(&evals);
+        assert!(f5.contains("Vulnerable Site Location"), "{f5}");
+    }
+}

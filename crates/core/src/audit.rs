@@ -1,0 +1,215 @@
+//! Runtime path auditing — the paper's first envisioned application
+//! (§7.2): "we can leverage anomaly detection and intrusion detection
+//! tools to audit only the vulnerable program paths identified by OWL,
+//! then these runtime detection tools can greatly reduce the amount of
+//! program paths that need to be audited and improve performance."
+//!
+//! The [`PathAuditor`] takes the pipeline's vulnerable input hints and
+//! watches exactly those sites and branches at runtime. Alerts come in
+//! two strengths: the vulnerable path merely *executing*
+//! (informational — benign traffic crosses vulnerable sites too), and
+//! an actual violation or security event landing *at a hinted site*
+//! (the attack firing).
+
+use crate::pipeline::PipelineResult;
+use owl_ir::{FuncId, InstRef, Module};
+use owl_static::VulnReport;
+use owl_vm::{
+    BreakDecision, BreakWorld, Breakpoint, Controller, ExecOutcome, ProgramInput, Scheduler,
+    Suspension, Violation, Vm,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// What an audit alert reports.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum AlertKind {
+    /// A hinted vulnerable site executed (informational).
+    PathExecuted,
+    /// A runtime violation occurred at a hinted site — the attack
+    /// fired.
+    ViolationAtSite(Violation),
+    /// A privilege/file/exec action occurred at a hinted site.
+    SecurityEventAtSite,
+}
+
+/// One audit alert.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AuditAlert {
+    /// The hinted site involved.
+    pub site: InstRef,
+    /// Alert strength.
+    pub kind: AlertKind,
+}
+
+/// Result of auditing one execution.
+#[derive(Clone, Debug)]
+pub struct AuditOutcome {
+    /// Alerts raised, strongest first.
+    pub alerts: Vec<AuditAlert>,
+    /// The audited execution's outcome.
+    pub outcome: ExecOutcome,
+}
+
+impl AuditOutcome {
+    /// Whether any attack-strength alert fired.
+    pub fn attack_detected(&self) -> bool {
+        self.alerts.iter().any(|a| {
+            matches!(
+                a.kind,
+                AlertKind::ViolationAtSite(_) | AlertKind::SecurityEventAtSite
+            )
+        })
+    }
+}
+
+/// Audits executions against OWL's vulnerable input hints.
+#[derive(Debug)]
+pub struct PathAuditor<'m> {
+    module: &'m Module,
+    entry: FuncId,
+    sites: BTreeSet<InstRef>,
+    watched: BTreeSet<InstRef>,
+}
+
+struct AuditController {
+    hit: BTreeSet<InstRef>,
+}
+
+impl Controller for AuditController {
+    fn on_break(&mut self, _world: &mut BreakWorld<'_>, hit: &Suspension) -> BreakDecision {
+        self.hit.insert(hit.site);
+        BreakDecision::Continue
+    }
+}
+
+impl<'m> PathAuditor<'m> {
+    /// Builds an auditor from explicit hints.
+    pub fn new(module: &'m Module, entry: FuncId, hints: &[VulnReport]) -> Self {
+        let mut sites = BTreeSet::new();
+        let mut watched = BTreeSet::new();
+        for h in hints {
+            sites.insert(h.site);
+            watched.insert(h.site);
+            watched.extend(h.branches.iter().copied());
+            watched.extend(h.path_branches.iter().copied());
+        }
+        PathAuditor {
+            module,
+            entry,
+            sites,
+            watched,
+        }
+    }
+
+    /// Builds an auditor from a pipeline result's findings.
+    pub fn from_result(module: &'m Module, entry: FuncId, result: &PipelineResult) -> Self {
+        let hints: Vec<VulnReport> = result
+            .findings
+            .iter()
+            .flat_map(|f| f.vulns.iter().cloned())
+            .collect();
+        Self::new(module, entry, &hints)
+    }
+
+    /// The fraction of the program's instructions the auditor watches —
+    /// the §7.2 "reduce the amount of program paths that need to be
+    /// audited" measurement.
+    pub fn audit_scope(&self) -> f64 {
+        let total = self.module.total_insts().max(1);
+        self.watched.len() as f64 / total as f64
+    }
+
+    /// Number of distinct instructions watched.
+    pub fn watched_count(&self) -> usize {
+        self.watched.len()
+    }
+
+    /// Audits one execution under `sched`.
+    pub fn audit(&self, input: &ProgramInput, sched: &mut dyn Scheduler) -> AuditOutcome {
+        let mut vm = Vm::new(
+            self.module,
+            self.entry,
+            input.clone(),
+            owl_vm::RunConfig::default(),
+        );
+        for s in &self.watched {
+            vm.add_breakpoint(Breakpoint::at(*s));
+        }
+        let mut controller = AuditController {
+            hit: BTreeSet::new(),
+        };
+        let outcome = vm.run_controlled(sched, &mut owl_vm::NullSink, &mut controller);
+
+        let mut alerts = Vec::new();
+        for site in &self.sites {
+            // Strongest evidence first: violations at the site.
+            for v in &outcome.violations {
+                if v.site == *site {
+                    alerts.push(AuditAlert {
+                        site: *site,
+                        kind: AlertKind::ViolationAtSite(v.violation),
+                    });
+                }
+            }
+            for s in &outcome.security {
+                if s.site == *site {
+                    alerts.push(AuditAlert {
+                        site: *site,
+                        kind: AlertKind::SecurityEventAtSite,
+                    });
+                }
+            }
+            if controller.hit.contains(site) && !alerts.iter().any(|a| a.site == *site) {
+                alerts.push(AuditAlert {
+                    site: *site,
+                    kind: AlertKind::PathExecuted,
+                });
+            }
+        }
+        AuditOutcome { alerts, outcome }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Owl, OwlConfig};
+    use owl_vm::RandomScheduler;
+
+    #[test]
+    fn libsafe_auditor_catches_the_attack_cheaply() {
+        let p = owl_corpus::program("Libsafe").unwrap();
+        let owl = Owl::new(&p.module, p.entry, OwlConfig::quick());
+        let result = owl.run("Libsafe", &p.workloads, &p.exploit_inputs);
+        let auditor = PathAuditor::from_result(&p.module, p.entry, &result);
+        assert!(
+            auditor.audit_scope() < 0.25,
+            "auditing must cover a small slice of the program: {:.1}%",
+            100.0 * auditor.audit_scope()
+        );
+        // Exploit traffic: the overflow fires at the hinted memcopy.
+        let mut attack_seen = false;
+        for seed in 0..20 {
+            let mut sched = RandomScheduler::new(seed);
+            let a = auditor.audit(&p.exploit_inputs[0], &mut sched);
+            if a.attack_detected() {
+                attack_seen = true;
+                assert!(a.alerts.iter().any(|al| matches!(
+                    al.kind,
+                    AlertKind::ViolationAtSite(Violation::BufferOverflow { .. })
+                )));
+                break;
+            }
+        }
+        assert!(attack_seen, "the overflow must raise an attack alert");
+        // Benign traffic: at most informational alerts.
+        let mut sched = RandomScheduler::new(999);
+        let benign = auditor.audit(p.primary_workload(), &mut sched);
+        assert!(
+            !benign.attack_detected(),
+            "benign copies must not raise attack alerts: {:?}",
+            benign.alerts
+        );
+    }
+}

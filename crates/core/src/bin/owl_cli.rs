@@ -1,0 +1,165 @@
+//! `owl-cli` — drive the OWL pipeline from the command line.
+//!
+//! ```text
+//! owl-cli list                         # corpus programs
+//! owl-cli run <program> [--quick]      # full pipeline + findings
+//! owl-cli run <program> --atomicity    # atomicity-violation front-end
+//! owl-cli audit <program> [--quick]    # §7.2 path auditing demo
+//! owl-cli hints <program> [--quick]    # Figure-4/5 hints for every finding
+//! ```
+
+use owl::{Owl, OwlConfig, PathAuditor};
+use owl_static::hints;
+use owl_vm::RandomScheduler;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: owl-cli <command> [args]\n\
+         commands:\n  \
+         list                      list corpus programs\n  \
+         run <program> [--quick] [--atomicity]\n                            run the pipeline and print findings\n  \
+         hints <program> [--quick] print Figure-4/5 hints for every finding\n  \
+         audit <program> [--quick] demo §7.2 path auditing"
+    );
+    ExitCode::from(2)
+}
+
+fn config(args: &[String]) -> OwlConfig {
+    if args.iter().any(|a| a == "--quick") {
+        OwlConfig::quick()
+    } else {
+        OwlConfig::default()
+    }
+}
+
+fn load(name: &str) -> Option<owl_corpus::CorpusProgram> {
+    if name.eq_ignore_ascii_case("bank") {
+        return Some(owl_corpus::extensions::bank_atomicity());
+    }
+    // Accept case-insensitive names.
+    owl_corpus::all_programs()
+        .into_iter()
+        .find(|p| p.name.eq_ignore_ascii_case(name))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "list" => {
+            println!("corpus programs:");
+            for p in owl_corpus::all_programs() {
+                println!(
+                    "  {:10} {:5} IR insts, {} attack(s)",
+                    p.name,
+                    p.loc(),
+                    p.attacks.len()
+                );
+            }
+            println!("  {:10} extension: atomicity-violation demo", "Bank");
+            ExitCode::SUCCESS
+        }
+        "run" | "hints" | "audit" => {
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
+            let Some(p) = load(name) else {
+                eprintln!("unknown program `{name}` (try `owl-cli list`)");
+                return ExitCode::FAILURE;
+            };
+            let cfg = config(&args);
+            let owl = Owl::new(&p.module, p.entry, cfg);
+            let atomicity = args.iter().any(|a| a == "--atomicity");
+            let result = if atomicity {
+                owl.run_atomicity(p.name, &p.workloads, &p.exploit_inputs)
+            } else {
+                owl.run(p.name, &p.workloads, &p.exploit_inputs)
+            };
+            match cmd.as_str() {
+                "run" => {
+                    let s = &result.stats;
+                    println!(
+                        "== {} ({} front-end) ==",
+                        p.name,
+                        if atomicity { "atomicity" } else { "race" }
+                    );
+                    println!(
+                        "reports: {} raw -> {} annotated -> {} verified ({} eliminated); {:.1}% reduced",
+                        s.raw_reports,
+                        s.post_annotation_reports,
+                        s.remaining,
+                        s.verifier_eliminated,
+                        100.0 * s.reduction_ratio()
+                    );
+                    println!("adhoc synchronizations annotated: {}", s.adhoc_syncs);
+                    for f in result.vulnerable_findings() {
+                        let name = f
+                            .race
+                            .global_name
+                            .clone()
+                            .unwrap_or_else(|| format!("{:#x}", f.race.addr));
+                        let reached = f.any_site_reached();
+                        println!(
+                            "finding on `{name}`: {} hint(s), site {}",
+                            f.vulns.len(),
+                            if reached { "REACHED" } else { "not reached" }
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                "hints" => {
+                    for f in result.vulnerable_findings() {
+                        println!("{}", f.race.format(&p.module));
+                        for vr in &f.vulns {
+                            print!("{}", hints::format_vuln_report(&p.module, vr));
+                        }
+                        println!();
+                    }
+                    ExitCode::SUCCESS
+                }
+                "audit" => {
+                    let auditor = PathAuditor::from_result(&p.module, p.entry, &result);
+                    println!(
+                        "auditing {} instruction(s) of {} ({:.1}% of the program)",
+                        auditor.watched_count(),
+                        p.module.total_insts(),
+                        100.0 * auditor.audit_scope()
+                    );
+                    for (label, input) in [("benign", Some(p.primary_workload().clone()))]
+                        .into_iter()
+                        .chain(
+                            p.exploit_inputs
+                                .first()
+                                .map(|e| ("exploit", Some(e.clone()))),
+                        )
+                    {
+                        let Some(input) = input else { continue };
+                        let mut detected = false;
+                        for seed in 0..20 {
+                            let mut sched = RandomScheduler::new(seed);
+                            let a = auditor.audit(&input, &mut sched);
+                            if a.attack_detected() {
+                                detected = true;
+                                break;
+                            }
+                        }
+                        println!(
+                            "{label:8} traffic: {}",
+                            if detected {
+                                "ATTACK ALERT"
+                            } else {
+                                "no attack alerts"
+                            }
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                _ => unreachable!(),
+            }
+        }
+        _ => usage(),
+    }
+}

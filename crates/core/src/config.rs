@@ -1,0 +1,55 @@
+//! Pipeline configuration.
+
+use owl_race::{ExploreStrategy, ExplorerConfig};
+use owl_static::VulnConfig;
+use owl_verify::{RaceVerifyConfig, VulnVerifyConfig};
+use owl_vm::RunConfig;
+
+/// Configuration for the whole OWL pipeline (Figure 3).
+#[derive(Clone, Debug)]
+pub struct OwlConfig {
+    /// Detection-stage exploration (stage 1 and the post-annotation
+    /// re-run of stage 2).
+    pub detect: ExplorerConfig,
+    /// Dynamic race verification (stage 3).
+    pub race_verify: RaceVerifyConfig,
+    /// Static vulnerability analysis (stage 4).
+    pub vuln: VulnConfig,
+    /// Dynamic vulnerability verification (stage 5).
+    pub vuln_verify: VulnVerifyConfig,
+}
+
+impl Default for OwlConfig {
+    fn default() -> Self {
+        OwlConfig {
+            detect: ExplorerConfig {
+                runs_per_input: 12,
+                base_seed: 1,
+                strategy: ExploreStrategy::Pct { depth: 3 },
+                expected_steps: 4_000,
+                run_config: RunConfig::default(),
+                annotations: Vec::new(),
+            },
+            race_verify: RaceVerifyConfig {
+                max_schedules: 8,
+                ..RaceVerifyConfig::default()
+            },
+            vuln: VulnConfig::default(),
+            vuln_verify: VulnVerifyConfig {
+                schedules_per_input: 6,
+                ..VulnVerifyConfig::default()
+            },
+        }
+    }
+}
+
+impl OwlConfig {
+    /// A faster configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        let mut c = OwlConfig::default();
+        c.detect.runs_per_input = 6;
+        c.race_verify.max_schedules = 4;
+        c.vuln_verify.schedules_per_input = 4;
+        c
+    }
+}

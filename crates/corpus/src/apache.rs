@@ -1,0 +1,399 @@
+//! Apache models: three attacks on one server.
+//!
+//! * **Apache-2.0.48 double free** (known, Table 4, "PhP queries") —
+//!   two PHP handler threads race on a shared request buffer pointer
+//!   and both free it.
+//! * **Apache-25520 HTML integrity violation** (previously unknown,
+//!   §8.4, paper Figure 7) — `ap_buffered_log_writer` re-reads the
+//!   racy `buf->outcnt` after its size check; a concurrent append moves
+//!   the index so the `memcpy` runs past `outbuf` and corrupts the
+//!   adjacent log file descriptor, after which the server writes its
+//!   request log into another user's HTML file.
+//! * **Apache-46215 integer-underflow DoS** (previously unknown, §8.4,
+//!   paper Figure 8) — `worker->s->busy--` races and wraps the unsigned
+//!   busyness counter to 2^64−1; the balancer then never selects the
+//!   "busiest" worker again.
+//!
+//! Input words:
+//! * `0` — log message length (benign 4, exploit 9)
+//! * `1` — log message payload (the exploit plants the victim's HTML fd)
+//! * `2`/`3` — the two log workers' delays between check and copy
+//! * `4` — second decrementer issued (two requests finish at once)
+//! * `5`/`6` — decrementer delays between check and decrement
+//! * `7` — balancer delay before reading the counters
+//! * `8` — PHP request issued (both handlers)
+//! * `9`/`10` — PHP handler delays between load and free
+//! * `15` — noise gate
+
+use crate::noise::{attach_noise, NoiseSpec};
+use crate::spec::{AttackSpec, CorpusProgram};
+use owl_ir::{assert_verified, ModuleBuilder, Operand, Pred, Type, VulnClass};
+use owl_vm::{ExecOutcome, ProgramInput, Violation};
+
+const LOG_BUFSIZE: i64 = 16;
+/// Marker word the server writes to its request log.
+pub const LOG_MARKER: i64 = 777;
+/// File descriptor of the victim's HTML file.
+pub const HTML_FD: i64 = 5;
+
+fn html_oracle(o: &ExecOutcome) -> bool {
+    // The request log leaked into the victim's HTML file.
+    o.file(HTML_FD).contains(&LOG_MARKER)
+}
+
+fn dos_oracle(o: &ExecOutcome) -> bool {
+    o.any_violation(|v| matches!(v, Violation::IntegerUnderflow { .. }))
+        && o.outputs.contains(&(40, 1))
+}
+
+fn dfree_oracle(o: &ExecOutcome) -> bool {
+    o.any_violation(|v| matches!(v, Violation::DoubleFree { .. }))
+}
+
+/// Builds the Apache corpus program.
+pub fn build() -> CorpusProgram {
+    let mut mb = ModuleBuilder::new("apache");
+    // Figure 7 layout: the log fd sits directly after outbuf.
+    let outcnt = mb.global("outcnt", 1, Type::I64);
+    let outbuf = mb.global("outbuf", LOG_BUFSIZE as u32, Type::I64);
+    let log_fd = mb.global_init("log_fd", 1, vec![1], Type::I64);
+    let msg_buf = mb.global("msg_buf", 12, Type::I64);
+    // Figure 8 state.
+    let busy0 = mb.global_init("busy0", 1, vec![1], Type::I64);
+    let busy1 = mb.global_init("busy1", 1, vec![3], Type::I64);
+    let handler0 = mb.global("handler0", 1, Type::FuncPtr);
+    let handler1 = mb.global("handler1", 1, Type::FuncPtr);
+    // Double-free state.
+    let req_buf = mb.global("req_buf", 1, Type::Ptr);
+
+    let noise = attach_noise(
+        &mut mb,
+        "apache/noise.c",
+        &NoiseSpec {
+            always_counters: 2,
+            gated_counters: 30,
+            adhoc_syncs: 7,
+            locked_counters: 2,
+            gate_input: 15,
+        },
+    );
+
+    let worker_h0 = mb.declare_func("worker_handler0", 1);
+    let worker_h1 = mb.declare_func("worker_handler1", 1);
+    let log_writer_a = mb.declare_func("log_writer_a", 1);
+    let log_writer_b = mb.declare_func("log_writer_b", 1);
+    let decr_a = mb.declare_func("busy_decrement_a", 1);
+    let decr_b = mb.declare_func("busy_decrement_b", 1);
+    let balancer = mb.declare_func("find_best_bybusyness", 1);
+    let php_a = mb.declare_func("php_handler_a", 1);
+    let php_b = mb.declare_func("php_handler_b", 1);
+    let main = mb.declare_func("main", 0);
+
+    for (f, chan_val) in [(worker_h0, 0i64), (worker_h1, 1)] {
+        let mut b = mb.build_func(f);
+        b.loc("proxy/worker.c", 30);
+        b.output(40, chan_val);
+        b.ret(None);
+    }
+
+    // ap_buffered_log_writer (Figure 7), two instances at distinct
+    // sites.
+    for (f, delay_idx, line) in [(log_writer_a, 2i64, 1327u32), (log_writer_b, 3, 1527)] {
+        let mut b = mb.build_func(f);
+        b.loc("loggers/mod_log_config.c", line);
+        let len = b.input(0);
+        // if (len + buf->outcnt > LOG_BUFSIZE) flush_log(buf);
+        let oa = b.global_addr(outcnt);
+        b.line(line + 15);
+        let c1 = b.load(oa, Type::I64);
+        let sum = b.add(c1, len);
+        let over = b.cmp(Pred::Gt, sum, LOG_BUFSIZE);
+        let flush = b.block();
+        let append = b.block();
+        b.br(over, flush, append);
+        b.switch_to(flush);
+        b.line(line + 16);
+        b.store(oa, 0); // flush_log(buf)
+        b.jmp(append);
+        b.switch_to(append);
+        let d = b.input(delay_idx);
+        b.io_delay(d);
+        // s = &buf->outbuf[buf->outcnt]; memcpy(s, strs[i], strl[i]);
+        b.line(line + 31);
+        let c2 = b.load(oa, Type::I64); // the racy re-read
+        let ba = b.global_addr(outbuf);
+        let dst = b.gep(ba, c2);
+        let ma = b.global_addr(msg_buf);
+        b.line(line + 32);
+        b.memcopy(dst, ma, len); // the vulnerable site (overflow)
+        b.line(line + 35);
+        let c3 = b.add(c2, len);
+        b.store(oa, c3); // buf->outcnt += len
+                         // Write the request log through the (possibly corrupted) fd.
+        b.line(line + 40);
+        let fa = b.global_addr(log_fd);
+        let fd = b.load(fa, Type::I64);
+        b.file_access(fd, LOG_MARKER);
+        b.ret(None);
+    }
+
+    // busy decrementers (Figure 8): if (worker->s->busy)
+    // worker->s->busy--;
+    for (f, delay_idx, gated, line) in [(decr_a, 5i64, false, 588u32), (decr_b, 6, true, 616)] {
+        let mut b = mb.build_func(f);
+        b.loc("proxy/proxy_util.c", line);
+        let (go, out) = (b.block(), b.block());
+        if gated {
+            let en = b.input(4);
+            b.br(en, go, out);
+        } else {
+            b.jmp(go);
+        }
+        b.switch_to(go);
+        let ba = b.global_addr(busy0);
+        b.line(line + 28);
+        let v = b.load(ba, Type::I64); // if (worker->s->busy)
+        let pos = b.cmp(Pred::Gt, v, 0);
+        let dec = b.block();
+        b.br(pos, dec, out);
+        b.switch_to(dec);
+        let d = b.input(delay_idx);
+        b.io_delay(d);
+        b.line(line + 29);
+        let v2 = b.load(ba, Type::I64);
+        let v3 = b.sub_unsigned(v2, 1); // worker->s->busy-- (unsigned!)
+        b.store(ba, v3);
+        b.jmp(out);
+        b.switch_to(out);
+        b.ret(None);
+    }
+
+    {
+        // find_best_bybusyness (Figure 8): pick the least-busy worker
+        // and dispatch through its handler.
+        let mut b = mb.build_func(balancer);
+        b.loc("proxy/proxy_util.c", 1138);
+        let d = b.input(7);
+        b.io_delay(d);
+        let b0a = b.global_addr(busy0);
+        b.line(1192);
+        let b0 = b.load(b0a, Type::I64); // racy read of the counter
+        let b1a = b.global_addr(busy1);
+        let b1 = b.load(b1a, Type::I64);
+        b.line(1193);
+        let less = b.cmp(Pred::LtU, b0, b1); // unsigned comparison
+        let pick0 = b.block();
+        let pick1 = b.block();
+        let out = b.block();
+        b.br(less, pick0, pick1);
+        b.switch_to(pick0);
+        b.line(1195);
+        let h0a = b.global_addr(handler0);
+        let h0 = b.load(h0a, Type::FuncPtr);
+        b.call_indirect(h0, vec![Operand::Const(0)]); // mycandidate = worker
+        b.jmp(out);
+        b.switch_to(pick1);
+        b.line(1197);
+        let h1a = b.global_addr(handler1);
+        let h1 = b.load(h1a, Type::FuncPtr);
+        b.call_indirect(h1, vec![Operand::Const(0)]);
+        b.jmp(out);
+        b.switch_to(out);
+        b.ret(None);
+    }
+
+    // PHP handlers (double free).
+    for (f, delay_idx, line) in [(php_a, 9i64, 210u32), (php_b, 10, 310)] {
+        let mut b = mb.build_func(f);
+        b.loc("php/request.c", line);
+        let en = b.input(8);
+        let (go, out) = (b.block(), b.block());
+        b.br(en, go, out);
+        b.switch_to(go);
+        let ra = b.global_addr(req_buf);
+        b.line(line + 4);
+        let p = b.load(ra, Type::Ptr); // racy read
+        let live = b.cmp(Pred::Ne, p, 0);
+        let fr = b.block();
+        b.br(live, fr, out);
+        b.switch_to(fr);
+        let d = b.input(delay_idx);
+        b.io_delay(d);
+        b.line(line + 8);
+        b.free(p); // the double-free site
+        b.store(ra, 0);
+        b.jmp(out);
+        b.switch_to(out);
+        b.ret(None);
+    }
+
+    {
+        let mut b = mb.build_func(main);
+        b.loc("server/main.c", 1);
+        // Handler table + request buffer + attacker-controlled message.
+        let h0 = b.func_addr(worker_h0);
+        let h0a = b.global_addr(handler0);
+        b.store(h0a, h0);
+        let h1 = b.func_addr(worker_h1);
+        let h1a = b.global_addr(handler1);
+        b.store(h1a, h1);
+        let req = b.malloc(2);
+        let ra = b.global_addr(req_buf);
+        b.store(ra, req);
+        let payload = b.input(1);
+        let ma = b.global_addr(msg_buf);
+        for i in 0..12 {
+            let slot = b.gep(ma, i);
+            b.store(slot, payload);
+        }
+        let mut tids = Vec::new();
+        for &nf in &noise.threads {
+            tids.push(b.thread_create(nf, 0));
+        }
+        for f in [
+            log_writer_a,
+            log_writer_b,
+            decr_a,
+            decr_b,
+            balancer,
+            php_a,
+            php_b,
+        ] {
+            tids.push(b.thread_create(f, 0));
+        }
+        for t in tids {
+            b.thread_join(t);
+        }
+        b.ret(None);
+    }
+
+    let module = mb.finish();
+    assert_verified(&module);
+
+    CorpusProgram {
+        name: "Apache",
+        module,
+        entry: main,
+        workloads: vec![
+            ProgramInput::new(vec![4, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0]).with_label("ab benchmark"),
+            ProgramInput::new(vec![4, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 1])
+                .with_label("ab benchmark (extended coverage)"),
+        ],
+        exploit_inputs: vec![
+            ProgramInput::new(vec![9, HTML_FD, 250, 20, 0, 0, 0, 0, 0, 0, 0])
+                .with_label("oversized log entry"),
+            ProgramInput::new(vec![4, 0, 0, 0, 1, 120, 120, 500, 0, 0, 0])
+                .with_label("paired request completions"),
+            ProgramInput::new(vec![4, 0, 0, 0, 0, 0, 0, 0, 1, 150, 150]).with_label("PhP queries"),
+        ],
+        attacks: vec![
+            AttackSpec {
+                id: "apache-php-double-free",
+                version: "Apache-2.0.48",
+                vuln_type: "Double Free",
+                subtle_inputs: "PhP queries",
+                advisory: None,
+                known: true,
+                race_global: "req_buf",
+                expected_class: VulnClass::MemoryOp,
+                oracle: dfree_oracle,
+            },
+            AttackSpec {
+                id: "apache-25520-html-integrity",
+                version: "Apache-2.0.48",
+                vuln_type: "HTML Integrity Violation",
+                subtle_inputs: "Oversized log entry",
+                advisory: Some("Apache bug 25520"),
+                known: false,
+                race_global: "outcnt",
+                expected_class: VulnClass::MemoryOp,
+                oracle: html_oracle,
+            },
+            AttackSpec {
+                id: "apache-46215-dos",
+                version: "Apache-2.2.x (bug 46215)",
+                vuln_type: "Integer Overflow DoS",
+                subtle_inputs: "Paired request completions",
+                advisory: Some("Apache bug 46215"),
+                known: false,
+                race_global: "busy0",
+                expected_class: VulnClass::NullDeref,
+                oracle: dos_oracle,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_race::executions_until;
+    use owl_vm::{RandomScheduler, RunConfig, Vm};
+
+    #[test]
+    fn workloads_terminate() {
+        let p = build();
+        for w in &p.workloads {
+            let mut sched = RandomScheduler::new(9);
+            let o = Vm::run_quiet(&p.module, p.entry, w.clone(), &mut sched);
+            assert_eq!(o.status, owl_vm::ExitStatus::Finished);
+        }
+    }
+
+    #[test]
+    fn html_integrity_attack_triggers() {
+        let p = build();
+        let tries = executions_until(
+            &p.module,
+            p.entry,
+            &p.exploit_inputs[0],
+            &RunConfig::default(),
+            1,
+            30,
+            html_oracle,
+        );
+        assert!(tries.is_some(), "log bytes must land in the HTML file");
+    }
+
+    #[test]
+    fn balancer_dos_triggers() {
+        let p = build();
+        let tries = executions_until(
+            &p.module,
+            p.entry,
+            &p.exploit_inputs[1],
+            &RunConfig::default(),
+            1,
+            20,
+            dos_oracle,
+        );
+        assert!(tries.is_some());
+    }
+
+    #[test]
+    fn php_double_free_triggers() {
+        let p = build();
+        let tries = executions_until(
+            &p.module,
+            p.entry,
+            &p.exploit_inputs[2],
+            &RunConfig::default(),
+            1,
+            20,
+            dfree_oracle,
+        );
+        assert!(tries.is_some());
+    }
+
+    #[test]
+    fn benign_log_traffic_keeps_html_clean() {
+        let p = build();
+        for seed in 0..5 {
+            let mut sched = RandomScheduler::new(seed);
+            let o = Vm::run_quiet(&p.module, p.entry, p.primary_workload().clone(), &mut sched);
+            assert!(!html_oracle(&o), "seed {seed}");
+            // Log entries went to the real log fd.
+            assert!(!o.file(1).is_empty(), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Chrome-6.0.472.58: the `console.profile` use-after-free (known
+//! attack, Table 4).
+//!
+//! A JavaScript `console.profile` call hands the renderer a profile
+//! object that a worker thread keeps reading while page navigation can
+//! concurrently destroy it. The destruction path frees the object and
+//! clears the pointer without synchronizing with the profiler — a
+//! use-after-free an attacker script can time with `console.profile` /
+//! navigation sequences.
+//!
+//! Input words:
+//! * `0` — `console.profile` issued (profiler active)
+//! * `1` — profiler delay between the pointer check and the use
+//! * `2` — navigation delay before teardown
+//! * `15` — noise gate
+
+use crate::noise::{attach_noise, NoiseSpec};
+use crate::spec::{AttackSpec, CorpusProgram};
+use owl_ir::{assert_verified, ModuleBuilder, Pred, Type, VulnClass};
+use owl_vm::{ExecOutcome, ProgramInput, Violation};
+
+fn oracle(o: &ExecOutcome) -> bool {
+    o.any_violation(|v| matches!(v, Violation::UseAfterFree { .. }))
+}
+
+/// Builds the Chrome corpus program.
+pub fn build() -> CorpusProgram {
+    let mut mb = ModuleBuilder::new("chrome");
+    let profile_ptr = mb.global("profile", 1, Type::Ptr);
+
+    let noise = attach_noise(
+        &mut mb,
+        "chrome/noise.c",
+        &NoiseSpec {
+            always_counters: 4,
+            gated_counters: 52,
+            adhoc_syncs: 1,
+            locked_counters: 2,
+            gate_input: 15,
+        },
+    );
+
+    let profiler = mb.declare_func("profiler_thread", 1);
+    let navigator = mb.declare_func("navigation_thread", 1);
+    let main = mb.declare_func("main", 0);
+
+    {
+        let mut b = mb.build_func(profiler);
+        b.loc("profiler.cc", 210);
+        let en = b.input(0);
+        let go = b.block();
+        let out = b.block();
+        b.br(en, go, out);
+        b.switch_to(go);
+        b.line(215);
+        let pa = b.global_addr(profile_ptr);
+        let p = b.load(pa, Type::Ptr); // racy read
+        let live = b.cmp(Pred::Ne, p, 0);
+        let use_bb = b.block();
+        b.br(live, use_bb, out);
+        b.switch_to(use_bb);
+        let d = b.input(1);
+        b.io_delay(d);
+        b.line(221);
+        let slot = b.gep(p, 0);
+        let v = b.load(slot, Type::I64); // UAF under the race
+        b.output(60, v);
+        b.jmp(out);
+        b.switch_to(out);
+        b.ret(None);
+    }
+    {
+        let mut b = mb.build_func(navigator);
+        b.loc("page.cc", 88);
+        let d = b.input(2);
+        b.io_delay(d);
+        let pa = b.global_addr(profile_ptr);
+        let p = b.load(pa, Type::Ptr);
+        let live = b.cmp(Pred::Ne, p, 0);
+        let tear = b.block();
+        let out = b.block();
+        b.br(live, tear, out);
+        b.switch_to(tear);
+        b.line(93);
+        b.free(p);
+        b.line(94);
+        b.store(pa, 0);
+        b.jmp(out);
+        b.switch_to(out);
+        b.ret(None);
+    }
+    {
+        let mut b = mb.build_func(main);
+        b.loc("main.cc", 1);
+        let p = b.malloc(2);
+        let slot = b.gep(p, 0);
+        b.store(slot, 1234);
+        let pa = b.global_addr(profile_ptr);
+        b.store(pa, p);
+        let mut tids = Vec::new();
+        for &nf in &noise.threads {
+            tids.push(b.thread_create(nf, 0));
+        }
+        tids.push(b.thread_create(profiler, 0));
+        tids.push(b.thread_create(navigator, 0));
+        for t in tids {
+            b.thread_join(t);
+        }
+        b.ret(None);
+    }
+
+    let module = mb.finish();
+    assert_verified(&module);
+
+    CorpusProgram {
+        name: "Chrome",
+        module,
+        entry: main,
+        workloads: vec![
+            ProgramInput::new(vec![1, 0, 10]).with_label("page load benchmark"),
+            ProgramInput::new(vec![1, 0, 10, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1])
+                .with_label("page load benchmark (extended coverage)"),
+        ],
+        exploit_inputs: vec![ProgramInput::new(vec![
+            1,   // console.profile issued
+            200, // profiler stalls between check and use
+            80,  // navigation tears down inside the stall
+        ])
+        .with_label("Js console.profile")],
+        attacks: vec![AttackSpec {
+            id: "chrome-profile-uaf",
+            version: "Chrome-6.0.472.58",
+            vuln_type: "Use after free",
+            subtle_inputs: "Js console.profile",
+            advisory: None,
+            known: true,
+            race_global: "profile",
+            expected_class: VulnClass::NullDeref,
+            oracle,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_race::executions_until;
+    use owl_vm::{RandomScheduler, RunConfig, Vm};
+
+    #[test]
+    fn workloads_terminate() {
+        let p = build();
+        for w in &p.workloads {
+            let mut sched = RandomScheduler::new(3);
+            let o = Vm::run_quiet(&p.module, p.entry, w.clone(), &mut sched);
+            assert_eq!(o.status, owl_vm::ExitStatus::Finished);
+        }
+    }
+
+    #[test]
+    fn exploit_triggers_uaf_quickly() {
+        let p = build();
+        let tries = executions_until(
+            &p.module,
+            p.entry,
+            &p.exploit_inputs[0],
+            &RunConfig::default(),
+            1,
+            20,
+            oracle,
+        );
+        assert!(tries.is_some());
+    }
+
+    #[test]
+    fn no_profile_no_attack() {
+        let p = build();
+        let input = ProgramInput::new(vec![0, 200, 80]);
+        for seed in 0..5 {
+            let mut sched = RandomScheduler::new(seed);
+            let o = Vm::run_quiet(&p.module, p.entry, input.clone(), &mut sched);
+            assert!(!oracle(&o), "seed {seed}");
+        }
+    }
+}

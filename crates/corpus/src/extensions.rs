@@ -1,0 +1,391 @@
+//! Corpus extensions beyond the paper's evaluated programs.
+//!
+//! The paper's §8.3 notes that "there are other types of concurrency
+//! bugs that can also lead to concurrency attacks, including atomicity
+//! violations... By integrating these detectors (future work), OWL's
+//! analysis and verifier components can detect more concurrency
+//! attacks." These programs exercise that integration; they are *not*
+//! part of [`crate::all_programs`] so the paper-table reproductions
+//! stay faithful.
+
+use crate::noise::{attach_noise, NoiseSpec};
+use crate::spec::{AttackSpec, CorpusProgram};
+use owl_ir::{assert_verified, ModuleBuilder, Pred, Type, VulnClass};
+use owl_vm::{ExecOutcome, ProgramInput, SecurityEvent};
+
+/// File descriptor of the cash dispenser.
+pub const VAULT_FD: i64 = 9;
+/// Initial account balance.
+pub const INITIAL_BALANCE: i64 = 100;
+
+fn overdraft_oracle(o: &ExecOutcome) -> bool {
+    // More cash dispensed than the account ever held.
+    let dispensed: i64 = o
+        .security
+        .iter()
+        .filter_map(|s| match s.event {
+            SecurityEvent::FileWrite { fd, data } if fd == VAULT_FD => Some(data),
+            _ => None,
+        })
+        .sum();
+    dispensed > INITIAL_BALANCE
+}
+
+/// A bank whose withdraw path locks each *individual* balance access
+/// but not the check-then-act sequence: no data race exists, yet two
+/// concurrent withdrawals can overdraw the account — an atomicity
+/// violation turned into an attack (the attacker gets more cash than
+/// the balance).
+///
+/// Input words:
+/// * `0` — first withdrawal amount
+/// * `1` — second withdrawal amount
+/// * `2`/`3` — delays between check and act for the two sessions
+/// * `15` — noise gate
+pub fn bank_atomicity() -> CorpusProgram {
+    let mut mb = ModuleBuilder::new("bank");
+    let balance = mb.global_init("balance", 1, vec![INITIAL_BALANCE], Type::I64);
+    let lock = mb.global("account_lock", 1, Type::I64);
+
+    let noise = attach_noise(
+        &mut mb,
+        "bank/noise.c",
+        &NoiseSpec {
+            always_counters: 1,
+            gated_counters: 2,
+            adhoc_syncs: 0,
+            locked_counters: 1,
+            gate_input: 15,
+        },
+    );
+
+    let withdraw_a = mb.declare_func("withdraw_session_a", 1);
+    let withdraw_b = mb.declare_func("withdraw_session_b", 1);
+    let main = mb.declare_func("main", 0);
+
+    for (f, amt_idx, delay_idx, line) in [(withdraw_a, 0i64, 2i64, 100u32), (withdraw_b, 1, 3, 200)]
+    {
+        let mut b = mb.build_func(f);
+        b.loc("bank/teller.c", line);
+        let amt = b.input(amt_idx);
+        let la = b.global_addr(lock);
+        let ba = b.global_addr(balance);
+        // Locked check...
+        b.lock(la);
+        b.line(line + 4);
+        let v = b.load(ba, Type::I64);
+        b.unlock(la);
+        let ok = b.cmp(Pred::Ge, v, amt);
+        let go = b.block();
+        let out = b.block();
+        b.br(ok, go, out);
+        b.switch_to(go);
+        // ...window between check and act...
+        let d = b.input(delay_idx);
+        b.io_delay(d);
+        // ...locked act.
+        b.lock(la);
+        b.line(line + 11);
+        let v2 = b.load(ba, Type::I64);
+        let v3 = b.sub(v2, amt);
+        b.store(ba, v3);
+        b.unlock(la);
+        b.line(line + 14);
+        b.file_access(VAULT_FD, amt); // dispense the cash
+        b.jmp(out);
+        b.switch_to(out);
+        b.ret(None);
+    }
+    {
+        let mut b = mb.build_func(main);
+        b.loc("bank/main.c", 1);
+        let mut tids = Vec::new();
+        for &nf in &noise.threads {
+            tids.push(b.thread_create(nf, 0));
+        }
+        tids.push(b.thread_create(withdraw_a, 0));
+        tids.push(b.thread_create(withdraw_b, 0));
+        for t in tids {
+            b.thread_join(t);
+        }
+        let ba = b.global_addr(balance);
+        let v = b.load(ba, Type::I64);
+        b.output(80, v); // final balance (negative after the attack)
+        b.ret(None);
+    }
+
+    let module = mb.finish();
+    assert_verified(&module);
+
+    CorpusProgram {
+        name: "Bank",
+        module,
+        entry: main,
+        workloads: vec![
+            // Tellers do IO between check and act even in normal
+            // traffic; the window exists, the amounts just don't
+            // overdraw dramatically without pairing.
+            ProgramInput::new(vec![80, 80, 30, 30]).with_label("teller traffic"),
+        ],
+        exploit_inputs: vec![
+            ProgramInput::new(vec![80, 80, 150, 150]).with_label("paired withdrawals")
+        ],
+        attacks: vec![AttackSpec {
+            id: "bank-overdraft",
+            version: "bank-model",
+            vuln_type: "Overdraft (atomicity violation)",
+            subtle_inputs: "Paired withdrawals",
+            advisory: None,
+            known: true,
+            race_global: "balance",
+            expected_class: VulnClass::FileOp,
+            oracle: overdraft_oracle,
+        }],
+    }
+}
+
+/// Marker for the kernel double-fetch payload.
+pub const DF_PAYLOAD: i64 = 4242;
+
+fn double_fetch_oracle(o: &ExecOutcome) -> bool {
+    o.any_violation(|v| {
+        matches!(
+            v,
+            owl_vm::Violation::BufferOverflow { .. } | owl_vm::Violation::CorruptFuncPtr { .. }
+        )
+    })
+}
+
+/// A kernel-style **double fetch** (the Bochspwn bug class): a syscall
+/// handler validates a user-controlled length, then *re-reads* it from
+/// user memory before using it — and user space can flip the value
+/// between the two fetches. Strictly speaking this is a data race
+/// between kernel and user threads, but the interesting propagation is
+/// the time-of-check-to-time-of-use gap between the two loads of the
+/// same address, which Algorithm 1 reaches through the second fetch.
+///
+/// Input words:
+/// * `0` — initial (validated) length
+/// * `1` — flipped length
+/// * `2` — flip delay
+/// * `3` — handler IO delay between the fetches
+/// * `15` — noise gate
+pub fn kernel_double_fetch() -> CorpusProgram {
+    let mut mb = ModuleBuilder::new("double-fetch");
+    // User-controlled request page, then the kernel buffer and an
+    // adjacent function pointer the overflow clobbers.
+    let user_len = mb.global("user_len", 1, Type::I64);
+    let kbuf = mb.global("kbuf", 4, Type::I64);
+    let kfunc = mb.global("kfunc", 1, Type::FuncPtr);
+    let user_data = mb.global_init("user_data", 8, vec![DF_PAYLOAD; 8], Type::I64);
+
+    let noise = attach_noise(
+        &mut mb,
+        "kernel/df_noise.c",
+        &NoiseSpec {
+            always_counters: 1,
+            gated_counters: 2,
+            adhoc_syncs: 0,
+            locked_counters: 1,
+            gate_input: 15,
+        },
+    );
+
+    let kfunc_impl = mb.declare_func("kfunc_impl", 1);
+    let handler = mb.declare_func("sys_ioctl_handler", 1);
+    let flipper = mb.declare_func("user_flipper", 1);
+    let main = mb.declare_func("main", 0);
+
+    {
+        let mut b = mb.build_func(kfunc_impl);
+        b.output(90, 1);
+        b.ret(None);
+    }
+    {
+        // if (fetch1 <= 4) { ...IO... copy(kbuf, user, fetch2) }
+        let mut b = mb.build_func(handler);
+        b.loc("kernel/ioctl.c", 50);
+        let ua = b.global_addr(user_len);
+        let len1 = b.load(ua, Type::I64); // fetch 1: the check
+        let ok = b.cmp(Pred::Le, len1, 4);
+        let go = b.block();
+        let out = b.block();
+        b.br(ok, go, out);
+        b.switch_to(go);
+        let d = b.input(3);
+        b.io_delay(d);
+        b.line(57);
+        let len2 = b.load(ua, Type::I64); // fetch 2: the use
+        let ka = b.global_addr(kbuf);
+        let uda = b.global_addr(user_data);
+        b.line(58);
+        b.memcopy(ka, uda, len2); // overflow when len2 > 4
+                                  // Kernel then calls through the adjacent pointer.
+        let kfa = b.global_addr(kfunc);
+        let f = b.load(kfa, Type::FuncPtr);
+        b.call_indirect(f, vec![owl_ir::Operand::Const(0)]);
+        b.jmp(out);
+        b.switch_to(out);
+        b.ret(None);
+    }
+    {
+        let mut b = mb.build_func(flipper);
+        b.loc("user/flipper.c", 10);
+        let d = b.input(2);
+        b.io_delay(d);
+        let flipped = b.input(1);
+        let ua = b.global_addr(user_len);
+        b.line(13);
+        b.store(ua, flipped);
+        b.ret(None);
+    }
+    {
+        let mut b = mb.build_func(main);
+        let f = b.func_addr(kfunc_impl);
+        let kfa = b.global_addr(kfunc);
+        b.store(kfa, f);
+        let init = b.input(0);
+        let ua = b.global_addr(user_len);
+        b.store(ua, init);
+        let mut tids = Vec::new();
+        for &nf in &noise.threads {
+            tids.push(b.thread_create(nf, 0));
+        }
+        tids.push(b.thread_create(handler, 0));
+        tids.push(b.thread_create(flipper, 0));
+        for t in tids {
+            b.thread_join(t);
+        }
+        b.ret(None);
+    }
+
+    let module = mb.finish();
+    assert_verified(&module);
+
+    CorpusProgram {
+        name: "DoubleFetch",
+        module,
+        entry: main,
+        workloads: vec![ProgramInput::new(vec![2, 2, 10, 10]).with_label("ioctl traffic")],
+        exploit_inputs: vec![
+            ProgramInput::new(vec![2, 8, 60, 120]).with_label("flipped length between fetches")
+        ],
+        attacks: vec![AttackSpec {
+            id: "kernel-double-fetch",
+            version: "double-fetch model",
+            vuln_type: "Buffer Overflow (double fetch)",
+            subtle_inputs: "Flipped length between fetches",
+            advisory: None,
+            known: true,
+            race_global: "user_len",
+            expected_class: VulnClass::MemoryOp,
+            oracle: double_fetch_oracle,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_race::executions_until;
+    use owl_vm::{RandomScheduler, RunConfig, Vm};
+
+    #[test]
+    fn overdraft_triggers_with_exploit_timing() {
+        let p = bank_atomicity();
+        let tries = executions_until(
+            &p.module,
+            p.entry,
+            &p.exploit_inputs[0],
+            &RunConfig::default(),
+            1,
+            20,
+            overdraft_oracle,
+        );
+        assert!(tries.is_some());
+    }
+
+    #[test]
+    fn sequentialized_withdrawals_cannot_overdraw() {
+        // One big quantum and no teller IO: each withdrawal completes
+        // before the other starts.
+        let p = bank_atomicity();
+        let mut sched = owl_vm::RoundRobin::new(100_000);
+        let input = ProgramInput::new(vec![80, 80, 0, 0]);
+        let o = Vm::run_quiet(&p.module, p.entry, input, &mut sched);
+        assert!(!overdraft_oracle(&o));
+        // Final balance stays non-negative.
+        let final_balance = o.outputs.iter().find(|(c, _)| *c == 80).unwrap().1;
+        assert!(final_balance >= 0);
+    }
+
+    #[test]
+    fn double_fetch_triggers_with_flip_timing() {
+        let p = kernel_double_fetch();
+        let tries = executions_until(
+            &p.module,
+            p.entry,
+            &p.exploit_inputs[0],
+            &RunConfig::default(),
+            1,
+            20,
+            double_fetch_oracle,
+        );
+        assert!(tries.is_some(), "the flipped fetch should overflow kbuf");
+    }
+
+    #[test]
+    fn double_fetch_benign_traffic_is_safe() {
+        let p = kernel_double_fetch();
+        for seed in 0..10 {
+            let mut sched = RandomScheduler::new(seed);
+            let o = Vm::run_quiet(&p.module, p.entry, p.primary_workload().clone(), &mut sched);
+            assert!(
+                !double_fetch_oracle(&o),
+                "benign length (2 -> 2) cannot overflow: seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn double_fetch_hint_reaches_the_copy() {
+        // Algorithm 1 from the second fetch must reach the memcopy.
+        use owl_static::{VulnAnalyzer, VulnConfig};
+        let p = kernel_double_fetch();
+        let r = owl_race::explore(
+            &p.module,
+            p.entry,
+            &p.workloads,
+            &owl_race::ExplorerConfig {
+                runs_per_input: 20,
+                ..Default::default()
+            },
+        );
+        let report = r
+            .reports_on("user_len")
+            .next()
+            .unwrap_or_else(|| panic!("user_len race: {:?}", r.reports));
+        let read = report.read_access().unwrap();
+        let mut an = VulnAnalyzer::new(&p.module, VulnConfig::default());
+        let (vulns, _) = an.analyze(read.site, &read.stack);
+        assert!(
+            vulns.iter().any(|v| v.class == VulnClass::MemoryOp),
+            "{vulns:?}"
+        );
+    }
+
+    #[test]
+    fn overdraft_leaves_negative_balance() {
+        let p = bank_atomicity();
+        for seed in 0..20 {
+            let mut sched = RandomScheduler::new(seed);
+            let o = Vm::run_quiet(&p.module, p.entry, p.exploit_inputs[0].clone(), &mut sched);
+            if overdraft_oracle(&o) {
+                let final_balance = o.outputs.iter().find(|(c, _)| *c == 80).unwrap().1;
+                assert!(final_balance < 0, "overdraft implies negative balance");
+                return;
+            }
+        }
+        panic!("overdraft never triggered in 20 seeds");
+    }
+}

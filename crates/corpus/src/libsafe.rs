@@ -1,0 +1,298 @@
+//! Libsafe-2.0-16 (paper Figure 1): the `dying` flag race.
+//!
+//! Libsafe intercepts libc memory functions and checks for stack
+//! overflows. When it detects one it sets a global `dying` flag and
+//! kills the process "shortly" — but `dying` is read without a lock by
+//! every concurrent `stack_check`, which *returns 0 (check passed!)
+//! when the flag is set*. In the window between `dying = 1` and the
+//! actual kill, another thread's `strcpy` bypasses the overflow check
+//! entirely: the attacker overflows the buffer, overwrites an adjacent
+//! function pointer, and gets their code executed.
+//!
+//! Model layout: `stack_buf[8]` sits directly before `shell_fptr` in
+//! global memory, so a copy longer than 8 words lands in the pointer
+//! the dispatcher later calls.
+//!
+//! Input words:
+//! * `0` — copy length (benign ≤ 8, exploit > 8)
+//! * `1` — attacker payload planted in the source buffer
+//! * `2` — detector-thread delay before `libsafe_die()`
+//! * `3` — worker delay before `libsafe_strcpy()`
+//! * `4` — `libsafe_die`'s delay between `dying = 1` and the kill
+//! * `15` — benign-noise gate (see [`crate::noise`])
+
+use crate::noise::{attach_noise, NoiseSpec};
+use crate::spec::{AttackSpec, CorpusProgram};
+use owl_ir::{assert_verified, ModuleBuilder, Operand, Pred, Type, VulnClass};
+use owl_vm::{ExecOutcome, ProgramInput, Violation};
+
+/// The payload value the exploit plants; calling it as a function
+/// pointer is the modeled code injection.
+pub const PAYLOAD: i64 = 0xbad;
+
+const SRC_WORDS: u32 = 12;
+const BUF_WORDS: u32 = 8;
+
+/// Ground-truth oracle: the corrupted shell pointer got called.
+fn oracle(o: &ExecOutcome) -> bool {
+    o.any_violation(|v| matches!(v, Violation::CorruptFuncPtr { value } if *value == PAYLOAD))
+}
+
+/// Builds the Libsafe corpus program.
+pub fn build() -> CorpusProgram {
+    let mut mb = ModuleBuilder::new("libsafe");
+    let dying = mb.global("dying", 1, Type::I64);
+    let killed = mb.global("killed", 1, Type::I64);
+    let stack_buf = mb.global("stack_buf", BUF_WORDS, Type::I64);
+    let shell_fptr = mb.global("shell_fptr", 1, Type::FuncPtr);
+    let attacker_src = mb.global("attacker_src", SRC_WORDS, Type::I64);
+
+    let noise = attach_noise(
+        &mut mb,
+        "libsafe/noise.c",
+        &NoiseSpec {
+            always_counters: 0,
+            gated_counters: 0,
+            adhoc_syncs: 0,
+            locked_counters: 1,
+            gate_input: 15,
+        },
+    );
+
+    let benign_handler = mb.declare_func("benign_handler", 1);
+    let libsafe_die = mb.declare_func("libsafe_die", 0);
+    let stack_check = mb.declare_func("stack_check", 1);
+    let libsafe_strcpy = mb.declare_func("libsafe_strcpy", 1);
+    let detector_thread = mb.declare_func("overflow_detector", 1);
+    let worker_thread = mb.declare_func("request_worker", 1);
+    let main = mb.declare_func("main", 0);
+
+    {
+        let mut b = mb.build_func(benign_handler);
+        b.loc("handler.c", 5);
+        b.output(9, 1);
+        b.ret(None);
+    }
+    {
+        // libsafe_die(): dying = 1; ... kill the process shortly.
+        let mut b = mb.build_func(libsafe_die);
+        b.loc("util.c", 1636);
+        let da = b.global_addr(dying);
+        b.line(1640);
+        b.store(da, 1);
+        let grace = b.input(4);
+        b.io_delay(grace);
+        let ka = b.global_addr(killed);
+        b.line(1645);
+        b.store(ka, 1);
+        b.ret(None);
+    }
+    {
+        // stack_check(len): if (dying) return 0;  // bypass
+        //                   if (len <= BUF) return 0; else die, return 1.
+        let mut b = mb.build_func(stack_check);
+        b.loc("util.c", 117);
+        let da = b.global_addr(dying);
+        b.line(145);
+        let d = b.load(da, Type::I64); // the racy read
+        let bypass = b.block();
+        let check = b.block();
+        b.br(d, bypass, check);
+        b.switch_to(bypass);
+        b.line(146);
+        b.ret(Some(Operand::Const(0)));
+        b.switch_to(check);
+        b.line(148);
+        let fits = b.cmp(Pred::Le, Operand::Param(0), i64::from(BUF_WORDS));
+        let ok = b.block();
+        let blocked = b.block();
+        b.br(fits, ok, blocked);
+        b.switch_to(ok);
+        b.ret(Some(Operand::Const(0)));
+        b.switch_to(blocked);
+        b.line(149);
+        b.call(libsafe_die, vec![]);
+        b.ret(Some(Operand::Const(1)));
+    }
+    {
+        // libsafe_strcpy(len): if (killed) return;
+        //   if (stack_check(len) == 0) strcpy(buf, src, len);
+        let mut b = mb.build_func(libsafe_strcpy);
+        b.loc("intercept.c", 151);
+        let ka = b.global_addr(killed);
+        let k = b.load(ka, Type::I64);
+        let dead = b.block();
+        let alive = b.block();
+        b.br(k, dead, alive);
+        b.switch_to(dead);
+        b.ret(None);
+        b.switch_to(alive);
+        b.line(164);
+        let r = b.call(stack_check, vec![Operand::Param(0)]);
+        let passed = b.cmp(Pred::Eq, r, 0);
+        let copy = b.block();
+        let done = b.block();
+        b.br(passed, copy, done);
+        b.switch_to(copy);
+        b.line(165);
+        let dst = b.global_addr(stack_buf);
+        let src = b.global_addr(attacker_src);
+        b.memcopy(dst, src, Operand::Param(0)); // the vulnerable site
+        b.jmp(done);
+        b.switch_to(done);
+        b.ret(None);
+    }
+    {
+        // The thread that detected a (separate) overflow and is dying.
+        let mut b = mb.build_func(detector_thread);
+        b.loc("detector.c", 10);
+        let d = b.input(2);
+        b.io_delay(d);
+        b.call(libsafe_die, vec![]);
+        b.ret(None);
+    }
+    {
+        // The worker serving the attacker's copy request.
+        let mut b = mb.build_func(worker_thread);
+        b.loc("worker.c", 20);
+        let d = b.input(3);
+        b.io_delay(d);
+        let len = b.input(0);
+        b.call(libsafe_strcpy, vec![len.into()]);
+        b.ret(None);
+    }
+    {
+        let mut b = mb.build_func(main);
+        b.loc("main.c", 1);
+        // Install the legitimate handler and the attacker-controlled
+        // source contents.
+        let fa = b.func_addr(benign_handler);
+        let sa = b.global_addr(shell_fptr);
+        b.store(sa, fa);
+        let payload = b.input(1);
+        let src = b.global_addr(attacker_src);
+        for i in 0..SRC_WORDS {
+            let slot = b.gep(src, i64::from(i));
+            b.store(slot, payload);
+        }
+        // Spawn noise + the two racing threads.
+        let mut tids = Vec::new();
+        for &f in &noise.threads {
+            tids.push(b.thread_create(f, 0));
+        }
+        tids.push(b.thread_create(detector_thread, 0));
+        tids.push(b.thread_create(worker_thread, 0));
+        for t in tids {
+            b.thread_join(t);
+        }
+        // Dispatch through the (possibly corrupted) shell pointer.
+        b.line(40);
+        let f = b.load(sa, Type::FuncPtr);
+        b.call_indirect(f, vec![Operand::Const(0)]);
+        b.ret(None);
+    }
+
+    let module = mb.finish();
+    assert_verified(&module);
+
+    CorpusProgram {
+        name: "Libsafe",
+        module,
+        entry: main,
+        workloads: vec![ProgramInput::new(vec![4, 0, 0, 0, 0]).with_label("benign copy")],
+        exploit_inputs: vec![ProgramInput::new(vec![
+            10,      // len: past the 8-word buffer
+            PAYLOAD, // planted pointer
+            50,      // detector delay: die mid-run
+            120,     // worker delay: check lands inside the dying window
+            400,     // die grace period: wide window before the kill
+        ])
+        .with_label("loops with strcpy()")],
+        attacks: vec![AttackSpec {
+            id: "libsafe-overflow",
+            version: "Libsafe-2.0-16",
+            vuln_type: "Buffer Overflow",
+            subtle_inputs: "Loops with strcpy()",
+            advisory: None,
+            known: true,
+            race_global: "dying",
+            expected_class: VulnClass::MemoryOp,
+            oracle,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_race::executions_until;
+    use owl_vm::{RandomScheduler, RunConfig, Vm};
+
+    #[test]
+    fn benign_workload_never_attacks() {
+        let p = build();
+        for seed in 0..10 {
+            let mut sched = RandomScheduler::new(seed);
+            let o = Vm::run_quiet(&p.module, p.entry, p.primary_workload().clone(), &mut sched);
+            assert_eq!(o.status, owl_vm::ExitStatus::Finished, "seed {seed}");
+            assert!(!oracle(&o), "benign input must not trigger: seed {seed}");
+            // The legitimate handler ran.
+            assert!(o.outputs.contains(&(9, 1)));
+        }
+    }
+
+    #[test]
+    fn exploit_triggers_within_twenty_runs() {
+        let p = build();
+        let tries = executions_until(
+            &p.module,
+            p.entry,
+            &p.exploit_inputs[0],
+            &RunConfig::default(),
+            1,
+            20,
+            oracle,
+        );
+        assert!(
+            tries.is_some(),
+            "exploit should land within 20 re-executions (§3.1 finding III)"
+        );
+    }
+
+    #[test]
+    fn overflow_without_race_is_blocked() {
+        // Long copy but the detector only dies long after the worker is
+        // done: stack_check sees dying == 0 and blocks the copy.
+        let p = build();
+        let input = ProgramInput::new(vec![10, PAYLOAD, 2000, 0, 0]);
+        let mut hit = false;
+        for seed in 0..10 {
+            let mut sched = RandomScheduler::new(1000 + seed);
+            let o = Vm::run_quiet(&p.module, p.entry, input.clone(), &mut sched);
+            hit |= oracle(&o);
+        }
+        assert!(
+            !hit,
+            "without the widened window the check should block the copy"
+        );
+    }
+
+    #[test]
+    fn race_on_dying_is_reported() {
+        let p = build();
+        let r = owl_race::explore(
+            &p.module,
+            p.entry,
+            &p.workloads,
+            &owl_race::ExplorerConfig {
+                runs_per_input: 20,
+                ..Default::default()
+            },
+        );
+        assert!(
+            r.reports_on("dying").next().is_some(),
+            "the dying race must be in the detector output: {:?}",
+            r.reports
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! Linux kernel models: the uselib()/msync() `f_op` race (paper
+//! Figure 2, Linux-2.6.10) and an exec/setuid credential race
+//! (Linux-2.6.29 privilege escalation). Both rows of Table 4's Linux
+//! entries, driven "by syscall parameters".
+//!
+//! * **uselib/msync** — `msync_interval` checks `file->f_op &&
+//!   file->f_op->fsync`, performs IO, then calls through the pointer;
+//!   `do_munmap` (reached via `uselib()`) concurrently NULLs `f_op`.
+//!   The classic exploit maps attacker code where the kernel will jump:
+//!   modeled as a second store planting a pointer to `attacker_code`,
+//!   whose body takes root and spawns a shell.
+//! * **cred race** — an access check loads the (racy) credential uid
+//!   while a concurrent exec/setuid transiently drops it to 0; if the
+//!   check observes the window it grants root.
+//!
+//! Input words ("syscall parameters"):
+//! * `0` — msync IO delay (between the `f_op` check and the call)
+//! * `1` — uselib/munmap delay before NULLing `f_op`
+//! * `2` — remap toggle (attacker maps code at the freed slot)
+//! * `3` — remap delay
+//! * `4` — access-check delay before loading the credential
+//! * `5` — setuid delay before dropping the uid
+//! * `6` — delay before the uid is restored
+//! * `15` — noise gate
+
+use crate::noise::{attach_noise, NoiseSpec};
+use crate::spec::{AttackSpec, CorpusProgram};
+use owl_ir::{assert_verified, ModuleBuilder, Operand, Pred, Type, VulnClass};
+use owl_vm::{ExecOutcome, ProgramInput, Violation};
+
+/// Marker command the attacker's shell executes.
+pub const ROOT_SHELL: i64 = 31337;
+
+fn uselib_oracle(o: &ExecOutcome) -> bool {
+    // Kernel NULL function-pointer dereference, or the stronger
+    // arbitrary-code-execution variant via the remapped page.
+    o.any_violation(|v| matches!(v, Violation::NullFuncPtr)) || o.executed(ROOT_SHELL)
+}
+
+fn cred_oracle(o: &ExecOutcome) -> bool {
+    o.privilege == 0
+}
+
+/// Builds the Linux corpus program.
+pub fn build() -> CorpusProgram {
+    let mut mb = ModuleBuilder::new("linux");
+    let f_op = mb.global("f_op", 1, Type::FuncPtr);
+    let cred_uid = mb.global_init("cred_uid", 1, vec![1000], Type::I64);
+
+    let noise = attach_noise(
+        &mut mb,
+        "kernel/noise.c",
+        &NoiseSpec {
+            always_counters: 5,
+            gated_counters: 200,
+            adhoc_syncs: 8,
+            locked_counters: 2,
+            gate_input: 15,
+        },
+    );
+
+    let fsync_impl = mb.declare_func("ext2_fsync", 1);
+    let attacker_code = mb.declare_func("attacker_code", 1);
+    let msync_thread = mb.declare_func("sys_msync", 1);
+    let uselib_thread = mb.declare_func("sys_uselib", 1);
+    let access_check = mb.declare_func("acl_permission_check", 1);
+    let exec_setuid = mb.declare_func("sys_execve_setuid", 1);
+    let main = mb.declare_func("main", 0);
+
+    {
+        let mut b = mb.build_func(fsync_impl);
+        b.loc("fs/ext2.c", 30);
+        b.output(20, 1);
+        b.ret(None);
+    }
+    {
+        // The "mapped user page": takes root and execs a shell.
+        let mut b = mb.build_func(attacker_code);
+        b.loc("userspace/payload.c", 1);
+        b.set_privilege(0);
+        b.exec(ROOT_SHELL);
+        b.ret(None);
+    }
+    {
+        // msync_interval(): if (file->f_op && file->f_op->fsync)
+        //                       err = file->f_op->fsync(...);
+        let mut b = mb.build_func(msync_thread);
+        b.loc("mm/msync.c", 138);
+        let fa = b.global_addr(f_op);
+        let p = b.load(fa, Type::FuncPtr); // racy check read
+        let live = b.cmp(Pred::Ne, p, 0);
+        let sync = b.block();
+        let out = b.block();
+        b.br(live, sync, out);
+        b.switch_to(sync);
+        b.line(141);
+        let d = b.input(0);
+        b.io_delay(d); // the input-controlled IO window (§3.1)
+        b.line(144);
+        let p2 = b.load(fa, Type::FuncPtr); // re-load after the IO
+        b.call_indirect(p2, vec![Operand::Const(0)]); // f_op->fsync(...)
+        b.jmp(out);
+        b.switch_to(out);
+        b.ret(None);
+    }
+    {
+        // do_munmap() via uselib(): file->f_op = NULL; the attacker may
+        // then map code at the stale slot.
+        let mut b = mb.build_func(uselib_thread);
+        b.loc("mm/mmap.c", 880);
+        let d = b.input(1);
+        b.io_delay(d);
+        let fa = b.global_addr(f_op);
+        b.line(886);
+        b.store(fa, 0); // f_op = NULL
+        let remap = b.input(2);
+        let map = b.block();
+        let out = b.block();
+        b.br(remap, map, out);
+        b.switch_to(map);
+        let d2 = b.input(3);
+        b.io_delay(d2);
+        let payload = b.func_addr(attacker_code);
+        b.line(892);
+        b.store(fa, payload); // attacker maps their page
+        b.jmp(out);
+        b.switch_to(out);
+        b.ret(None);
+    }
+    {
+        // Credential check: reads the racy uid, grants root when 0.
+        let mut b = mb.build_func(access_check);
+        b.loc("kernel/cred.c", 410);
+        let d = b.input(4);
+        b.io_delay(d);
+        let ca = b.global_addr(cred_uid);
+        b.line(415);
+        let uid = b.load(ca, Type::I64); // racy read
+        let is_root = b.cmp(Pred::Eq, uid, 0);
+        let grant = b.block();
+        let deny = b.block();
+        let out = b.block();
+        b.br(is_root, grant, deny);
+        b.switch_to(grant);
+        b.line(420);
+        b.set_privilege(0); // the privilege escalation site
+        b.exec(ROOT_SHELL);
+        b.jmp(out);
+        b.switch_to(deny);
+        b.output(21, 0);
+        b.jmp(out);
+        b.switch_to(out);
+        b.ret(None);
+    }
+    {
+        // exec/setuid transiently drops the uid to 0 and restores it.
+        let mut b = mb.build_func(exec_setuid);
+        b.loc("kernel/exec.c", 77);
+        let d = b.input(5);
+        b.io_delay(d);
+        let ca = b.global_addr(cred_uid);
+        b.line(80);
+        b.store(ca, 0);
+        let d2 = b.input(6);
+        b.io_delay(d2);
+        b.line(85);
+        b.store(ca, 1000);
+        b.ret(None);
+    }
+    {
+        let mut b = mb.build_func(main);
+        b.loc("init/main.c", 1);
+        let f = b.func_addr(fsync_impl);
+        let fa = b.global_addr(f_op);
+        b.store(fa, f);
+        let mut tids = Vec::new();
+        for &nf in &noise.threads {
+            tids.push(b.thread_create(nf, 0));
+        }
+        tids.push(b.thread_create(msync_thread, 0));
+        tids.push(b.thread_create(uselib_thread, 0));
+        tids.push(b.thread_create(access_check, 0));
+        tids.push(b.thread_create(exec_setuid, 0));
+        for t in tids {
+            b.thread_join(t);
+        }
+        b.ret(None);
+    }
+
+    let module = mb.finish();
+    assert_verified(&module);
+
+    CorpusProgram {
+        name: "Linux",
+        module,
+        entry: main,
+        workloads: vec![
+            ProgramInput::new(vec![0, 0, 0, 0, 0, 0, 0]).with_label("syscall fuzz batch"),
+            ProgramInput::new(vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1])
+                .with_label("syscall fuzz batch (extended coverage)"),
+        ],
+        exploit_inputs: vec![
+            ProgramInput::new(vec![300, 150, 0, 0, 0, 0, 0]).with_label("uselib()+msync() timing"),
+            ProgramInput::new(vec![400, 150, 1, 50, 0, 0, 0])
+                .with_label("uselib()+mmap() root shell"),
+            ProgramInput::new(vec![0, 0, 0, 0, 200, 100, 300])
+                .with_label("execve()+setuid() timing"),
+        ],
+        attacks: vec![
+            AttackSpec {
+                id: "linux-uselib-fop",
+                version: "Linux-2.6.10",
+                vuln_type: "Null Func Ptr Deref",
+                subtle_inputs: "Syscall parameters",
+                advisory: Some("OSVDB-12791"),
+                known: true,
+                race_global: "f_op",
+                expected_class: VulnClass::NullDeref,
+                oracle: uselib_oracle,
+            },
+            AttackSpec {
+                id: "linux-cred-escalation",
+                version: "Linux-2.6.29",
+                vuln_type: "Privilege Escalation",
+                subtle_inputs: "Syscall parameters",
+                advisory: None,
+                known: true,
+                race_global: "cred_uid",
+                expected_class: VulnClass::PrivilegeOp,
+                oracle: cred_oracle,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_race::executions_until;
+    use owl_vm::{RandomScheduler, RunConfig, Vm};
+
+    #[test]
+    fn workloads_terminate() {
+        let p = build();
+        for w in &p.workloads {
+            let mut sched = RandomScheduler::new(11);
+            let o = Vm::run_quiet(&p.module, p.entry, w.clone(), &mut sched);
+            assert_eq!(o.status, owl_vm::ExitStatus::Finished);
+        }
+    }
+
+    #[test]
+    fn uselib_null_deref_triggers() {
+        let p = build();
+        let tries = executions_until(
+            &p.module,
+            p.entry,
+            &p.exploit_inputs[0],
+            &RunConfig::default(),
+            1,
+            20,
+            uselib_oracle,
+        );
+        assert!(tries.is_some());
+    }
+
+    #[test]
+    fn uselib_root_shell_variant_triggers() {
+        let p = build();
+        let tries = executions_until(
+            &p.module,
+            p.entry,
+            &p.exploit_inputs[1],
+            &RunConfig::default(),
+            1,
+            20,
+            |o| o.executed(ROOT_SHELL) && o.privilege == 0,
+        );
+        assert!(
+            tries.is_some(),
+            "the remapped page should take root within 20 runs"
+        );
+    }
+
+    #[test]
+    fn cred_escalation_triggers() {
+        let p = build();
+        let tries = executions_until(
+            &p.module,
+            p.entry,
+            &p.exploit_inputs[2],
+            &RunConfig::default(),
+            1,
+            20,
+            cred_oracle,
+        );
+        assert!(tries.is_some());
+    }
+
+    #[test]
+    fn both_races_reported() {
+        let p = build();
+        let r = owl_race::explore(
+            &p.module,
+            p.entry,
+            &p.workloads,
+            &owl_race::ExplorerConfig {
+                runs_per_input: 15,
+                ..Default::default()
+            },
+        );
+        assert!(r.reports_on("f_op").next().is_some(), "f_op race");
+        assert!(r.reports_on("cred_uid").next().is_some(), "cred race");
+    }
+}

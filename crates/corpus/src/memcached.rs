@@ -1,0 +1,73 @@
+//! Memcached: the noise baseline of Table 3.
+//!
+//! The paper ran memcached under the same pipeline and found 5376 race
+//! reports, none of which led to an attack — a pure measurement of how
+//! well the reduction stages cope with benign traffic. The model is
+//! exactly that: racy statistics counters, input-gated racy paths, and
+//! locked state, with no attack logic at all.
+
+use crate::noise::{attach_noise, NoiseSpec};
+use crate::spec::CorpusProgram;
+use owl_ir::{assert_verified, ModuleBuilder};
+use owl_vm::ProgramInput;
+
+/// Builds the memcached corpus program.
+pub fn build() -> CorpusProgram {
+    let mut mb = ModuleBuilder::new("memcached");
+    let noise = attach_noise(
+        &mut mb,
+        "memcached/noise.c",
+        &NoiseSpec {
+            always_counters: 1,
+            gated_counters: 40,
+            adhoc_syncs: 0,
+            locked_counters: 3,
+            gate_input: 15,
+        },
+    );
+    let main = mb.declare_func("main", 0);
+    {
+        let mut b = mb.build_func(main);
+        b.loc("memcached.c", 1);
+        let mut tids = Vec::new();
+        for &nf in &noise.threads {
+            tids.push(b.thread_create(nf, 0));
+        }
+        for t in tids {
+            b.thread_join(t);
+        }
+        b.output(70, 0);
+        b.ret(None);
+    }
+    let module = mb.finish();
+    assert_verified(&module);
+
+    CorpusProgram {
+        name: "Memcached",
+        module,
+        entry: main,
+        workloads: vec![
+            ProgramInput::new(vec![0]).with_label("memtier benchmark"),
+            ProgramInput::new(vec![0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1])
+                .with_label("memtier benchmark (extended coverage)"),
+        ],
+        exploit_inputs: vec![],
+        attacks: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_vm::{RandomScheduler, Vm};
+
+    #[test]
+    fn runs_clean() {
+        let p = build();
+        let mut sched = RandomScheduler::new(1);
+        let o = Vm::run_quiet(&p.module, p.entry, p.primary_workload().clone(), &mut sched);
+        assert_eq!(o.status, owl_vm::ExitStatus::Finished);
+        assert!(o.violations.is_empty());
+        assert!(p.attacks.is_empty());
+    }
+}

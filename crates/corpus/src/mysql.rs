@@ -1,0 +1,301 @@
+//! MySQL models: the FLUSH PRIVILEGES privilege-table race
+//! (bug 24988, MySQL-5.0.27, "Access Permission") and the SET PASSWORD
+//! double free (MySQL-5.1.35) — Table 4's MySQL rows.
+//!
+//! * **FLUSH PRIVILEGES** — the server rebuilds its in-memory ACL table
+//!   while sessions concurrently consult it: the rebuilding thread
+//!   frees the old table and clears the pointer before the new one is
+//!   installed, and a session observing the cleared pointer skips the
+//!   permission check — the paper triggered a privilege escalation
+//!   "with only 18 repeated executions" of `flush privileges;`.
+//! * **SET PASSWORD** — two sessions changing a password race on the
+//!   shared credential buffer and both free it.
+//!
+//! Input words:
+//! * `0` — FLUSH PRIVILEGES issued
+//! * `1` — flush delay before tearing the table down
+//! * `2` — rebuild delay before the new table is installed
+//! * `3` — session uid (5 = unprivileged attacker)
+//! * `4` — session delay before the ACL read
+//! * `5` — SET PASSWORD issued (both sessions)
+//! * `6`/`7` — the two sessions' delays between load and free
+//! * `15` — noise gate
+
+use crate::noise::{attach_noise, NoiseSpec};
+use crate::spec::{AttackSpec, CorpusProgram};
+use owl_ir::{assert_verified, ModuleBuilder, Pred, Type, VulnClass};
+use owl_vm::{ExecOutcome, ProgramInput, Violation};
+
+const ACL_WORDS: i64 = 8;
+const SUPER: i64 = 2;
+
+fn acl_oracle(o: &ExecOutcome) -> bool {
+    // An unprivileged session ended up with root privileges.
+    o.privilege == 0
+}
+
+fn dfree_oracle(o: &ExecOutcome) -> bool {
+    o.any_violation(|v| matches!(v, Violation::DoubleFree { .. }))
+}
+
+/// Builds the MySQL corpus program.
+pub fn build() -> CorpusProgram {
+    let mut mb = ModuleBuilder::new("mysql");
+    let acl_ptr = mb.global("acl_table", 1, Type::Ptr);
+    let pwd_ptr = mb.global("pwd_buf", 1, Type::Ptr);
+
+    let noise = attach_noise(
+        &mut mb,
+        "mysql/noise.c",
+        &NoiseSpec {
+            always_counters: 3,
+            gated_counters: 45,
+            adhoc_syncs: 6,
+            locked_counters: 2,
+            gate_input: 15,
+        },
+    );
+
+    let flush_thread = mb.declare_func("acl_reload", 1);
+    let session_thread = mb.declare_func("check_grant", 1);
+    let setpw_a = mb.declare_func("set_password_a", 1);
+    let setpw_b = mb.declare_func("set_password_b", 1);
+    let main = mb.declare_func("main", 0);
+
+    {
+        // FLUSH PRIVILEGES: free old table, window, install new one.
+        let mut b = mb.build_func(flush_thread);
+        b.loc("sql_acl.cc", 1400);
+        let en = b.input(0);
+        let go = b.block();
+        let out = b.block();
+        b.br(en, go, out);
+        b.switch_to(go);
+        let d = b.input(1);
+        b.io_delay(d);
+        let aa = b.global_addr(acl_ptr);
+        b.line(1410);
+        let old = b.load(aa, Type::Ptr);
+        b.line(1411);
+        b.store(aa, 0); // table gone
+        b.free(old);
+        let d2 = b.input(2);
+        b.io_delay(d2); // rebuild takes a while
+        let fresh = b.malloc(ACL_WORDS);
+        // Re-grant only uid 1.
+        let slot = b.gep(fresh, 1);
+        b.store(slot, SUPER);
+        b.line(1420);
+        b.store(aa, fresh);
+        b.jmp(out);
+        b.switch_to(out);
+        b.ret(None);
+    }
+    {
+        // A session consulting the ACL table. Observing a torn-down
+        // table skips the check entirely (the historical fast path:
+        // "no table loaded yet → trust the caller").
+        let mut b = mb.build_func(session_thread);
+        b.loc("sql_parse.cc", 2280);
+        let d = b.input(4);
+        b.io_delay(d);
+        let uid = b.input(3);
+        let aa = b.global_addr(acl_ptr);
+        b.line(2285);
+        let t = b.load(aa, Type::Ptr); // racy read
+        let missing = b.cmp(Pred::Eq, t, 0);
+        let grant = b.block();
+        let check = b.block();
+        let deny = b.block();
+        let out = b.block();
+        b.br(missing, grant, check);
+        b.switch_to(check);
+        b.line(2290);
+        let slot = b.gep(t, uid);
+        let lvl = b.load(slot, Type::I64); // may be a UAF read
+        let privileged = b.cmp(Pred::Ge, lvl, SUPER);
+        b.br(privileged, grant, deny);
+        b.switch_to(grant);
+        b.line(2295);
+        b.set_privilege(0); // the access-permission site
+        b.output(30, uid);
+        b.jmp(out);
+        b.switch_to(deny);
+        b.output(31, uid);
+        b.jmp(out);
+        b.switch_to(out);
+        b.ret(None);
+    }
+    for (f, delay_idx, line) in [(setpw_a, 6i64, 3100u32), (setpw_b, 7, 3200)] {
+        // SET PASSWORD: load the shared buffer, stall, free it.
+        let mut b = mb.build_func(f);
+        b.loc("set_var.cc", line);
+        let en = b.input(5);
+        let go = b.block();
+        let out = b.block();
+        b.br(en, go, out);
+        b.switch_to(go);
+        let pa = b.global_addr(pwd_ptr);
+        b.line(line + 5);
+        let p = b.load(pa, Type::Ptr); // racy read
+        let live = b.cmp(Pred::Ne, p, 0);
+        let fr = b.block();
+        b.br(live, fr, out);
+        b.switch_to(fr);
+        let d = b.input(delay_idx);
+        b.io_delay(d);
+        b.line(line + 9);
+        b.free(p); // the double-free site
+        b.line(line + 10);
+        b.store(pa, 0);
+        b.jmp(out);
+        b.switch_to(out);
+        b.ret(None);
+    }
+    {
+        let mut b = mb.build_func(main);
+        b.loc("mysqld.cc", 1);
+        // Install the initial ACL table (uid 1 is super) and password
+        // buffer.
+        let table = b.malloc(ACL_WORDS);
+        let slot = b.gep(table, 1);
+        b.store(slot, SUPER);
+        let aa = b.global_addr(acl_ptr);
+        b.store(aa, table);
+        let pwd = b.malloc(2);
+        let pa = b.global_addr(pwd_ptr);
+        b.store(pa, pwd);
+        let mut tids = Vec::new();
+        for &nf in &noise.threads {
+            tids.push(b.thread_create(nf, 0));
+        }
+        tids.push(b.thread_create(flush_thread, 0));
+        tids.push(b.thread_create(session_thread, 0));
+        tids.push(b.thread_create(setpw_a, 0));
+        tids.push(b.thread_create(setpw_b, 0));
+        for t in tids {
+            b.thread_join(t);
+        }
+        b.ret(None);
+    }
+
+    let module = mb.finish();
+    assert_verified(&module);
+
+    CorpusProgram {
+        name: "MySQL",
+        module,
+        entry: main,
+        workloads: vec![
+            ProgramInput::new(vec![1, 0, 0, 5, 0, 1, 0, 0]).with_label("sysbench oltp"),
+            ProgramInput::new(vec![1, 0, 0, 5, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1])
+                .with_label("sysbench oltp (extended coverage)"),
+        ],
+        exploit_inputs: vec![
+            ProgramInput::new(vec![1, 100, 400, 5, 220, 0, 0, 0]).with_label("FLUSH PRIVILEGES"),
+            ProgramInput::new(vec![0, 0, 0, 5, 0, 1, 150, 150]).with_label("SET PASSWORD"),
+        ],
+        attacks: vec![
+            AttackSpec {
+                id: "mysql-flush-privileges",
+                version: "MySQL-5.0.27",
+                vuln_type: "Access Permission",
+                subtle_inputs: "FLUSH PRIVILEGES",
+                advisory: Some("MySQL bug 24988"),
+                known: true,
+                race_global: "acl_table",
+                expected_class: VulnClass::PrivilegeOp,
+                oracle: acl_oracle,
+            },
+            AttackSpec {
+                id: "mysql-set-password",
+                version: "MySQL-5.1.35",
+                vuln_type: "Double Free",
+                subtle_inputs: "SET PASSWORD",
+                advisory: None,
+                known: true,
+                race_global: "pwd_buf",
+                expected_class: VulnClass::MemoryOp,
+                oracle: dfree_oracle,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_race::executions_until;
+    use owl_vm::{RandomScheduler, RunConfig, Vm};
+
+    #[test]
+    fn workloads_terminate() {
+        let p = build();
+        for w in &p.workloads {
+            let mut sched = RandomScheduler::new(5);
+            let o = Vm::run_quiet(&p.module, p.entry, w.clone(), &mut sched);
+            assert_eq!(o.status, owl_vm::ExitStatus::Finished);
+        }
+    }
+
+    #[test]
+    fn flush_privileges_escalates_within_twenty_runs() {
+        let p = build();
+        let tries = executions_until(
+            &p.module,
+            p.entry,
+            &p.exploit_inputs[0],
+            &RunConfig::default(),
+            1,
+            20,
+            acl_oracle,
+        );
+        assert!(
+            tries.is_some(),
+            "the paper needed 18 executions; we allow 20"
+        );
+    }
+
+    #[test]
+    fn set_password_double_frees() {
+        let p = build();
+        let tries = executions_until(
+            &p.module,
+            p.entry,
+            &p.exploit_inputs[1],
+            &RunConfig::default(),
+            1,
+            20,
+            dfree_oracle,
+        );
+        assert!(tries.is_some());
+    }
+
+    #[test]
+    fn unprivileged_session_denied_without_flush() {
+        let p = build();
+        let input = ProgramInput::new(vec![0, 0, 0, 5, 0, 0, 0, 0]);
+        for seed in 0..5 {
+            let mut sched = RandomScheduler::new(seed);
+            let o = Vm::run_quiet(&p.module, p.entry, input.clone(), &mut sched);
+            assert!(!acl_oracle(&o), "seed {seed}");
+            assert!(o.outputs.contains(&(31, 5)), "deny path taken: seed {seed}");
+        }
+    }
+
+    #[test]
+    fn both_attack_races_reported() {
+        let p = build();
+        let r = owl_race::explore(
+            &p.module,
+            p.entry,
+            &p.workloads,
+            &owl_race::ExplorerConfig {
+                runs_per_input: 15,
+                ..Default::default()
+            },
+        );
+        assert!(r.reports_on("acl_table").next().is_some());
+        assert!(r.reports_on("pwd_buf").next().is_some());
+    }
+}

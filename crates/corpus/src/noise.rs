@@ -1,0 +1,306 @@
+//! Benign-race noise.
+//!
+//! The paper's central measurement is that real programs flood race
+//! detectors with *benign* reports that bury the vulnerable ones
+//! (94.3% of reports were pruned, Table 3). The corpus reproduces the
+//! three kinds of traffic behind that flood:
+//!
+//! * **always-on racy counters** — statistics counters updated without
+//!   synchronization (Apache's `busy` counters before the attack was
+//!   understood, MySQL status variables). Real races, verifiable, and
+//!   benign.
+//! * **input-gated racy counters** — racy code only exercised by some
+//!   test inputs. The detector (which sweeps the whole workload list)
+//!   reports them; the dynamic race verifier, which re-executes the
+//!   *primary* workload (§5.2's one-input limitation), cannot confirm
+//!   them — these become the race-verifier eliminations of Table 3.
+//! * **adhoc synchronizations** — busy-wait flag/data pairs that the
+//!   static detector (§5.1) recognizes and annotates away.
+//!
+//! Plus properly locked counters, which must never be reported at all.
+
+use owl_ir::{FuncId, ModuleBuilder, Pred, Type};
+
+/// How much of each noise kind to attach.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NoiseSpec {
+    /// Racy counters touched under every workload.
+    pub always_counters: usize,
+    /// Racy counters touched only when `input[gate_input] == 1`.
+    pub gated_counters: usize,
+    /// Busy-wait adhoc synchronization instances.
+    pub adhoc_syncs: usize,
+    /// Properly locked counters (sanity: zero reports).
+    pub locked_counters: usize,
+    /// Input word that enables the gated noise.
+    pub gate_input: i64,
+}
+
+impl Default for NoiseSpec {
+    fn default() -> Self {
+        NoiseSpec {
+            always_counters: 2,
+            gated_counters: 4,
+            adhoc_syncs: 1,
+            locked_counters: 1,
+            gate_input: 15,
+        }
+    }
+}
+
+/// Thread entry points created by [`attach_noise`]; the program's main
+/// must spawn (and may join) each with argument 0.
+#[derive(Clone, Debug)]
+pub struct NoiseHandles {
+    /// Noise thread entry functions.
+    pub threads: Vec<FuncId>,
+}
+
+/// Adds the noise subsystem to a module under construction. `file` is
+/// the pseudo source file used for locations (e.g. `"apache/noise.c"`).
+pub fn attach_noise(mb: &mut ModuleBuilder, file: &str, spec: &NoiseSpec) -> NoiseHandles {
+    let mut threads = Vec::new();
+
+    // Globals.
+    let always: Vec<_> = (0..spec.always_counters)
+        .map(|i| mb.global(format!("noise_stat_{i}"), 1, Type::I64))
+        .collect();
+    let gated: Vec<_> = (0..spec.gated_counters)
+        .map(|i| mb.global(format!("noise_gated_{i}"), 1, Type::I64))
+        .collect();
+    let locked: Vec<_> = (0..spec.locked_counters)
+        .map(|i| mb.global(format!("noise_locked_{i}"), 1, Type::I64))
+        .collect();
+    let noise_lock = mb.global("noise_lock", 1, Type::I64);
+    let adhoc_flags: Vec<_> = (0..spec.adhoc_syncs)
+        .map(|i| mb.global(format!("adhoc_flag_{i}"), 1, Type::I64))
+        .collect();
+    let adhoc_data: Vec<_> = (0..spec.adhoc_syncs)
+        .map(|i| mb.global(format!("adhoc_data_{i}"), 1, Type::I64))
+        .collect();
+
+    // Two racy updater threads touching the same counters at distinct
+    // sites.
+    for variant in 0..2 {
+        let f = mb.declare_func(format!("noise_updater_{variant}"), 1);
+        threads.push(f);
+        let mut b = mb.build_func(f);
+        let mut line = 100 * (variant as u32 + 1);
+        b.loc(file, line);
+        for &g in &always {
+            line += 3;
+            b.line(line);
+            let a = b.global_addr(g);
+            let v = b.load(a, Type::I64);
+            let v2 = b.add(v, 1);
+            b.store(a, v2);
+        }
+        // Gated section.
+        let gate = b.input(spec.gate_input);
+        let on = b.cmp(Pred::Eq, gate, 1);
+        let gated_bb = b.block();
+        let done_bb = b.block();
+        b.br(on, gated_bb, done_bb);
+        b.switch_to(gated_bb);
+        for &g in &gated {
+            line += 3;
+            b.line(line);
+            let a = b.global_addr(g);
+            let v = b.load(a, Type::I64);
+            let v2 = b.add(v, 1);
+            b.store(a, v2);
+        }
+        b.jmp(done_bb);
+        b.switch_to(done_bb);
+        // Locked section.
+        let la = b.global_addr(noise_lock);
+        b.lock(la);
+        for &g in &locked {
+            line += 3;
+            b.line(line);
+            let a = b.global_addr(g);
+            let v = b.load(a, Type::I64);
+            let v2 = b.add(v, 1);
+            b.store(a, v2);
+        }
+        b.unlock(la);
+        b.ret(None);
+    }
+
+    // Adhoc producer / consumer.
+    if spec.adhoc_syncs > 0 {
+        let producer = mb.declare_func("adhoc_producer", 1);
+        let consumer = mb.declare_func("adhoc_consumer", 1);
+        threads.push(producer);
+        threads.push(consumer);
+        {
+            let mut b = mb.build_func(producer);
+            b.loc(file, 300);
+            for (i, (&flag, &data)) in adhoc_flags.iter().zip(&adhoc_data).enumerate() {
+                b.line(300 + 2 * i as u32);
+                let da = b.global_addr(data);
+                b.store(da, 7 + i as i64);
+                let fa = b.global_addr(flag);
+                b.store(fa, 1); // the constant flag store (§5.1)
+                b.yield_now();
+            }
+            b.ret(None);
+        }
+        {
+            let mut b = mb.build_func(consumer);
+            b.loc(file, 400);
+            for (i, (&flag, &data)) in adhoc_flags.iter().zip(&adhoc_data).enumerate() {
+                b.line(400 + 2 * i as u32);
+                let fa = b.global_addr(flag);
+                let head = b.block();
+                let exit = b.block();
+                b.jmp(head);
+                b.switch_to(head);
+                let v = b.load(fa, Type::I64);
+                let set = b.cmp(Pred::Ne, v, 0);
+                b.br(set, exit, head);
+                b.switch_to(exit);
+                let da = b.global_addr(data);
+                b.load(da, Type::I64);
+            }
+            b.ret(None);
+        }
+    }
+
+    NoiseHandles { threads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_ir::{verify_module, Module};
+    use owl_vm::{ProgramInput, RandomScheduler, Vm};
+
+    fn noise_only_module(spec: &NoiseSpec) -> (Module, FuncId) {
+        let mut mb = ModuleBuilder::new("noise-only");
+        let handles = attach_noise(&mut mb, "noise.c", spec);
+        let main = mb.declare_func("main", 0);
+        {
+            let mut b = mb.build_func(main);
+            let tids: Vec<_> = handles
+                .threads
+                .iter()
+                .map(|&f| b.thread_create(f, 0))
+                .collect();
+            for t in tids {
+                b.thread_join(t);
+            }
+            b.ret(None);
+        }
+        (mb.finish(), main)
+    }
+
+    #[test]
+    fn noise_module_verifies_and_terminates() {
+        let (m, main) = noise_only_module(&NoiseSpec::default());
+        verify_module(&m).expect("noise module well-formed");
+        for seed in 0..3 {
+            let mut sched = RandomScheduler::new(seed);
+            let o = Vm::run_quiet(&m, main, ProgramInput::empty(), &mut sched);
+            assert_eq!(o.status, owl_vm::ExitStatus::Finished, "seed {seed}");
+            assert!(o.violations.is_empty());
+        }
+    }
+
+    #[test]
+    fn gate_input_controls_gated_races() {
+        let spec = NoiseSpec {
+            always_counters: 1,
+            gated_counters: 3,
+            adhoc_syncs: 0,
+            locked_counters: 1,
+            gate_input: 0,
+        };
+        let (m, main) = noise_only_module(&spec);
+        let open = owl_race::explore(
+            &m,
+            main,
+            &[ProgramInput::new(vec![1])],
+            &owl_race::ExplorerConfig {
+                runs_per_input: 30,
+                ..Default::default()
+            },
+        );
+        let closed = owl_race::explore(
+            &m,
+            main,
+            &[ProgramInput::new(vec![0])],
+            &owl_race::ExplorerConfig {
+                runs_per_input: 30,
+                ..Default::default()
+            },
+        );
+        let gated_open = open
+            .reports
+            .iter()
+            .filter(|r| {
+                r.global_name
+                    .as_deref()
+                    .is_some_and(|n| n.starts_with("noise_gated"))
+            })
+            .count();
+        let gated_closed = closed
+            .reports
+            .iter()
+            .filter(|r| {
+                r.global_name
+                    .as_deref()
+                    .is_some_and(|n| n.starts_with("noise_gated"))
+            })
+            .count();
+        assert!(gated_open > 0, "gate=1 must expose gated races");
+        assert_eq!(gated_closed, 0, "gate=0 must hide gated races");
+    }
+
+    #[test]
+    fn locked_counters_never_reported() {
+        let (m, main) = noise_only_module(&NoiseSpec::default());
+        let r = owl_race::explore(
+            &m,
+            main,
+            &[ProgramInput::new(vec![0]), ProgramInput::new(vec![1])],
+            &owl_race::ExplorerConfig {
+                runs_per_input: 20,
+                ..Default::default()
+            },
+        );
+        assert!(
+            !r.reports.iter().any(|rep| {
+                rep.global_name
+                    .as_deref()
+                    .is_some_and(|n| n.starts_with("noise_locked"))
+            }),
+            "{:?}",
+            r.reports
+        );
+    }
+
+    #[test]
+    fn adhoc_instances_detected_by_static_analysis() {
+        let spec = NoiseSpec {
+            always_counters: 0,
+            gated_counters: 0,
+            adhoc_syncs: 3,
+            locked_counters: 0,
+            gate_input: 0,
+        };
+        let (m, main) = noise_only_module(&spec);
+        let r = owl_race::explore(
+            &m,
+            main,
+            &[],
+            &owl_race::ExplorerConfig {
+                runs_per_input: 30,
+                ..Default::default()
+            },
+        );
+        let det = owl_static::AdhocSyncDetector::new(&m);
+        let anns = det.detect(&r.reports);
+        assert_eq!(anns.len(), 3, "one annotation per instance: {anns:?}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Corpus program descriptors.
+//!
+//! Each corpus entry models one of the paper's studied programs: the
+//! attack logic reproduced from the paper's figures, surrounded by
+//! realistic benign-race noise, with the workloads ("common performance
+//! benchmarks", §3) and the exploit inputs (Table 4's subtle inputs)
+//! the evaluation drives them with.
+
+use owl_ir::{FuncId, Module, VulnClass};
+use owl_vm::{ExecOutcome, ProgramInput};
+
+/// Decides whether an execution outcome shows the attack succeeded.
+pub type AttackOracle = fn(&ExecOutcome) -> bool;
+
+/// One concurrency attack hosted by a corpus program.
+#[derive(Clone)]
+pub struct AttackSpec {
+    /// Stable identifier, e.g. `libsafe-2.0-16`.
+    pub id: &'static str,
+    /// The program version the paper attributes the attack to
+    /// (Table 4's first column).
+    pub version: &'static str,
+    /// Vulnerability type as reported in Table 4 (e.g. "Buffer
+    /// Overflow").
+    pub vuln_type: &'static str,
+    /// The subtle inputs column of Table 4.
+    pub subtle_inputs: &'static str,
+    /// CVE / bug-tracker identifier, when one exists.
+    pub advisory: Option<&'static str>,
+    /// `true` for the known attacks of §8.3, `false` for the
+    /// previously unknown ones of §8.4.
+    pub known: bool,
+    /// Name of the racy global variable at the root of the attack.
+    pub race_global: &'static str,
+    /// Vulnerable-site class Algorithm 1 should reach.
+    pub expected_class: VulnClass,
+    /// Ground-truth oracle over an execution outcome.
+    pub oracle: AttackOracle,
+}
+
+impl std::fmt::Debug for AttackSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AttackSpec")
+            .field("id", &self.id)
+            .field("version", &self.version)
+            .field("vuln_type", &self.vuln_type)
+            .field("known", &self.known)
+            .field("race_global", &self.race_global)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One studied program: module, entry point, inputs, and its attacks.
+#[derive(Clone, Debug)]
+pub struct CorpusProgram {
+    /// Display name used in the paper's tables ("Apache", "MySQL", …).
+    pub name: &'static str,
+    /// The program model.
+    pub module: Module,
+    /// Entry function (`main`).
+    pub entry: FuncId,
+    /// Test workloads. `workloads[0]` is the *primary* workload: the
+    /// one the dynamic verifiers re-execute (reproducing the paper's
+    /// one-input verification limitation, §5.2). Later entries model
+    /// additional test traffic that exposes more (benign) races.
+    pub workloads: Vec<ProgramInput>,
+    /// Exploit inputs (Table 4's subtle inputs): candidate inputs the
+    /// vulnerability verifier sweeps.
+    pub exploit_inputs: Vec<ProgramInput>,
+    /// The attacks this program hosts.
+    pub attacks: Vec<AttackSpec>,
+}
+
+impl CorpusProgram {
+    /// Instruction count — the study's LoC proxy (Table 1).
+    pub fn loc(&self) -> usize {
+        self.module.total_insts()
+    }
+
+    /// The primary workload.
+    pub fn primary_workload(&self) -> &ProgramInput {
+        &self.workloads[0]
+    }
+
+    /// Attack spec by id.
+    pub fn attack(&self, id: &str) -> Option<&AttackSpec> {
+        self.attacks.iter().find(|a| a.id == id)
+    }
+}

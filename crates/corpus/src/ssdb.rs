@@ -1,0 +1,264 @@
+//! SSDB-1.9.2 (paper Figure 6): the binlog shutdown use-after-free,
+//! confirmed as CVE-2016-1000324 — one of the three previously unknown
+//! attacks OWL found (§8.4).
+//!
+//! During shutdown, SSDB "synchronizes" its binlog cleaner thread with
+//! a racy `db` pointer check: `while (!thread_quit) { if (!db) break;
+//! del_range(); }`. The destructor frees the db object and only then
+//! NULLs the pointer, so the cleaner can pass the check, lose the race,
+//! and call `db->Write(...)` — a function-pointer load — through freed
+//! memory. An attacker who re-occupies the freed allocation (heap
+//! spray) redirects that call.
+//!
+//! Note the cleaner's loop is *not* an adhoc synchronization by §5.1's
+//! refined criteria (the loop body does real work), which is why
+//! Table 3 shows zero adhoc annotations for SSDB even though the bug
+//! looks flag-shaped.
+//!
+//! Input words:
+//! * `0` — workload duration before shutdown
+//! * `1` — cleaner delay between the `db` check and the use
+//! * `2` — destructor delay between `free(db)` and `db = NULL`
+//! * `3` — heap-spray toggle (the exploit's extra input)
+//! * `4` — spray delay
+//! * `5` — spray payload
+//! * `15` — noise gate
+
+use crate::noise::{attach_noise, NoiseSpec};
+use crate::spec::{AttackSpec, CorpusProgram};
+use owl_ir::{assert_verified, ModuleBuilder, Operand, Pred, Type, VulnClass};
+use owl_vm::{ExecOutcome, ProgramInput, Violation};
+
+/// Default spray payload.
+pub const PAYLOAD: i64 = 666;
+
+fn oracle(o: &ExecOutcome) -> bool {
+    o.any_violation(|v| {
+        matches!(
+            v,
+            Violation::UseAfterFree { .. } | Violation::CorruptFuncPtr { .. }
+        )
+    })
+}
+
+/// Builds the SSDB corpus program.
+pub fn build() -> CorpusProgram {
+    let mut mb = ModuleBuilder::new("ssdb");
+    let thread_quit = mb.global("thread_quit", 1, Type::I64);
+    let db_ptr = mb.global("db", 1, Type::Ptr);
+
+    let noise = attach_noise(
+        &mut mb,
+        "ssdb/noise.c",
+        &NoiseSpec {
+            always_counters: 1,
+            gated_counters: 4,
+            adhoc_syncs: 0,
+            locked_counters: 1,
+            gate_input: 15,
+        },
+    );
+
+    let db_write_impl = mb.declare_func("db_write", 1);
+    let log_clean = mb.declare_func("log_clean_thread_func", 1);
+    let sprayer = mb.declare_func("heap_sprayer", 1);
+    let main = mb.declare_func("main", 0);
+
+    {
+        let mut b = mb.build_func(db_write_impl);
+        b.loc("binlog.cpp", 90);
+        b.output(50, 1);
+        b.ret(None);
+    }
+    {
+        // while (!thread_quit) { if (!db) break; ... db->Write(); }
+        let mut b = mb.build_func(log_clean);
+        b.loc("binlog.cpp", 355);
+        let head = b.block();
+        let body = b.block();
+        let work = b.block();
+        let out = b.block();
+        b.jmp(head);
+        b.switch_to(head);
+        b.line(358);
+        let qa = b.global_addr(thread_quit);
+        let q = b.load(qa, Type::I64);
+        let keep = b.cmp(Pred::Eq, q, 0);
+        b.br(keep, body, out);
+        b.switch_to(body);
+        b.line(359);
+        let da = b.global_addr(db_ptr);
+        let d = b.load(da, Type::Ptr); // the racy read (line 359)
+        let live = b.cmp(Pred::Ne, d, 0);
+        b.br(live, work, out);
+        b.switch_to(work);
+        b.line(371);
+        let delay = b.input(1);
+        b.io_delay(delay);
+        b.line(347);
+        let fslot = b.gep(d, 0);
+        let f = b.load(fslot, Type::FuncPtr); // may be a UAF read
+        b.call_indirect(f, vec![Operand::Const(0)]); // line 347: db->Write
+        b.yield_now();
+        b.jmp(head);
+        b.switch_to(out);
+        b.line(380);
+        b.ret(None);
+    }
+    {
+        // Attacker thread: capture the allocation, then overwrite it
+        // after the free (heap spray).
+        let mut b = mb.build_func(sprayer);
+        b.loc("attacker.c", 10);
+        let en = b.input(3);
+        let go = b.block();
+        let out = b.block();
+        b.br(en, go, out);
+        b.switch_to(go);
+        let da = b.global_addr(db_ptr);
+        let p = b.load(da, Type::Ptr);
+        let d = b.input(4);
+        b.io_delay(d);
+        let payload = b.input(5);
+        let slot = b.gep(p, 0);
+        b.store(slot, payload); // lands in freed memory under the exploit
+        b.jmp(out);
+        b.switch_to(out);
+        b.ret(None);
+    }
+    {
+        let mut b = mb.build_func(main);
+        b.loc("ssdb.cpp", 1);
+        // BinlogQueue construction.
+        let p = b.malloc(2);
+        let f = b.func_addr(db_write_impl);
+        let slot = b.gep(p, 0);
+        b.store(slot, f);
+        let da = b.global_addr(db_ptr);
+        b.store(da, p);
+        // Spawn.
+        let mut tids = Vec::new();
+        for &nf in &noise.threads {
+            tids.push(b.thread_create(nf, 0));
+        }
+        let cleaner = b.thread_create(log_clean, 0);
+        let spray = b.thread_create(sprayer, 0);
+        // Serve traffic for a while.
+        let work = b.input(0);
+        b.io_delay(work);
+        // ~BinlogQueue(): shutdown.
+        b.loc("binlog.cpp", 190);
+        let qa = b.global_addr(thread_quit);
+        b.store(qa, 1);
+        b.line(199);
+        b.free(p);
+        let gap = b.input(2);
+        b.io_delay(gap);
+        b.line(200);
+        b.store(da, 0); // db = NULL (line 200)
+        b.thread_join(cleaner);
+        b.thread_join(spray);
+        for t in tids {
+            b.thread_join(t);
+        }
+        b.ret(None);
+    }
+
+    let module = mb.finish();
+    assert_verified(&module);
+
+    CorpusProgram {
+        name: "SSDB",
+        module,
+        entry: main,
+        workloads: vec![
+            ProgramInput::new(vec![60, 5, 0, 0, 0, 0]).with_label("kv benchmark + shutdown"),
+            ProgramInput::new(vec![60, 5, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1])
+                .with_label("kv benchmark (extended coverage)"),
+        ],
+        exploit_inputs: vec![ProgramInput::new(vec![
+            40,      // short workload, then shutdown
+            150,     // cleaner stalls between check and use
+            400,     // wide free→NULL gap
+            1,       // spray enabled
+            120,     // spray lands inside the gap
+            PAYLOAD, // payload
+        ])
+        .with_label("shutdown during del_range")],
+        attacks: vec![AttackSpec {
+            id: "ssdb-binlog-uaf",
+            version: "SSDB-1.9.2",
+            vuln_type: "Use After Free",
+            subtle_inputs: "Shutdown during del_range",
+            advisory: Some("CVE-2016-1000324"),
+            known: false,
+            race_global: "db",
+            expected_class: VulnClass::NullDeref,
+            oracle,
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_race::executions_until;
+    use owl_vm::{RandomScheduler, RunConfig, Vm};
+
+    #[test]
+    fn terminates_on_all_workloads() {
+        let p = build();
+        for (wi, w) in p.workloads.iter().enumerate() {
+            for seed in 0..5 {
+                let mut sched = RandomScheduler::new(seed);
+                let o = Vm::run_quiet(&p.module, p.entry, w.clone(), &mut sched);
+                assert_eq!(
+                    o.status,
+                    owl_vm::ExitStatus::Finished,
+                    "workload {wi} seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exploit_triggers_uaf_within_twenty_runs() {
+        let p = build();
+        let tries = executions_until(
+            &p.module,
+            p.entry,
+            &p.exploit_inputs[0],
+            &RunConfig::default(),
+            1,
+            20,
+            oracle,
+        );
+        assert!(tries.is_some(), "CVE-2016-1000324 should reproduce");
+    }
+
+    #[test]
+    fn db_race_reported_and_not_misclassified_as_adhoc() {
+        let p = build();
+        let r = owl_race::explore(
+            &p.module,
+            p.entry,
+            &p.workloads,
+            &owl_race::ExplorerConfig {
+                runs_per_input: 20,
+                ..Default::default()
+            },
+        );
+        let db_report = r
+            .reports_on("db")
+            .next()
+            .unwrap_or_else(|| panic!("db race must be reported: {:?}", r.reports));
+        let det = owl_static::AdhocSyncDetector::new(&p.module);
+        assert!(
+            matches!(
+                det.classify(db_report),
+                owl_static::AdhocVerdict::NotAdhoc(_)
+            ),
+            "the vulnerable flag-shaped race must survive adhoc filtering"
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! Call-graph construction.
+//!
+//! Direct calls are resolved statically. Indirect calls are resolved
+//! conservatively to every address-taken function of matching arity —
+//! the paper's OWL instead resolves them precisely from runtime call
+//! stacks (§6.1), which our analyzers also do when a dynamic call stack
+//! is available; the static fallback is used otherwise.
+
+use crate::ids::{FuncId, InstId, InstRef};
+use crate::inst::{Callee, Inst};
+use crate::module::Module;
+use std::collections::BTreeSet;
+
+/// Module-wide call graph.
+#[derive(Clone, Debug)]
+pub struct CallGraph {
+    /// Direct callees per function.
+    callees: Vec<BTreeSet<FuncId>>,
+    /// Direct callers per function.
+    callers: Vec<BTreeSet<FuncId>>,
+    /// Functions whose address is taken anywhere in the module.
+    address_taken: BTreeSet<FuncId>,
+    /// All call sites: (site, direct callee if any).
+    call_sites: Vec<(InstRef, Option<FuncId>)>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `m`.
+    pub fn new(m: &Module) -> Self {
+        let n = m.funcs.len();
+        let mut callees = vec![BTreeSet::new(); n];
+        let mut callers = vec![BTreeSet::new(); n];
+        let mut address_taken = BTreeSet::new();
+        let mut call_sites = Vec::new();
+        for (fi, f) in m.funcs.iter().enumerate() {
+            let fid = FuncId::from_index(fi);
+            for (i, inst) in f.insts.iter().enumerate() {
+                match inst {
+                    Inst::Call { callee, .. } => {
+                        let site = InstRef::new(fid, InstId::from_index(i));
+                        match callee {
+                            Callee::Direct(c) => {
+                                callees[fi].insert(*c);
+                                callers[c.index()].insert(fid);
+                                call_sites.push((site, Some(*c)));
+                            }
+                            Callee::Indirect(_) => call_sites.push((site, None)),
+                        }
+                    }
+                    Inst::FuncAddr(f) => {
+                        address_taken.insert(*f);
+                    }
+                    Inst::ThreadCreate { func, .. } => {
+                        callees[fi].insert(*func);
+                        callers[func.index()].insert(fid);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        CallGraph {
+            callees,
+            callers,
+            address_taken,
+            call_sites,
+        }
+    }
+
+    /// Direct callees of `f` (including thread entry points it spawns).
+    pub fn callees(&self, f: FuncId) -> &BTreeSet<FuncId> {
+        &self.callees[f.index()]
+    }
+
+    /// Direct callers of `f`.
+    pub fn callers(&self, f: FuncId) -> &BTreeSet<FuncId> {
+        &self.callers[f.index()]
+    }
+
+    /// Functions whose address is taken.
+    pub fn address_taken(&self) -> &BTreeSet<FuncId> {
+        &self.address_taken
+    }
+
+    /// All call sites in the module.
+    pub fn call_sites(&self) -> &[(InstRef, Option<FuncId>)] {
+        &self.call_sites
+    }
+
+    /// Possible targets of a call: exact for direct calls; all
+    /// address-taken functions with matching arity for indirect calls.
+    pub fn resolve(&self, m: &Module, callee: &Callee, num_args: usize) -> Vec<FuncId> {
+        match callee {
+            Callee::Direct(f) => vec![*f],
+            Callee::Indirect(_) => self
+                .address_taken
+                .iter()
+                .copied()
+                .filter(|f| m.func(*f).num_params as usize == num_args)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::Operand;
+
+    #[test]
+    fn direct_and_indirect_edges() {
+        let mut mb = ModuleBuilder::new("t");
+        let callee = mb.declare_func("callee", 1);
+        let other = mb.declare_func("other", 1);
+        let main = mb.declare_func("main", 0);
+        {
+            let mut b = mb.build_func(callee);
+            b.ret(Some(Operand::Param(0)));
+        }
+        {
+            let mut b = mb.build_func(other);
+            b.ret(Some(Operand::Param(0)));
+        }
+        {
+            let mut b = mb.build_func(main);
+            let fp = b.func_addr(other);
+            b.call(callee, vec![Operand::Const(1)]);
+            b.call_indirect(fp, vec![Operand::Const(2)]);
+            b.ret(None);
+        }
+        let m = mb.finish();
+        let cg = CallGraph::new(&m);
+        assert!(cg.callees(main).contains(&callee));
+        assert!(cg.callers(callee).contains(&main));
+        assert!(cg.address_taken().contains(&other));
+        assert_eq!(cg.call_sites().len(), 2);
+        // Indirect resolution: only `other` (arity 1) is address-taken.
+        let indirect = cg.resolve(&m, &Callee::Indirect(Operand::Const(0)), 1);
+        assert_eq!(indirect, vec![other]);
+        let direct = cg.resolve(&m, &Callee::Direct(callee), 1);
+        assert_eq!(direct, vec![callee]);
+    }
+
+    #[test]
+    fn thread_entries_are_edges() {
+        let mut mb = ModuleBuilder::new("t");
+        let worker = mb.declare_func("worker", 1);
+        let main = mb.declare_func("main", 0);
+        {
+            let mut b = mb.build_func(worker);
+            b.ret(None);
+        }
+        {
+            let mut b = mb.build_func(main);
+            let t = b.thread_create(worker, 0);
+            b.thread_join(t);
+            b.ret(None);
+        }
+        let m = mb.finish();
+        let cg = CallGraph::new(&m);
+        assert!(cg.callees(main).contains(&worker));
+        assert!(cg.callers(worker).contains(&main));
+    }
+}

@@ -1,0 +1,125 @@
+//! Control-flow graph construction and orderings.
+
+use crate::ids::BlockId;
+use crate::module::Function;
+
+/// Successor/predecessor edges of a function's basic blocks.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `f` from its block terminators.
+    pub fn new(f: &Function) -> Self {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (b, block) in f.blocks.iter().enumerate() {
+            if block.insts.is_empty() {
+                continue;
+            }
+            for s in f.inst(block.terminator()).successors() {
+                succs[b].push(s);
+                preds[s.index()].push(BlockId::from_index(b));
+            }
+        }
+        Cfg { succs, preds }
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Whether the function has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Blocks in reverse postorder from the entry. Unreachable blocks are
+    /// excluded.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.len()];
+        let mut post = Vec::with_capacity(self.len());
+        // Iterative DFS with an explicit stack of (block, next-child).
+        let mut stack: Vec<(BlockId, usize)> = Vec::new();
+        if !self.is_empty() {
+            visited[0] = true;
+            stack.push((BlockId(0), 0));
+        }
+        while let Some(&mut (b, ref mut child)) = stack.last_mut() {
+            let succs = self.succs(b);
+            if *child < succs.len() {
+                let s = succs[*child];
+                *child += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::Operand;
+
+    /// Builds a diamond: bb0 -> {bb1, bb2} -> bb3.
+    fn diamond() -> crate::module::Module {
+        let mut mb = ModuleBuilder::new("t");
+        let f = mb.declare_func("f", 1);
+        {
+            let mut b = mb.build_func(f);
+            let b1 = b.block();
+            let b2 = b.block();
+            let b3 = b.block();
+            b.br(Operand::Param(0), b1, b2);
+            b.switch_to(b1);
+            b.jmp(b3);
+            b.switch_to(b2);
+            b.jmp(b3);
+            b.switch_to(b3);
+            b.ret(None);
+        }
+        mb.finish()
+    }
+
+    #[test]
+    fn edges() {
+        let m = diamond();
+        let cfg = Cfg::new(&m.funcs[0]);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert!(cfg.preds(BlockId(0)).is_empty());
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let m = diamond();
+        let cfg = Cfg::new(&m.funcs[0]);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(*rpo.last().unwrap(), BlockId(3));
+    }
+}

@@ -1,0 +1,86 @@
+//! Def-use chains within a function.
+//!
+//! Algorithm 1 propagates corruption through LLVM virtual registers
+//! (paper §6.1); def-use chains are the forward edges of that
+//! propagation.
+
+use crate::ids::InstId;
+use crate::inst::Operand;
+use crate::module::Function;
+
+/// Users of every instruction result and of every parameter.
+#[derive(Clone, Debug)]
+pub struct DefUse {
+    /// `uses[i]` = instructions with `Value(i)` as an operand.
+    uses: Vec<Vec<InstId>>,
+    /// `param_uses[p]` = instructions with `Param(p)` as an operand.
+    param_uses: Vec<Vec<InstId>>,
+}
+
+impl DefUse {
+    /// Computes def-use chains for `f`.
+    pub fn new(f: &Function) -> Self {
+        let mut uses = vec![Vec::new(); f.insts.len()];
+        let mut param_uses = vec![Vec::new(); f.num_params as usize];
+        let mut ops = Vec::new();
+        for (i, inst) in f.insts.iter().enumerate() {
+            let user = InstId::from_index(i);
+            inst.operands(&mut ops);
+            for op in &ops {
+                match op {
+                    Operand::Value(v) => uses[v.index()].push(user),
+                    Operand::Param(p) => {
+                        if let Some(slot) = param_uses.get_mut(*p as usize) {
+                            slot.push(user);
+                        }
+                    }
+                    Operand::Const(_) => {}
+                }
+            }
+        }
+        DefUse { uses, param_uses }
+    }
+
+    /// Instructions using the result of `def`.
+    pub fn uses(&self, def: InstId) -> &[InstId] {
+        &self.uses[def.index()]
+    }
+
+    /// Instructions using parameter `p`.
+    pub fn param_uses(&self, p: u32) -> &[InstId] {
+        self.param_uses
+            .get(p as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::Operand;
+    use crate::types::Type;
+
+    #[test]
+    fn chains_cover_values_and_params() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.global("g", 1, Type::I64);
+        let f = mb.declare_func("f", 1);
+        {
+            let mut b = mb.build_func(f);
+            let addr = b.global_addr(g); // %0
+            let v = b.load(addr, Type::I64); // %1 uses %0
+            let s = b.add(v, Operand::Param(0)); // %2 uses %1 and arg0
+            b.store(addr, s); // %3 uses %0, %2
+            b.ret(Some(s.into())); // %4 uses %2
+        }
+        let m = mb.finish();
+        let du = DefUse::new(&m.funcs[0]);
+        assert_eq!(du.uses(InstId(0)), &[InstId(1), InstId(3)]);
+        assert_eq!(du.uses(InstId(1)), &[InstId(2)]);
+        assert_eq!(du.uses(InstId(2)), &[InstId(3), InstId(4)]);
+        assert_eq!(du.param_uses(0), &[InstId(2)]);
+        assert!(du.param_uses(7).is_empty());
+    }
+}

@@ -1,0 +1,301 @@
+//! Dominator and post-dominator trees (Cooper–Harvey–Kennedy iterative
+//! algorithm).
+
+use super::cfg::Cfg;
+use crate::ids::BlockId;
+use crate::module::Function;
+
+const UNDEF: u32 = u32::MAX;
+
+/// Immediate-dominator tree over basic blocks.
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    /// `idom[b]` = immediate dominator of `b`; entry's idom is itself;
+    /// `UNDEF` for unreachable blocks.
+    idom: Vec<u32>,
+    root: BlockId,
+}
+
+fn compute_idoms(
+    n: usize,
+    root: usize,
+    rpo: &[usize],
+    preds: impl Fn(usize) -> Vec<usize>,
+) -> Vec<u32> {
+    // Reverse-postorder numbering; UNDEF for unreachable blocks.
+    let mut rpo_num = vec![UNDEF; n];
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_num[b] = i as u32;
+    }
+    let mut idom = vec![UNDEF; n];
+    idom[root] = root as u32;
+
+    let intersect = |idom: &[u32], rpo_num: &[u32], mut a: usize, mut b: usize| -> usize {
+        while a != b {
+            while rpo_num[a] > rpo_num[b] {
+                a = idom[a] as usize;
+            }
+            while rpo_num[b] > rpo_num[a] {
+                b = idom[b] as usize;
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom = UNDEF;
+            for p in preds(b) {
+                if idom[p] == UNDEF {
+                    continue;
+                }
+                new_idom = if new_idom == UNDEF {
+                    p as u32
+                } else {
+                    intersect(&idom, &rpo_num, new_idom as usize, p) as u32
+                };
+            }
+            if new_idom != UNDEF && idom[b] != new_idom {
+                idom[b] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `f`.
+    pub fn new(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.blocks.len();
+        let rpo: Vec<usize> = cfg.reverse_postorder().iter().map(|b| b.index()).collect();
+        let idom = if n == 0 {
+            vec![]
+        } else {
+            compute_idoms(n, 0, &rpo, |b| {
+                cfg.preds(BlockId::from_index(b))
+                    .iter()
+                    .map(|p| p.index())
+                    .collect()
+            })
+        };
+        DomTree {
+            idom,
+            root: BlockId(0),
+        }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry or
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        let v = *self.idom.get(b.index())?;
+        if v == UNDEF || b == self.root {
+            None
+        } else {
+            Some(BlockId(v))
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom.get(b.index()).copied() == Some(UNDEF) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+}
+
+/// Post-dominator tree, computed over the reverse CFG with a virtual
+/// exit node joining all `Ret` blocks (and, as a fallback, blocks with no
+/// successors).
+#[derive(Clone, Debug)]
+pub struct PostDomTree {
+    /// `ipdom[b]`; the virtual exit is index `n`; `UNDEF` for blocks that
+    /// cannot reach any exit (infinite loops).
+    ipdom: Vec<u32>,
+    n: usize,
+}
+
+impl PostDomTree {
+    /// Computes the post-dominator tree of `f`.
+    pub fn new(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.blocks.len();
+        if n == 0 {
+            return PostDomTree { ipdom: vec![], n };
+        }
+        let exit = n; // virtual exit node
+                      // Reverse edges: preds-in-reverse-graph = succs-in-forward-graph.
+                      // The virtual exit's reverse-graph successors are all exit blocks.
+        let exit_blocks: Vec<usize> = (0..n)
+            .filter(|&b| cfg.succs(BlockId::from_index(b)).is_empty())
+            .collect();
+        // Postorder over the reverse graph starting at the virtual exit.
+        let rev_succs = |b: usize| -> Vec<usize> {
+            if b == exit {
+                exit_blocks.clone()
+            } else {
+                cfg.preds(BlockId::from_index(b))
+                    .iter()
+                    .map(|p| p.index())
+                    .collect()
+            }
+        };
+        let rev_preds = |b: usize| -> Vec<usize> {
+            // predecessors in the reverse graph = successors forward,
+            // plus the virtual exit for exit blocks.
+            let mut v: Vec<usize> = cfg
+                .succs(BlockId::from_index(b))
+                .iter()
+                .map(|s| s.index())
+                .collect();
+            if v.is_empty() {
+                v.push(exit);
+            }
+            v
+        };
+        // DFS postorder from exit over reverse edges.
+        let total = n + 1;
+        let mut visited = vec![false; total];
+        let mut post: Vec<usize> = Vec::with_capacity(total);
+        let mut stack: Vec<(usize, usize)> = vec![(exit, 0)];
+        visited[exit] = true;
+        while let Some(&mut (b, ref mut child)) = stack.last_mut() {
+            let succs = rev_succs(b);
+            if *child < succs.len() {
+                let s = succs[*child];
+                *child += 1;
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        let mut rpo = post;
+        rpo.reverse();
+        let ipdom = compute_idoms(total, exit, &rpo, |b| {
+            if b == exit {
+                vec![]
+            } else {
+                rev_preds(b)
+            }
+        });
+        PostDomTree { ipdom, n }
+    }
+
+    /// The virtual exit node id (useful for walking to the tree root).
+    pub fn exit(&self) -> usize {
+        self.n
+    }
+
+    /// Immediate post-dominator of `b` as a raw node index (may be the
+    /// virtual exit). `None` if `b` cannot reach an exit.
+    pub fn ipdom_raw(&self, b: usize) -> Option<usize> {
+        let v = *self.ipdom.get(b)?;
+        if v == UNDEF || b == self.n {
+            None
+        } else {
+            Some(v as usize)
+        }
+    }
+
+    /// Whether block `a` post-dominates block `b` (reflexive).
+    pub fn postdominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b.index();
+        if self.ipdom.get(cur).copied() == Some(UNDEF) {
+            return false;
+        }
+        loop {
+            if cur == a.index() {
+                return true;
+            }
+            match self.ipdom_raw(cur) {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::Operand;
+    use crate::module::Module;
+
+    fn diamond() -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let f = mb.declare_func("f", 1);
+        {
+            let mut b = mb.build_func(f);
+            let b1 = b.block();
+            let b2 = b.block();
+            let b3 = b.block();
+            b.br(Operand::Param(0), b1, b2);
+            b.switch_to(b1);
+            b.jmp(b3);
+            b.switch_to(b2);
+            b.jmp(b3);
+            b.switch_to(b3);
+            b.ret(None);
+        }
+        mb.finish()
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let m = diamond();
+        let cfg = Cfg::new(&m.funcs[0]);
+        let dom = DomTree::new(&m.funcs[0], &cfg);
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+        assert!(dom.dominates(BlockId(3), BlockId(3)));
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let m = diamond();
+        let cfg = Cfg::new(&m.funcs[0]);
+        let pdom = PostDomTree::new(&m.funcs[0], &cfg);
+        assert!(pdom.postdominates(BlockId(3), BlockId(0)));
+        assert!(pdom.postdominates(BlockId(3), BlockId(1)));
+        assert!(!pdom.postdominates(BlockId(1), BlockId(0)));
+        assert_eq!(pdom.ipdom_raw(0), Some(3));
+    }
+
+    #[test]
+    fn loop_without_exit_is_handled() {
+        // bb0 -> bb1 -> bb1 (self loop, no exit reachable from bb1).
+        let mut mb = ModuleBuilder::new("t");
+        let f = mb.declare_func("f", 0);
+        {
+            let mut b = mb.build_func(f);
+            let b1 = b.block();
+            b.jmp(b1);
+            b.switch_to(b1);
+            b.jmp(b1);
+        }
+        let m = mb.finish();
+        let cfg = Cfg::new(&m.funcs[0]);
+        let pdom = PostDomTree::new(&m.funcs[0], &cfg);
+        // Nothing post-dominates the infinite loop; queries must not hang.
+        assert!(!pdom.postdominates(BlockId(0), BlockId(1)));
+    }
+}

@@ -1,0 +1,162 @@
+//! Natural-loop detection.
+//!
+//! The adhoc-synchronization detector (paper §5.1) needs to know whether
+//! the racy "read" instruction sits in a loop and whether a given branch
+//! can break out of that loop.
+
+use super::cfg::Cfg;
+use super::dom::DomTree;
+use crate::ids::{BlockId, InstId};
+use crate::module::Function;
+use std::collections::BTreeSet;
+
+/// One natural loop.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    /// Loop header (target of the back edge).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub body: BTreeSet<BlockId>,
+}
+
+impl Loop {
+    /// Whether `b` belongs to this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+}
+
+/// All natural loops of a function.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    loops: Vec<Loop>,
+    inst_block: Vec<BlockId>,
+}
+
+impl LoopInfo {
+    /// Finds natural loops via dominator-identified back edges.
+    pub fn new(f: &Function, cfg: &Cfg, dom: &DomTree) -> Self {
+        let mut loops: Vec<Loop> = Vec::new();
+        for b in 0..f.blocks.len() {
+            let b_id = BlockId::from_index(b);
+            for &s in cfg.succs(b_id) {
+                if dom.dominates(s, b_id) {
+                    // Back edge b -> s; collect the natural loop of s.
+                    let mut body = BTreeSet::new();
+                    body.insert(s);
+                    let mut stack = vec![b_id];
+                    while let Some(x) = stack.pop() {
+                        if body.insert(x) {
+                            for &p in cfg.preds(x) {
+                                stack.push(p);
+                            }
+                        }
+                    }
+                    // Merge loops with the same header (multiple back
+                    // edges).
+                    if let Some(existing) = loops.iter_mut().find(|l| l.header == s) {
+                        existing.body.extend(body);
+                    } else {
+                        loops.push(Loop { header: s, body });
+                    }
+                }
+            }
+        }
+        LoopInfo {
+            loops,
+            inst_block: f.inst_blocks(),
+        }
+    }
+
+    /// All loops.
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// The innermost loop containing `b`, if any (smallest body).
+    pub fn innermost_containing(&self, b: BlockId) -> Option<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(b))
+            .min_by_key(|l| l.body.len())
+    }
+
+    /// The innermost loop containing instruction `i`.
+    pub fn loop_of_inst(&self, i: InstId) -> Option<&Loop> {
+        self.innermost_containing(self.inst_block[i.index()])
+    }
+
+    /// Whether instruction `i` is inside any loop.
+    pub fn inst_in_loop(&self, i: InstId) -> bool {
+        self.loop_of_inst(i).is_some()
+    }
+
+    /// Whether branch instruction `br` (a block terminator) can leave
+    /// `lp`: it has at least one successor outside the loop body.
+    pub fn branch_exits_loop(&self, f: &Function, br: InstId, lp: &Loop) -> bool {
+        let b = self.inst_block[br.index()];
+        if !lp.contains(b) || f.blocks[b.index()].terminator() != br {
+            return false;
+        }
+        f.inst(br).successors().iter().any(|s| !lp.contains(*s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::inst::Pred;
+    use crate::module::Module;
+    use crate::types::Type;
+
+    /// `while (!flag) {} ; ret` — the canonical adhoc-sync busy wait.
+    fn busy_wait() -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.global("flag", 1, Type::I64);
+        let f = mb.declare_func("waiter", 0);
+        {
+            let mut b = mb.build_func(f);
+            let head = b.block();
+            let exit = b.block();
+            b.jmp(head);
+            b.switch_to(head);
+            let addr = b.global_addr(g);
+            let v = b.load(addr, Type::I64);
+            let done = b.cmp(Pred::Ne, v, 0);
+            b.br(done, exit, head);
+            b.switch_to(exit);
+            b.ret(None);
+        }
+        mb.finish()
+    }
+
+    #[test]
+    fn busy_wait_loop_found() {
+        let m = busy_wait();
+        let f = &m.funcs[0];
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg);
+        let li = LoopInfo::new(f, &cfg, &dom);
+        assert_eq!(li.loops().len(), 1);
+        let lp = &li.loops()[0];
+        assert_eq!(lp.header, BlockId(1));
+        assert!(lp.contains(BlockId(1)));
+        assert!(!lp.contains(BlockId(2)));
+    }
+
+    #[test]
+    fn load_is_in_loop_and_branch_exits() {
+        let m = busy_wait();
+        let f = &m.funcs[0];
+        let cfg = Cfg::new(f);
+        let dom = DomTree::new(f, &cfg);
+        let li = LoopInfo::new(f, &cfg, &dom);
+        // Inst 2 is the load (0=jmp, 1=global_addr, 2=load, 3=cmp, 4=br).
+        assert!(li.inst_in_loop(InstId(2)));
+        let lp = li.loop_of_inst(InstId(2)).unwrap().clone();
+        assert!(li.branch_exits_loop(f, InstId(4), &lp));
+        // The entry jmp is outside the loop.
+        assert!(!li.inst_in_loop(InstId(0)));
+    }
+}

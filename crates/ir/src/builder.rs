@@ -1,0 +1,494 @@
+//! Ergonomic construction of modules and functions.
+//!
+//! ```
+//! use owl_ir::{ModuleBuilder, Operand, Type};
+//!
+//! let mut mb = ModuleBuilder::new("demo");
+//! let flag = mb.global("flag", 1, Type::I64);
+//! let main = mb.declare_func("main", 0);
+//! {
+//!     let mut f = mb.build_func(main);
+//!     f.loc("demo.c", 10);
+//!     let addr = f.global_addr(flag);
+//!     f.store(addr, Operand::Const(1));
+//!     f.ret(Some(Operand::Const(0)));
+//! }
+//! let module = mb.finish();
+//! assert_eq!(module.funcs.len(), 1);
+//! ```
+
+use crate::ids::{BlockId, FuncId, GlobalId, InstId};
+use crate::inst::{BinOp, Callee, Inst, Operand, Pred};
+use crate::module::{Block, Function, Global, Loc, Module};
+use crate::types::Type;
+
+/// Builds a [`Module`] incrementally.
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Starts a new module.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            module: Module::new(name),
+        }
+    }
+
+    /// Adds a zero-initialized global of `size` words.
+    pub fn global(&mut self, name: impl Into<String>, size: u32, ty: Type) -> GlobalId {
+        self.global_init(name, size, vec![], ty)
+    }
+
+    /// Adds a global with explicit initial values (missing words are 0).
+    pub fn global_init(
+        &mut self,
+        name: impl Into<String>,
+        size: u32,
+        init: Vec<i64>,
+        ty: Type,
+    ) -> GlobalId {
+        assert!(init.len() <= size as usize, "init longer than global");
+        let id = GlobalId::from_index(self.module.globals.len());
+        self.module.globals.push(Global {
+            name: name.into(),
+            size,
+            init,
+            ty,
+        });
+        id
+    }
+
+    /// Declares a function (body added later via [`Self::build_func`]).
+    pub fn declare_func(&mut self, name: impl Into<String>, num_params: u32) -> FuncId {
+        let id = FuncId::from_index(self.module.funcs.len());
+        self.module.funcs.push(Function {
+            name: name.into(),
+            num_params,
+            insts: vec![],
+            locs: vec![],
+            blocks: vec![Block::default()],
+            is_internal: true,
+        });
+        id
+    }
+
+    /// Declares an external function: calls to it are modeled as no-ops
+    /// returning 0 and inter-procedural analysis does not descend into it
+    /// (paper §7.1: uncompiled library code).
+    pub fn declare_external(&mut self, name: impl Into<String>, num_params: u32) -> FuncId {
+        let id = self.declare_func(name, num_params);
+        self.module.funcs[id.index()].is_internal = false;
+        self.module.funcs[id.index()].blocks.clear();
+        id
+    }
+
+    /// Opens a [`FunctionBuilder`] for the body of `func`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `func` is external.
+    pub fn build_func(&mut self, func: FuncId) -> FunctionBuilder<'_> {
+        assert!(
+            self.module.funcs[func.index()].is_internal,
+            "cannot build body of external function"
+        );
+        FunctionBuilder {
+            module: &mut self.module,
+            func,
+            cur_block: BlockId(0),
+            cur_loc: Loc::UNKNOWN,
+        }
+    }
+
+    /// Finishes construction and returns the module.
+    pub fn finish(self) -> Module {
+        self.module
+    }
+
+    /// Read-only access to the module under construction.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+}
+
+/// Appends instructions to one function. Obtained from
+/// [`ModuleBuilder::build_func`].
+#[derive(Debug)]
+pub struct FunctionBuilder<'m> {
+    module: &'m mut Module,
+    func: FuncId,
+    cur_block: BlockId,
+    cur_loc: Loc,
+}
+
+impl FunctionBuilder<'_> {
+    /// The function being built.
+    pub fn func_id(&self) -> FuncId {
+        self.func
+    }
+
+    /// Creates a new (empty) basic block.
+    pub fn block(&mut self) -> BlockId {
+        let f = &mut self.module.funcs[self.func.index()];
+        let id = BlockId::from_index(f.blocks.len());
+        f.blocks.push(Block::default());
+        id
+    }
+
+    /// Makes `block` the insertion point.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.cur_block = block;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> BlockId {
+        self.cur_block
+    }
+
+    /// Sets the source location applied to subsequently built
+    /// instructions.
+    pub fn loc(&mut self, file: &str, line: u32) {
+        let file = self.module.intern_file(file);
+        self.cur_loc = Loc { file, line };
+    }
+
+    /// Sets only the line of the current location.
+    pub fn line(&mut self, line: u32) {
+        self.cur_loc.line = line;
+    }
+
+    fn push(&mut self, inst: Inst) -> InstId {
+        let loc = self.cur_loc;
+        let block = self.cur_block;
+        let f = &mut self.module.funcs[self.func.index()];
+        let id = InstId::from_index(f.insts.len());
+        f.insts.push(inst);
+        f.locs.push(loc);
+        f.blocks[block.index()].insts.push(id);
+        id
+    }
+
+    /// `op a, b`.
+    pub fn bin(&mut self, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> InstId {
+        self.push(Inst::Bin {
+            op,
+            a: a.into(),
+            b: b.into(),
+        })
+    }
+
+    /// Wrapping signed addition.
+    pub fn add(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> InstId {
+        self.bin(BinOp::Add, a, b)
+    }
+
+    /// Wrapping signed subtraction.
+    pub fn sub(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> InstId {
+        self.bin(BinOp::Sub, a, b)
+    }
+
+    /// Unsigned wrapping subtraction (underflow is flagged at runtime).
+    pub fn sub_unsigned(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> InstId {
+        self.bin(BinOp::SubU, a, b)
+    }
+
+    /// Comparison producing 0/1.
+    pub fn cmp(&mut self, pred: Pred, a: impl Into<Operand>, b: impl Into<Operand>) -> InstId {
+        self.push(Inst::Cmp {
+            pred,
+            a: a.into(),
+            b: b.into(),
+        })
+    }
+
+    /// Address of a global.
+    pub fn global_addr(&mut self, g: GlobalId) -> InstId {
+        self.push(Inst::GlobalAddr(g))
+    }
+
+    /// Function-pointer constant.
+    pub fn func_addr(&mut self, f: FuncId) -> InstId {
+        self.push(Inst::FuncAddr(f))
+    }
+
+    /// Stack allocation of `size` words.
+    pub fn alloca(&mut self, size: u32) -> InstId {
+        self.push(Inst::Alloca { size })
+    }
+
+    /// Heap allocation of `size` words.
+    pub fn malloc(&mut self, size: impl Into<Operand>) -> InstId {
+        self.push(Inst::Malloc { size: size.into() })
+    }
+
+    /// Heap release.
+    pub fn free(&mut self, ptr: impl Into<Operand>) -> InstId {
+        self.push(Inst::Free { ptr: ptr.into() })
+    }
+
+    /// Typed load.
+    pub fn load(&mut self, addr: impl Into<Operand>, ty: Type) -> InstId {
+        self.push(Inst::Load {
+            addr: addr.into(),
+            ty,
+        })
+    }
+
+    /// Store.
+    pub fn store(&mut self, addr: impl Into<Operand>, val: impl Into<Operand>) -> InstId {
+        self.push(Inst::Store {
+            addr: addr.into(),
+            val: val.into(),
+        })
+    }
+
+    /// Pointer arithmetic (`base + offset` words).
+    pub fn gep(&mut self, base: impl Into<Operand>, offset: impl Into<Operand>) -> InstId {
+        self.push(Inst::Gep {
+            base: base.into(),
+            offset: offset.into(),
+        })
+    }
+
+    /// Conditional branch.
+    pub fn br(&mut self, cond: impl Into<Operand>, then_bb: BlockId, else_bb: BlockId) -> InstId {
+        self.push(Inst::Br {
+            cond: cond.into(),
+            then_bb,
+            else_bb,
+        })
+    }
+
+    /// Unconditional branch.
+    pub fn jmp(&mut self, target: BlockId) -> InstId {
+        self.push(Inst::Jmp(target))
+    }
+
+    /// Return.
+    pub fn ret(&mut self, val: Option<Operand>) -> InstId {
+        self.push(Inst::Ret(val))
+    }
+
+    /// Direct call.
+    pub fn call(&mut self, callee: FuncId, args: Vec<Operand>) -> InstId {
+        self.push(Inst::Call {
+            callee: Callee::Direct(callee),
+            args,
+        })
+    }
+
+    /// Indirect call through a function pointer.
+    pub fn call_indirect(&mut self, func_ptr: impl Into<Operand>, args: Vec<Operand>) -> InstId {
+        self.push(Inst::Call {
+            callee: Callee::Indirect(func_ptr.into()),
+            args,
+        })
+    }
+
+    /// Phi node.
+    pub fn phi(&mut self, incoming: Vec<(BlockId, Operand)>) -> InstId {
+        self.push(Inst::Phi { incoming })
+    }
+
+    /// Replaces the incoming list of a previously built phi.
+    /// Loop-carried phis need this: their back-edge values are only
+    /// built after the phi itself.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phi` is not a `Phi` instruction.
+    pub fn set_phi(&mut self, phi: InstId, incoming: Vec<(BlockId, Operand)>) {
+        let f = &mut self.module.funcs[self.func.index()];
+        match &mut f.insts[phi.index()] {
+            Inst::Phi { incoming: inc } => *inc = incoming,
+            other => panic!("set_phi on non-phi instruction {other:?}"),
+        }
+    }
+
+    /// Spawn a thread running `func(arg)`.
+    pub fn thread_create(&mut self, func: FuncId, arg: impl Into<Operand>) -> InstId {
+        self.push(Inst::ThreadCreate {
+            func,
+            arg: arg.into(),
+        })
+    }
+
+    /// Join a thread.
+    pub fn thread_join(&mut self, tid: impl Into<Operand>) -> InstId {
+        self.push(Inst::ThreadJoin { tid: tid.into() })
+    }
+
+    /// Acquire a mutex.
+    pub fn lock(&mut self, addr: impl Into<Operand>) -> InstId {
+        self.push(Inst::MutexLock { addr: addr.into() })
+    }
+
+    /// Release a mutex.
+    pub fn unlock(&mut self, addr: impl Into<Operand>) -> InstId {
+        self.push(Inst::MutexUnlock { addr: addr.into() })
+    }
+
+    /// Condition-variable wait (releases `mutex`, sleeps, re-acquires).
+    pub fn cond_wait(&mut self, cond: impl Into<Operand>, mutex: impl Into<Operand>) -> InstId {
+        self.push(Inst::CondWait {
+            cond: cond.into(),
+            mutex: mutex.into(),
+        })
+    }
+
+    /// Wake one waiter on a condition variable.
+    pub fn cond_signal(&mut self, cond: impl Into<Operand>) -> InstId {
+        self.push(Inst::CondSignal { cond: cond.into() })
+    }
+
+    /// Wake all waiters on a condition variable.
+    pub fn cond_broadcast(&mut self, cond: impl Into<Operand>) -> InstId {
+        self.push(Inst::CondBroadcast { cond: cond.into() })
+    }
+
+    /// Sequentially consistent atomic load.
+    pub fn atomic_load(&mut self, addr: impl Into<Operand>) -> InstId {
+        self.push(Inst::AtomicLoad { addr: addr.into() })
+    }
+
+    /// Sequentially consistent atomic store.
+    pub fn atomic_store(&mut self, addr: impl Into<Operand>, val: impl Into<Operand>) -> InstId {
+        self.push(Inst::AtomicStore {
+            addr: addr.into(),
+            val: val.into(),
+        })
+    }
+
+    /// Scheduler yield.
+    pub fn yield_now(&mut self) -> InstId {
+        self.push(Inst::Yield)
+    }
+
+    /// Input-controlled IO delay.
+    pub fn io_delay(&mut self, amount: impl Into<Operand>) -> InstId {
+        self.push(Inst::IoDelay {
+            amount: amount.into(),
+        })
+    }
+
+    /// Read a program input word.
+    pub fn input(&mut self, idx: impl Into<Operand>) -> InstId {
+        self.push(Inst::Input { idx: idx.into() })
+    }
+
+    /// Emit an observable output.
+    pub fn output(&mut self, chan: impl Into<Operand>, val: impl Into<Operand>) -> InstId {
+        self.push(Inst::Output {
+            chan: chan.into(),
+            val: val.into(),
+        })
+    }
+
+    /// Bulk memory copy (vulnerable site: memory op).
+    pub fn memcopy(
+        &mut self,
+        dst: impl Into<Operand>,
+        src: impl Into<Operand>,
+        len: impl Into<Operand>,
+    ) -> InstId {
+        self.push(Inst::MemCopy {
+            dst: dst.into(),
+            src: src.into(),
+            len: len.into(),
+        })
+    }
+
+    /// Privilege transition (vulnerable site: privilege op).
+    pub fn set_privilege(&mut self, level: impl Into<Operand>) -> InstId {
+        self.push(Inst::SetPrivilege {
+            level: level.into(),
+        })
+    }
+
+    /// File write (vulnerable site: file op).
+    pub fn file_access(&mut self, fd: impl Into<Operand>, data: impl Into<Operand>) -> InstId {
+        self.push(Inst::FileAccess {
+            fd: fd.into(),
+            data: data.into(),
+        })
+    }
+
+    /// Process exec (vulnerable site: exec op).
+    pub fn exec(&mut self, cmd: impl Into<Operand>) -> InstId {
+        self.push(Inst::Exec { cmd: cmd.into() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_branching_function() {
+        let mut mb = ModuleBuilder::new("t");
+        let g = mb.global("g", 1, Type::I64);
+        let f = mb.declare_func("f", 1);
+        {
+            let mut b = mb.build_func(f);
+            b.loc("t.c", 1);
+            let addr = b.global_addr(g);
+            let v = b.load(addr, Type::I64);
+            let then_bb = b.block();
+            let else_bb = b.block();
+            b.br(v, then_bb, else_bb);
+            b.switch_to(then_bb);
+            b.ret(Some(Operand::Const(1)));
+            b.switch_to(else_bb);
+            b.ret(Some(Operand::Const(0)));
+        }
+        let m = mb.finish();
+        let f = m.func(FuncId(0));
+        assert_eq!(f.blocks.len(), 3);
+        assert_eq!(f.insts.len(), 5);
+        assert!(f.inst(f.blocks[0].terminator()).is_terminator());
+    }
+
+    #[test]
+    fn external_functions_have_no_body() {
+        let mut mb = ModuleBuilder::new("t");
+        let e = mb.declare_external("strlen", 1);
+        let m = mb.finish();
+        assert!(!m.func(e).is_internal);
+        assert!(m.func(e).blocks.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "external")]
+    fn building_external_body_panics() {
+        let mut mb = ModuleBuilder::new("t");
+        let e = mb.declare_external("strlen", 1);
+        let _ = mb.build_func(e);
+    }
+
+    #[test]
+    fn locations_are_attached() {
+        let mut mb = ModuleBuilder::new("t");
+        let f = mb.declare_func("f", 0);
+        {
+            let mut b = mb.build_func(f);
+            b.loc("a.c", 7);
+            b.yield_now();
+            b.line(9);
+            b.ret(None);
+        }
+        let m = mb.finish();
+        let func = m.func(FuncId(0));
+        assert_eq!(func.loc(InstId(0)).line, 7);
+        assert_eq!(func.loc(InstId(1)).line, 9);
+        assert_eq!(m.files, vec!["a.c".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "init longer")]
+    fn oversized_init_rejected() {
+        let mut mb = ModuleBuilder::new("t");
+        mb.global_init("g", 1, vec![1, 2], Type::I64);
+    }
+}

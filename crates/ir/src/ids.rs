@@ -1,0 +1,125 @@
+//! Newtyped identifiers for IR entities.
+//!
+//! Every entity in an [`crate::Module`] is referred to by a small index
+//! newtype rather than a reference, which keeps the IR trivially
+//! serializable and lets analyses store dense side tables.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("id index overflow"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A function within a module.
+    FuncId,
+    "@f"
+);
+id_type!(
+    /// A basic block within a function.
+    BlockId,
+    "bb"
+);
+id_type!(
+    /// An instruction within a function. Instructions double as SSA
+    /// values: an operand referring to `InstId(n)` reads the result of
+    /// instruction `n` of the same function.
+    InstId,
+    "%"
+);
+id_type!(
+    /// A global variable within a module.
+    GlobalId,
+    "@g"
+);
+
+/// A module-wide reference to one instruction: the unit every race and
+/// vulnerability report is expressed in.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstRef {
+    /// Function containing the instruction.
+    pub func: FuncId,
+    /// The instruction within [`InstRef::func`].
+    pub inst: InstId,
+}
+
+impl InstRef {
+    /// Convenience constructor.
+    pub fn new(func: FuncId, inst: InstId) -> Self {
+        Self { func, inst }
+    }
+}
+
+impl fmt::Debug for InstRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.func, self.inst)
+    }
+}
+
+impl fmt::Display for InstRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.func, self.inst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_roundtrip() {
+        let f = FuncId::from_index(7);
+        assert_eq!(f.index(), 7);
+        assert_eq!(format!("{f}"), "@f7");
+    }
+
+    #[test]
+    fn inst_ref_display() {
+        let r = InstRef::new(FuncId(1), InstId(4));
+        assert_eq!(format!("{r}"), "@f1:%4");
+        assert_eq!(format!("{r:?}"), "@f1:%4");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(BlockId(1) < BlockId(2));
+        assert!(InstId(0) < InstId(10));
+    }
+}

@@ -1,0 +1,608 @@
+//! The instruction set.
+//!
+//! The IR is a pragmatic SSA subset of LLVM bitcode: enough to express the
+//! concurrent C programs the paper studies (racy flags, racy pointers,
+//! adhoc busy-wait synchronization, buffer manipulation) plus explicit
+//! intrinsics for the five vulnerable-site classes of §3.2 of the paper:
+//! memory operations, NULL pointer dereferences, privilege operations,
+//! file operations, and process-forking operations.
+
+use crate::ids::{BlockId, FuncId, GlobalId, InstId};
+use crate::types::Type;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An operand of an instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// A constant integer.
+    Const(i64),
+    /// The SSA result of another instruction in the same function.
+    Value(InstId),
+    /// The `n`-th parameter of the enclosing function.
+    Param(u32),
+}
+
+impl Operand {
+    /// The instruction this operand reads, if any.
+    pub fn as_value(self) -> Option<InstId> {
+        match self {
+            Operand::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The constant this operand holds, if any.
+    pub fn as_const(self) -> Option<i64> {
+        match self {
+            Operand::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(value: i64) -> Self {
+        Operand::Const(value)
+    }
+}
+
+impl From<InstId> for Operand {
+    fn from(value: InstId) -> Self {
+        Operand::Value(value)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Const(c) => write!(f, "{c}"),
+            Operand::Value(v) => write!(f, "{v}"),
+            Operand::Param(p) => write!(f, "%arg{p}"),
+        }
+    }
+}
+
+/// Binary arithmetic / logic operators.
+///
+/// `SubU` is unsigned wrapping subtraction: the VM flags a wrap as an
+/// integer-overflow event, which is how the Apache-46215 busy-counter
+/// underflow of the paper's Figure 8 manifests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Wrapping signed addition.
+    Add,
+    /// Wrapping signed subtraction.
+    Sub,
+    /// Unsigned wrapping subtraction (flags underflow at runtime).
+    SubU,
+    /// Wrapping signed multiplication.
+    Mul,
+    /// Signed division (flags division by zero at runtime).
+    Div,
+    /// Signed remainder.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::SubU => "subu",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Comparison predicates. Signed unless suffixed with `U`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than (used by size checks that underflow can bypass).
+    LtU,
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Pred::Eq => "eq",
+            Pred::Ne => "ne",
+            Pred::Lt => "lt",
+            Pred::Le => "le",
+            Pred::Gt => "gt",
+            Pred::Ge => "ge",
+            Pred::LtU => "ltu",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The target of a call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Callee {
+    /// A statically known function.
+    Direct(FuncId),
+    /// A function pointer computed at runtime. Calling a corrupted or
+    /// NULL function pointer is one of the paper's vulnerable-site
+    /// classes (Figure 2, Figure 6).
+    Indirect(Operand),
+}
+
+/// One SSA instruction.
+///
+/// Instructions double as values: operands refer to the producing
+/// instruction's [`InstId`]. Terminators (`Br`, `Jmp`, `Ret`) must appear
+/// only as the last instruction of a block.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Inst {
+    /// Binary arithmetic: `op a, b`.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Comparison producing 0 or 1.
+    Cmp {
+        /// Predicate.
+        pred: Pred,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Address of a global variable.
+    GlobalAddr(GlobalId),
+    /// Address of a function (a function-pointer constant).
+    FuncAddr(FuncId),
+    /// Allocate `size` words on the current thread's stack; yields the
+    /// base address.
+    Alloca {
+        /// Number of words.
+        size: u32,
+    },
+    /// Allocate `size` words on the shared heap; yields the base address.
+    Malloc {
+        /// Number of words.
+        size: Operand,
+    },
+    /// Release a heap allocation. Double frees are flagged at runtime.
+    Free {
+        /// Base address previously returned by `Malloc`.
+        ptr: Operand,
+    },
+    /// Load one word. `ty` is the static type of the loaded value and is
+    /// what the dynamic race verifier reports as "the type of the
+    /// variable" (§5.2).
+    Load {
+        /// Address to read.
+        addr: Operand,
+        /// Declared type of the value read.
+        ty: Type,
+    },
+    /// Store one word.
+    Store {
+        /// Address to write.
+        addr: Operand,
+        /// Value to write.
+        val: Operand,
+    },
+    /// Pointer arithmetic: `base + offset` (word offsets).
+    Gep {
+        /// Base pointer.
+        base: Operand,
+        /// Word offset.
+        offset: Operand,
+    },
+    /// Conditional branch on a non-zero condition.
+    Br {
+        /// Condition value.
+        cond: Operand,
+        /// Successor when `cond != 0`.
+        then_bb: BlockId,
+        /// Successor when `cond == 0`.
+        else_bb: BlockId,
+    },
+    /// Unconditional branch.
+    Jmp(BlockId),
+    /// Return from the current function.
+    Ret(Option<Operand>),
+    /// Call a function; yields its return value (0 for void callees).
+    Call {
+        /// Call target.
+        callee: Callee,
+        /// Actual arguments.
+        args: Vec<Operand>,
+    },
+    /// SSA phi node merging values per predecessor block.
+    Phi {
+        /// `(predecessor, value)` pairs.
+        incoming: Vec<(BlockId, Operand)>,
+    },
+    /// Spawn a thread running `func(arg)`; yields the thread id.
+    ThreadCreate {
+        /// Thread entry function (must take one parameter).
+        func: FuncId,
+        /// Argument passed to the entry function.
+        arg: Operand,
+    },
+    /// Join a previously created thread.
+    ThreadJoin {
+        /// Thread id from `ThreadCreate`.
+        tid: Operand,
+    },
+    /// Acquire the mutex at `addr` (blocking).
+    MutexLock {
+        /// Mutex cell address.
+        addr: Operand,
+    },
+    /// Release the mutex at `addr`.
+    MutexUnlock {
+        /// Mutex cell address.
+        addr: Operand,
+    },
+    /// Wait on the condition variable at `cond`: atomically releases
+    /// the mutex at `mutex`, sleeps until signalled, then re-acquires
+    /// the mutex before continuing (pthread `cond_wait` semantics,
+    /// including spurious-wakeup-free delivery). Must be executed while
+    /// holding `mutex`; otherwise the wait proceeds without a release.
+    CondWait {
+        /// Condition-variable cell address.
+        cond: Operand,
+        /// Associated mutex cell address.
+        mutex: Operand,
+    },
+    /// Wake one thread waiting on the condition variable at `cond`
+    /// (no-op when nobody waits — the classic lost-wakeup semantics).
+    CondSignal {
+        /// Condition-variable cell address.
+        cond: Operand,
+    },
+    /// Wake every thread waiting on the condition variable at `cond`.
+    CondBroadcast {
+        /// Condition-variable cell address.
+        cond: Operand,
+    },
+    /// Sequentially consistent atomic load (never part of a data race).
+    AtomicLoad {
+        /// Address to read.
+        addr: Operand,
+    },
+    /// Sequentially consistent atomic store (never part of a data race).
+    AtomicStore {
+        /// Address to write.
+        addr: Operand,
+        /// Value to write.
+        val: Operand,
+    },
+    /// Voluntarily yield the scheduler.
+    Yield,
+    /// An input-controlled IO delay of `amount` scheduler steps. Models
+    /// the paper's observation (§3.1) that attackers craft input timings
+    /// for IO operations to widen the vulnerable window between racy
+    /// statements.
+    IoDelay {
+        /// Number of scheduler steps to stay descheduled.
+        amount: Operand,
+    },
+    /// Read word `idx` of the program input vector (0 if out of range).
+    Input {
+        /// Input index.
+        idx: Operand,
+    },
+    /// Emit an observable output value on channel `chan`. Used by corpus
+    /// programs to expose attack consequences (e.g. which worker served a
+    /// request, which file got written).
+    Output {
+        /// Output channel.
+        chan: Operand,
+        /// Emitted value.
+        val: Operand,
+    },
+    /// `memcpy`/`strcpy`-style bulk copy of `len` words. A vulnerable
+    /// site of class [`VulnClass::MemoryOp`]: copies that run past the
+    /// destination allocation corrupt adjacent memory (and are flagged),
+    /// exactly like the paper's Libsafe (Fig. 1) and Apache-25520
+    /// (Fig. 7) attacks.
+    MemCopy {
+        /// Destination base address.
+        dst: Operand,
+        /// Source base address.
+        src: Operand,
+        /// Number of words copied.
+        len: Operand,
+    },
+    /// Set the process privilege level; class [`VulnClass::PrivilegeOp`]
+    /// (`setuid()` in the paper).
+    SetPrivilege {
+        /// New privilege level (0 = root in the corpus models).
+        level: Operand,
+    },
+    /// Write `data` to file descriptor `fd`; class
+    /// [`VulnClass::FileOp`] (`access()`/log writes in the paper).
+    FileAccess {
+        /// Target descriptor.
+        fd: Operand,
+        /// Word written.
+        data: Operand,
+    },
+    /// Spawn a process from `cmd`; class [`VulnClass::ExecOp`]
+    /// (`eval()`/`exec()` in the paper). Executing attacker-controlled
+    /// `cmd` is code injection.
+    Exec {
+        /// Command word.
+        cmd: Operand,
+    },
+}
+
+/// The five explicit vulnerable-site classes of §3.2, plus the runtime
+/// consequences the VM can observe when one is actually exploited.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VulnClass {
+    /// Bulk memory operations (`strcpy`, `memcpy`).
+    MemoryOp,
+    /// Dereference of a possibly-NULL or corrupted pointer (loads,
+    /// stores, indirect calls through corrupted pointers).
+    NullDeref,
+    /// Privilege transitions (`setuid`).
+    PrivilegeOp,
+    /// File operations (`access`, log writes).
+    FileOp,
+    /// Process forking / exec operations.
+    ExecOp,
+}
+
+impl fmt::Display for VulnClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VulnClass::MemoryOp => "memory-op",
+            VulnClass::NullDeref => "null-deref",
+            VulnClass::PrivilegeOp => "privilege-op",
+            VulnClass::FileOp => "file-op",
+            VulnClass::ExecOp => "exec-op",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Inst {
+    /// Whether this instruction must terminate a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Inst::Br { .. } | Inst::Jmp(_) | Inst::Ret(_))
+    }
+
+    /// Whether this instruction produces an SSA value usable as an
+    /// operand.
+    pub fn has_result(&self) -> bool {
+        matches!(
+            self,
+            Inst::Bin { .. }
+                | Inst::Cmp { .. }
+                | Inst::GlobalAddr(_)
+                | Inst::FuncAddr(_)
+                | Inst::Alloca { .. }
+                | Inst::Malloc { .. }
+                | Inst::Load { .. }
+                | Inst::Gep { .. }
+                | Inst::Call { .. }
+                | Inst::Phi { .. }
+                | Inst::ThreadCreate { .. }
+                | Inst::AtomicLoad { .. }
+                | Inst::Input { .. }
+        )
+    }
+
+    /// Static type of the produced value ([`Type::I64`] when untyped).
+    pub fn result_type(&self) -> Type {
+        match self {
+            Inst::GlobalAddr(_) | Inst::Alloca { .. } | Inst::Malloc { .. } | Inst::Gep { .. } => {
+                Type::Ptr
+            }
+            Inst::FuncAddr(_) => Type::FuncPtr,
+            Inst::Load { ty, .. } => *ty,
+            _ => Type::I64,
+        }
+    }
+
+    /// The vulnerable-site class of this instruction, if it is one.
+    ///
+    /// Loads, stores, and indirect calls are *potential* NULL-dereference
+    /// sites; the static analyzer only reports them when a corrupted
+    /// value reaches the pointer operand (Algorithm 1).
+    pub fn vuln_class(&self) -> Option<VulnClass> {
+        match self {
+            Inst::MemCopy { .. } | Inst::Free { .. } => Some(VulnClass::MemoryOp),
+            Inst::SetPrivilege { .. } => Some(VulnClass::PrivilegeOp),
+            Inst::FileAccess { .. } => Some(VulnClass::FileOp),
+            Inst::Exec { .. } => Some(VulnClass::ExecOp),
+            Inst::Load { .. } | Inst::Store { .. } => Some(VulnClass::NullDeref),
+            Inst::Call {
+                callee: Callee::Indirect(_),
+                ..
+            } => Some(VulnClass::NullDeref),
+            _ => None,
+        }
+    }
+
+    /// Whether the instruction is an *explicit* vulnerable site — one of
+    /// the four intrinsic classes that are dangerous regardless of which
+    /// operand is corrupted (everything except the pointer-dereference
+    /// class, which requires corruption of the address operand itself).
+    pub fn is_explicit_vuln_site(&self) -> bool {
+        matches!(
+            self,
+            Inst::MemCopy { .. }
+                | Inst::Free { .. }
+                | Inst::SetPrivilege { .. }
+                | Inst::FileAccess { .. }
+                | Inst::Exec { .. }
+        )
+    }
+
+    /// Collects all operands into `out` (cleared first).
+    pub fn operands(&self, out: &mut Vec<Operand>) {
+        out.clear();
+        match self {
+            Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => out.extend([*a, *b]),
+            Inst::GlobalAddr(_)
+            | Inst::FuncAddr(_)
+            | Inst::Alloca { .. }
+            | Inst::Jmp(_)
+            | Inst::Yield => {}
+            Inst::Malloc { size } => out.push(*size),
+            Inst::Free { ptr } => out.push(*ptr),
+            Inst::Load { addr, .. } | Inst::AtomicLoad { addr } => out.push(*addr),
+            Inst::Store { addr, val } | Inst::AtomicStore { addr, val } => {
+                out.extend([*addr, *val])
+            }
+            Inst::Gep { base, offset } => out.extend([*base, *offset]),
+            Inst::Br { cond, .. } => out.push(*cond),
+            Inst::Ret(v) => out.extend(v.iter().copied()),
+            Inst::Call { callee, args } => {
+                if let Callee::Indirect(f) = callee {
+                    out.push(*f);
+                }
+                out.extend(args.iter().copied());
+            }
+            Inst::Phi { incoming } => out.extend(incoming.iter().map(|(_, v)| *v)),
+            Inst::ThreadCreate { arg, .. } => out.push(*arg),
+            Inst::ThreadJoin { tid } => out.push(*tid),
+            Inst::MutexLock { addr } | Inst::MutexUnlock { addr } => out.push(*addr),
+            Inst::CondWait { cond, mutex } => out.extend([*cond, *mutex]),
+            Inst::CondSignal { cond } | Inst::CondBroadcast { cond } => out.push(*cond),
+            Inst::IoDelay { amount } => out.push(*amount),
+            Inst::Input { idx } => out.push(*idx),
+            Inst::Output { chan, val } => out.extend([*chan, *val]),
+            Inst::MemCopy { dst, src, len } => out.extend([*dst, *src, *len]),
+            Inst::SetPrivilege { level } => out.push(*level),
+            Inst::FileAccess { fd, data } => out.extend([*fd, *data]),
+            Inst::Exec { cmd } => out.push(*cmd),
+        }
+    }
+
+    /// Successor blocks if this is a terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Inst::Br {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Inst::Jmp(bb) => vec![*bb],
+            _ => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terminators_classified() {
+        assert!(Inst::Jmp(BlockId(0)).is_terminator());
+        assert!(Inst::Ret(None).is_terminator());
+        assert!(!Inst::Yield.is_terminator());
+    }
+
+    #[test]
+    fn result_types() {
+        assert_eq!(Inst::Alloca { size: 4 }.result_type(), Type::Ptr);
+        assert_eq!(Inst::FuncAddr(FuncId(0)).result_type(), Type::FuncPtr);
+        assert_eq!(
+            Inst::Load {
+                addr: Operand::Const(0),
+                ty: Type::Ptr
+            }
+            .result_type(),
+            Type::Ptr
+        );
+    }
+
+    #[test]
+    fn vuln_classes() {
+        let memcpy = Inst::MemCopy {
+            dst: Operand::Const(0),
+            src: Operand::Const(0),
+            len: Operand::Const(1),
+        };
+        assert_eq!(memcpy.vuln_class(), Some(VulnClass::MemoryOp));
+        assert!(memcpy.is_explicit_vuln_site());
+
+        let load = Inst::Load {
+            addr: Operand::Const(0),
+            ty: Type::I64,
+        };
+        assert_eq!(load.vuln_class(), Some(VulnClass::NullDeref));
+        assert!(!load.is_explicit_vuln_site());
+
+        let indirect = Inst::Call {
+            callee: Callee::Indirect(Operand::Const(0)),
+            args: vec![],
+        };
+        assert_eq!(indirect.vuln_class(), Some(VulnClass::NullDeref));
+    }
+
+    #[test]
+    fn operand_collection() {
+        let mut ops = Vec::new();
+        Inst::MemCopy {
+            dst: Operand::Value(InstId(1)),
+            src: Operand::Param(0),
+            len: Operand::Const(8),
+        }
+        .operands(&mut ops);
+        assert_eq!(
+            ops,
+            vec![
+                Operand::Value(InstId(1)),
+                Operand::Param(0),
+                Operand::Const(8)
+            ]
+        );
+    }
+
+    #[test]
+    fn successor_listing() {
+        let br = Inst::Br {
+            cond: Operand::Const(1),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        assert_eq!(br.successors(), vec![BlockId(1), BlockId(2)]);
+        assert!(Inst::Ret(None).successors().is_empty());
+    }
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(5i64), Operand::Const(5));
+        assert_eq!(Operand::from(InstId(3)), Operand::Value(InstId(3)));
+        assert_eq!(Operand::Const(9).as_const(), Some(9));
+        assert_eq!(Operand::Value(InstId(2)).as_value(), Some(InstId(2)));
+        assert_eq!(Operand::Param(1).as_value(), None);
+    }
+}

@@ -1,0 +1,283 @@
+//! Modules, functions, blocks, globals, and source locations.
+
+use crate::ids::{BlockId, FuncId, GlobalId, InstId, InstRef};
+use crate::inst::Inst;
+use crate::types::Type;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A source location attached to an instruction, used to render reports
+/// in the paper's `file.c:line` style (Figures 4 and 5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Loc {
+    /// Index into [`Module::files`]; `u32::MAX` means "unknown".
+    pub file: u32,
+    /// 1-based line number; 0 means "unknown".
+    pub line: u32,
+}
+
+impl Loc {
+    /// The unknown location.
+    pub const UNKNOWN: Loc = Loc {
+        file: u32::MAX,
+        line: 0,
+    };
+
+    /// Whether this location carries real information.
+    pub fn is_known(self) -> bool {
+        self.file != u32::MAX
+    }
+}
+
+/// A global variable: a fixed-size region of shared memory.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Global {
+    /// Symbolic name (e.g. `dying`, `buf`).
+    pub name: String,
+    /// Size in words.
+    pub size: u32,
+    /// Initial values; missing words are zero.
+    pub init: Vec<i64>,
+    /// Declared element type (for race-verifier hints).
+    pub ty: Type,
+}
+
+/// A basic block: a straight-line run of instructions ending in a
+/// terminator.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Instruction ids in execution order; the last must be a terminator.
+    pub insts: Vec<InstId>,
+}
+
+impl Block {
+    /// The block's terminator instruction id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is empty (the verifier rejects such blocks).
+    pub fn terminator(&self) -> InstId {
+        *self.insts.last().expect("empty basic block")
+    }
+}
+
+/// A function in SSA form.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Symbolic name (e.g. `stack_check`).
+    pub name: String,
+    /// Number of parameters.
+    pub num_params: u32,
+    /// All instructions, indexed by [`InstId`].
+    pub insts: Vec<Inst>,
+    /// Per-instruction source locations (parallel to `insts`).
+    pub locs: Vec<Loc>,
+    /// Basic blocks, indexed by [`BlockId`]; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// Whether the function body is available for analysis. External
+    /// functions (the paper's "library code not compiled into bitcode",
+    /// §7.1) have `is_internal == false` and are skipped by
+    /// inter-procedural analysis.
+    pub is_internal: bool,
+}
+
+impl Function {
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// The instruction payload for `id`.
+    pub fn inst(&self, id: InstId) -> &Inst {
+        &self.insts[id.index()]
+    }
+
+    /// The source location of `id`.
+    pub fn loc(&self, id: InstId) -> Loc {
+        self.locs.get(id.index()).copied().unwrap_or(Loc::UNKNOWN)
+    }
+
+    /// The block containing each instruction (dense side table).
+    pub fn inst_blocks(&self) -> Vec<BlockId> {
+        let mut owner = vec![BlockId(0); self.insts.len()];
+        for (b, block) in self.blocks.iter().enumerate() {
+            for &i in &block.insts {
+                owner[i.index()] = BlockId::from_index(b);
+            }
+        }
+        owner
+    }
+
+    /// Iterates `(InstId, &Inst)` in block order.
+    pub fn iter_insts(&self) -> impl Iterator<Item = (InstId, &Inst)> + '_ {
+        self.blocks
+            .iter()
+            .flat_map(move |b| b.insts.iter().map(move |&i| (i, self.inst(i))))
+    }
+}
+
+/// A whole program: functions, globals, and file names for locations.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Human-readable program name (e.g. `libsafe`).
+    pub name: String,
+    /// All functions, indexed by [`FuncId`].
+    pub funcs: Vec<Function>,
+    /// All globals, indexed by [`GlobalId`].
+    pub globals: Vec<Global>,
+    /// Interned file names for [`Loc`].
+    pub files: Vec<String>,
+}
+
+impl Module {
+    /// Creates an empty module with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            ..Module::default()
+        }
+    }
+
+    /// The function payload for `id`.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// The global payload for `id`.
+    pub fn global(&self, id: GlobalId) -> &Global {
+        &self.globals[id.index()]
+    }
+
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.funcs
+            .iter()
+            .position(|f| f.name == name)
+            .map(FuncId::from_index)
+    }
+
+    /// Looks up a global by name.
+    pub fn global_by_name(&self, name: &str) -> Option<GlobalId> {
+        self.globals
+            .iter()
+            .position(|g| g.name == name)
+            .map(GlobalId::from_index)
+    }
+
+    /// Interns a file name, returning its index for [`Loc`].
+    pub fn intern_file(&mut self, file: &str) -> u32 {
+        if let Some(i) = self.files.iter().position(|f| f == file) {
+            return i as u32;
+        }
+        self.files.push(file.to_string());
+        (self.files.len() - 1) as u32
+    }
+
+    /// The instruction behind a module-wide reference.
+    pub fn inst(&self, r: InstRef) -> &Inst {
+        self.func(r.func).inst(r.inst)
+    }
+
+    /// Renders `r`'s location in the paper's `file.c:line` style, falling
+    /// back to the function name when unknown.
+    pub fn format_loc(&self, r: InstRef) -> String {
+        let f = self.func(r.func);
+        let loc = f.loc(r.inst);
+        if loc.is_known() {
+            format!(
+                "{}:{}",
+                self.files
+                    .get(loc.file as usize)
+                    .map(String::as_str)
+                    .unwrap_or("<unknown>"),
+                loc.line
+            )
+        } else {
+            format!("{}:{}", f.name, r.inst)
+        }
+    }
+
+    /// Renders `r` as `func (file:line)`, the Figure-4 call-stack frame
+    /// style.
+    pub fn format_frame(&self, r: InstRef) -> String {
+        format!("{} ({})", self.func(r.func).name, self.format_loc(r))
+    }
+
+    /// Total number of instructions across all functions (a rough LoC
+    /// proxy reported in Table 1).
+    pub fn total_insts(&self) -> usize {
+        self.funcs.iter().map(|f| f.insts.len()).sum()
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "module {} ({} funcs)", self.name, self.funcs.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Operand;
+
+    fn tiny_module() -> Module {
+        let mut m = Module::new("tiny");
+        let file = m.intern_file("tiny.c");
+        m.globals.push(Global {
+            name: "flag".into(),
+            size: 1,
+            init: vec![0],
+            ty: Type::I64,
+        });
+        m.funcs.push(Function {
+            name: "main".into(),
+            num_params: 0,
+            insts: vec![Inst::Ret(Some(Operand::Const(0)))],
+            locs: vec![Loc { file, line: 3 }],
+            blocks: vec![Block {
+                insts: vec![InstId(0)],
+            }],
+            is_internal: true,
+        });
+        m
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let m = tiny_module();
+        assert_eq!(m.func_by_name("main"), Some(FuncId(0)));
+        assert_eq!(m.global_by_name("flag"), Some(GlobalId(0)));
+        assert_eq!(m.func_by_name("nope"), None);
+    }
+
+    #[test]
+    fn format_locations() {
+        let m = tiny_module();
+        let r = InstRef::new(FuncId(0), InstId(0));
+        assert_eq!(m.format_loc(r), "tiny.c:3");
+        assert_eq!(m.format_frame(r), "main (tiny.c:3)");
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut m = Module::new("x");
+        let a = m.intern_file("a.c");
+        let b = m.intern_file("a.c");
+        assert_eq!(a, b);
+        assert_eq!(m.files.len(), 1);
+    }
+
+    #[test]
+    fn inst_blocks_side_table() {
+        let m = tiny_module();
+        let owners = m.func(FuncId(0)).inst_blocks();
+        assert_eq!(owners, vec![BlockId(0)]);
+    }
+
+    #[test]
+    fn total_insts_counts_all_functions() {
+        let m = tiny_module();
+        assert_eq!(m.total_insts(), 1);
+    }
+}

@@ -1,0 +1,192 @@
+//! Textual IR rendering, LLVM-assembly-flavoured.
+//!
+//! OWL's vulnerable-input hints quote propagation chains "in LLVM IR
+//! format" (paper §6.1, Figure 5); this printer produces the equivalent
+//! rendering for our IR.
+
+use crate::ids::{FuncId, InstId, InstRef};
+use crate::inst::{Callee, Inst, Operand};
+use crate::module::Module;
+use std::fmt::Write as _;
+
+fn operand(m: &Module, f: &crate::module::Function, op: Operand) -> String {
+    let _ = (m, f);
+    op.to_string()
+}
+
+/// Renders one instruction, without its location comment.
+pub fn inst_to_string(m: &Module, fid: FuncId, id: InstId) -> String {
+    let f = m.func(fid);
+    let inst = f.inst(id);
+    let o = |op: Operand| operand(m, f, op);
+    let lhs = if inst.has_result() {
+        format!("{id} = ")
+    } else {
+        String::new()
+    };
+    let rhs = match inst {
+        Inst::Bin { op, a, b } => format!("{op} {}, {}", o(*a), o(*b)),
+        Inst::Cmp { pred, a, b } => format!("cmp {pred} {}, {}", o(*a), o(*b)),
+        Inst::GlobalAddr(g) => format!("globaladdr @{}", m.global(*g).name),
+        Inst::FuncAddr(f2) => format!("funcaddr @{}", m.func(*f2).name),
+        Inst::Alloca { size } => format!("alloca {size}"),
+        Inst::Malloc { size } => format!("malloc {}", o(*size)),
+        Inst::Free { ptr } => format!("free {}", o(*ptr)),
+        Inst::Load { addr, ty } => format!("load {ty}, {}", o(*addr)),
+        Inst::Store { addr, val } => format!("store {}, {}", o(*val), o(*addr)),
+        Inst::Gep { base, offset } => format!("gep {}, {}", o(*base), o(*offset)),
+        Inst::Br {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!("br {}, {then_bb}, {else_bb}", o(*cond)),
+        Inst::Jmp(b) => format!("jmp {b}"),
+        Inst::Ret(None) => "ret".into(),
+        Inst::Ret(Some(v)) => format!("ret {}", o(*v)),
+        Inst::Call { callee, args } => {
+            let args: Vec<String> = args.iter().map(|a| o(*a)).collect();
+            match callee {
+                Callee::Direct(c) => format!("call @{}({})", m.func(*c).name, args.join(", ")),
+                Callee::Indirect(p) => format!("call *{}({})", o(*p), args.join(", ")),
+            }
+        }
+        Inst::Phi { incoming } => {
+            let parts: Vec<String> = incoming
+                .iter()
+                .map(|(b, v)| format!("[{b}: {}]", o(*v)))
+                .collect();
+            format!("phi {}", parts.join(", "))
+        }
+        Inst::ThreadCreate { func, arg } => {
+            format!("thread_create @{}({})", m.func(*func).name, o(*arg))
+        }
+        Inst::ThreadJoin { tid } => format!("thread_join {}", o(*tid)),
+        Inst::MutexLock { addr } => format!("lock {}", o(*addr)),
+        Inst::MutexUnlock { addr } => format!("unlock {}", o(*addr)),
+        Inst::CondWait { cond, mutex } => format!("cond_wait {}, {}", o(*cond), o(*mutex)),
+        Inst::CondSignal { cond } => format!("cond_signal {}", o(*cond)),
+        Inst::CondBroadcast { cond } => format!("cond_broadcast {}", o(*cond)),
+        Inst::AtomicLoad { addr } => format!("atomic_load {}", o(*addr)),
+        Inst::AtomicStore { addr, val } => format!("atomic_store {}, {}", o(*val), o(*addr)),
+        Inst::Yield => "yield".into(),
+        Inst::IoDelay { amount } => format!("io_delay {}", o(*amount)),
+        Inst::Input { idx } => format!("input {}", o(*idx)),
+        Inst::Output { chan, val } => format!("output {}, {}", o(*chan), o(*val)),
+        Inst::MemCopy { dst, src, len } => {
+            format!("memcopy {}, {}, {}", o(*dst), o(*src), o(*len))
+        }
+        Inst::SetPrivilege { level } => format!("set_privilege {}", o(*level)),
+        Inst::FileAccess { fd, data } => format!("file_access {}, {}", o(*fd), o(*data)),
+        Inst::Exec { cmd } => format!("exec {}", o(*cmd)),
+    };
+    format!("{lhs}{rhs}")
+}
+
+/// Renders one instruction with its `; file:line` comment — the style
+/// quoted inside vulnerable-input hints.
+pub fn inst_with_loc(m: &Module, r: InstRef) -> String {
+    let text = inst_to_string(m, r.func, r.inst);
+    let loc = m.format_loc(r);
+    format!("{text}  ; {loc}")
+}
+
+/// Renders a whole function.
+pub fn func_to_string(m: &Module, fid: FuncId) -> String {
+    let f = m.func(fid);
+    let mut out = String::new();
+    let params: Vec<String> = (0..f.num_params).map(|p| format!("%arg{p}")).collect();
+    if !f.is_internal {
+        let _ = writeln!(out, "extern func @{}({})", f.name, params.join(", "));
+        return out;
+    }
+    let _ = writeln!(out, "func @{}({}) {{", f.name, params.join(", "));
+    for (bi, block) in f.blocks.iter().enumerate() {
+        let _ = writeln!(out, "bb{bi}:");
+        for &i in &block.insts {
+            let text = inst_to_string(m, fid, i);
+            let loc = f.loc(i);
+            if loc.is_known() {
+                let _ = writeln!(
+                    out,
+                    "  {text}  ; {}",
+                    m.format_loc(crate::ids::InstRef::new(fid, i))
+                );
+            } else {
+                let _ = writeln!(out, "  {text}");
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a whole module. The output is accepted back by
+/// [`crate::parse_module`].
+pub fn module_to_string(m: &Module) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "module {}", m.name);
+    for g in &m.globals {
+        if g.init.is_empty() {
+            let _ = writeln!(out, "global @{} : {} x {}", g.name, g.size, g.ty);
+        } else {
+            let init: Vec<String> = g.init.iter().map(ToString::to_string).collect();
+            let _ = writeln!(
+                out,
+                "global @{} : {} x {} = [{}]",
+                g.name,
+                g.size,
+                g.ty,
+                init.join(", ")
+            );
+        }
+    }
+    for fi in 0..m.funcs.len() {
+        let _ = writeln!(out);
+        out.push_str(&func_to_string(m, FuncId::from_index(fi)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::types::Type;
+
+    #[test]
+    fn renders_module_text() {
+        let mut mb = ModuleBuilder::new("demo");
+        let g = mb.global("dying", 1, Type::I64);
+        let ext = mb.declare_external("kill", 1);
+        let f = mb.declare_func("f", 1);
+        {
+            let mut b = mb.build_func(f);
+            b.loc("demo.c", 4);
+            let a = b.global_addr(g);
+            let v = b.load(a, Type::I64);
+            b.call(ext, vec![v.into()]);
+            b.ret(Some(Operand::Param(0)));
+        }
+        let m = mb.finish();
+        let text = module_to_string(&m);
+        assert!(text.contains("global @dying : 1 x i64"));
+        assert!(text.contains("extern func @kill(%arg0)"));
+        assert!(text.contains("%1 = load i64, %0"));
+        assert!(text.contains("call @kill(%1)"));
+        assert!(text.contains("ret %arg0"));
+    }
+
+    #[test]
+    fn inst_with_loc_has_comment() {
+        let mut mb = ModuleBuilder::new("demo");
+        let f = mb.declare_func("f", 0);
+        {
+            let mut b = mb.build_func(f);
+            b.loc("x.c", 42);
+            b.ret(None);
+        }
+        let m = mb.finish();
+        let s = inst_with_loc(&m, InstRef::new(f, InstId(0)));
+        assert_eq!(s, "ret  ; x.c:42");
+    }
+}

@@ -1,0 +1,58 @@
+//! A deliberately small type lattice.
+//!
+//! OWL's analyses only need to distinguish plain integers from pointers
+//! (for NULL-dereference site classification) and from function pointers
+//! (for indirect-call resolution), mirroring how the original system read
+//! LLVM types out of race reports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The type of an SSA value or memory cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Type {
+    /// A 64-bit integer (also used for booleans: zero is false).
+    #[default]
+    I64,
+    /// A pointer into VM memory (word-addressed).
+    Ptr,
+    /// A pointer to a function.
+    FuncPtr,
+}
+
+impl Type {
+    /// Whether a corrupted value of this type can feed a NULL-pointer
+    /// dereference vulnerable site.
+    pub fn is_pointer(self) -> bool {
+        matches!(self, Type::Ptr | Type::FuncPtr)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::I64 => write!(f, "i64"),
+            Type::Ptr => write!(f, "ptr"),
+            Type::FuncPtr => write!(f, "funcptr"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pointer_classification() {
+        assert!(Type::Ptr.is_pointer());
+        assert!(Type::FuncPtr.is_pointer());
+        assert!(!Type::I64.is_pointer());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Type::Ptr.to_string(), "ptr");
+        assert_eq!(Type::I64.to_string(), "i64");
+        assert_eq!(Type::FuncPtr.to_string(), "funcptr");
+    }
+}

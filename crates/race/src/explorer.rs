@@ -1,0 +1,262 @@
+//! SKI-style schedule exploration.
+//!
+//! SKI exposed kernel races by systematically exploring thread
+//! interleavings of syscall handlers. The explorer reproduces that
+//! regime: it re-runs a program under PCT and random schedulers across
+//! a seed sweep (and across the workload's inputs), aggregates
+//! deduplicated race reports, and keeps per-run statistics. The same
+//! machinery doubles as the "repeated native executions" driver used in
+//! the paper's triggerability study (Table 4's ≤ 20 re-executions).
+
+use crate::hb::{HbAnnotation, HbConfig, HbDetector};
+use crate::report::RaceReport;
+use owl_ir::{FuncId, InstRef, Module};
+use owl_vm::{ExecOutcome, PctScheduler, ProgramInput, RandomScheduler, RunConfig, Scheduler, Vm};
+use std::collections::HashSet;
+
+/// How the explorer produces schedules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExploreStrategy {
+    /// Seeded uniform-random scheduling (native-execution stand-in,
+    /// what TSan observes).
+    Random,
+    /// PCT with the given depth (systematic exploration, what SKI
+    /// does).
+    Pct {
+        /// Number of priority change points.
+        depth: usize,
+    },
+}
+
+/// Exploration parameters.
+#[derive(Clone, Debug)]
+pub struct ExplorerConfig {
+    /// Number of schedule seeds per input.
+    pub runs_per_input: u64,
+    /// First seed (seeds are contiguous).
+    pub base_seed: u64,
+    /// Scheduling strategy.
+    pub strategy: ExploreStrategy,
+    /// Expected execution length (PCT change-point placement).
+    pub expected_steps: u64,
+    /// VM limits.
+    pub run_config: RunConfig,
+    /// Adhoc-sync annotations to honour during detection.
+    pub annotations: Vec<HbAnnotation>,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        ExplorerConfig {
+            runs_per_input: 10,
+            base_seed: 1,
+            strategy: ExploreStrategy::Pct { depth: 3 },
+            expected_steps: 2_000,
+            run_config: RunConfig::default(),
+            annotations: Vec::new(),
+        }
+    }
+}
+
+/// Aggregated exploration results.
+#[derive(Clone, Debug)]
+pub struct ExploreResult {
+    /// Deduplicated race reports across all runs.
+    pub reports: Vec<RaceReport>,
+    /// Total executions performed.
+    pub runs: u64,
+    /// Race observations suppressed by annotations, summed over runs.
+    pub suppressed: usize,
+    /// Outcome of every execution (violations, outputs, schedules).
+    pub outcomes: Vec<ExecOutcome>,
+}
+
+impl ExploreResult {
+    /// Reports whose racing address falls in the named global.
+    pub fn reports_on<'a>(&'a self, global: &str) -> impl Iterator<Item = &'a RaceReport> + 'a {
+        let g = global.to_string();
+        self.reports
+            .iter()
+            .filter(move |r| r.global_name.as_deref() == Some(g.as_str()))
+    }
+
+    /// Whether any run triggered a violation matching `pred`.
+    pub fn any_outcome_violation(&self, mut pred: impl FnMut(&owl_vm::Violation) -> bool) -> bool {
+        self.outcomes.iter().any(|o| o.any_violation(&mut pred))
+    }
+}
+
+/// Runs the exploration: for every input, `runs_per_input` executions
+/// under fresh schedulers, all feeding one deduplicating detector.
+pub fn explore(
+    module: &Module,
+    entry: FuncId,
+    inputs: &[ProgramInput],
+    cfg: &ExplorerConfig,
+) -> ExploreResult {
+    let mut detector = HbDetector::new(HbConfig {
+        annotations: cfg.annotations.clone(),
+        ..HbConfig::default()
+    });
+    let mut outcomes = Vec::new();
+    let mut runs = 0;
+    let default_input = [ProgramInput::empty()];
+    let inputs: &[ProgramInput] = if inputs.is_empty() {
+        &default_input
+    } else {
+        inputs
+    };
+    for input in inputs {
+        for k in 0..cfg.runs_per_input {
+            let seed = cfg.base_seed + k;
+            let mut sched: Box<dyn Scheduler> = match cfg.strategy {
+                ExploreStrategy::Random => Box::new(RandomScheduler::new(seed)),
+                ExploreStrategy::Pct { depth } => {
+                    Box::new(PctScheduler::new(seed, depth, cfg.expected_steps))
+                }
+            };
+            let vm = Vm::new(module, entry, input.clone(), cfg.run_config.clone());
+            let outcome = vm.run(sched.as_mut(), &mut detector);
+            outcomes.push(outcome);
+            runs += 1;
+        }
+    }
+    let suppressed = detector.suppressed();
+    let reports = detector.finish(module);
+    ExploreResult {
+        reports,
+        runs,
+        suppressed,
+        outcomes,
+    }
+}
+
+/// Repeatedly executes `module` under fresh random schedules until
+/// `success` holds on an outcome or `max_tries` is exhausted; returns
+/// the number of executions used (the paper's "repetitive executions"
+/// metric from §3.1/Table 4).
+pub fn executions_until(
+    module: &Module,
+    entry: FuncId,
+    input: &ProgramInput,
+    run_config: &RunConfig,
+    base_seed: u64,
+    max_tries: u64,
+    mut success: impl FnMut(&ExecOutcome) -> bool,
+) -> Option<u64> {
+    for k in 0..max_tries {
+        let mut sched = RandomScheduler::new(base_seed + k);
+        let vm = Vm::new(module, entry, input.clone(), run_config.clone());
+        let outcome = vm.run(&mut sched, &mut owl_vm::NullSink);
+        if success(&outcome) {
+            return Some(k + 1);
+        }
+    }
+    None
+}
+
+/// Returns the set of distinct racy site pairs, useful for comparing
+/// strategies.
+pub fn site_pairs(reports: &[RaceReport]) -> HashSet<(InstRef, InstRef)> {
+    reports.iter().map(RaceReport::key).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_ir::{ModuleBuilder, Type};
+
+    /// A narrow race: the write happens in a tiny window after a flag
+    /// check, so fixed round-robin rarely sees it but exploration does.
+    fn narrow_race() -> (Module, FuncId) {
+        let mut mb = ModuleBuilder::new("narrow");
+        let g = mb.global("x", 1, Type::I64);
+        let w = mb.declare_func("w", 1);
+        let main = mb.declare_func("main", 0);
+        {
+            let mut b = mb.build_func(w);
+            let a = b.global_addr(g);
+            b.store(a, 1);
+            b.ret(None);
+        }
+        {
+            let mut b = mb.build_func(main);
+            let t = b.thread_create(w, 0);
+            let a = b.global_addr(g);
+            b.load(a, Type::I64);
+            b.thread_join(t);
+            b.ret(None);
+        }
+        (mb.finish(), main)
+    }
+
+    #[test]
+    fn exploration_finds_races_and_dedups() {
+        let (m, main) = narrow_race();
+        let result = explore(
+            &m,
+            main,
+            &[],
+            &ExplorerConfig {
+                runs_per_input: 20,
+                ..ExplorerConfig::default()
+            },
+        );
+        assert_eq!(result.runs, 20);
+        assert_eq!(result.reports.len(), 1, "{:?}", result.reports);
+        assert_eq!(result.reports_on("x").count(), 1);
+    }
+
+    #[test]
+    fn strategies_cover_both_ways() {
+        let (m, main) = narrow_race();
+        for strategy in [ExploreStrategy::Random, ExploreStrategy::Pct { depth: 2 }] {
+            let result = explore(
+                &m,
+                main,
+                &[],
+                &ExplorerConfig {
+                    runs_per_input: 30,
+                    strategy,
+                    ..ExplorerConfig::default()
+                },
+            );
+            assert!(
+                !result.reports.is_empty(),
+                "strategy {strategy:?} found nothing"
+            );
+        }
+    }
+
+    #[test]
+    fn executions_until_counts_tries() {
+        let (m, main) = narrow_race();
+        let tries = executions_until(
+            &m,
+            main,
+            &ProgramInput::empty(),
+            &RunConfig::default(),
+            7,
+            50,
+            |o| o.status == owl_vm::ExitStatus::Finished,
+        );
+        assert_eq!(tries, Some(1), "every run finishes");
+        let never = executions_until(
+            &m,
+            main,
+            &ProgramInput::empty(),
+            &RunConfig::default(),
+            7,
+            5,
+            |_| false,
+        );
+        assert_eq!(never, None);
+    }
+
+    #[test]
+    fn site_pair_sets() {
+        let (m, main) = narrow_race();
+        let r = explore(&m, main, &[], &ExplorerConfig::default());
+        assert_eq!(site_pairs(&r.reports).len(), r.reports.len());
+    }
+}

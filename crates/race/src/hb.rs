@@ -1,0 +1,599 @@
+//! Happens-before data-race detection (the TSan substitute).
+//!
+//! Pure vector-clock happens-before detection over VM traces: mutexes
+//! and atomics create ordering edges; two accesses to the same address
+//! race when at least one writes, they come from different threads, and
+//! neither happens-before the other.
+//!
+//! Two OWL-specific extensions from the paper:
+//!
+//! * **Annotation support** (§5.1): adhoc synchronizations identified by
+//!   the static detector are passed in as [`HbAnnotation`] pairs. The
+//!   annotated write acts as a release and the annotated read as an
+//!   acquire (TSan markup semantics), and races between the annotated
+//!   pair itself are suppressed — this is the benign-schedule reduction.
+//! * **Watchlist read hints** (§6.3): for write-write races the
+//!   detector records the first subsequent read of the corrupted
+//!   address, because Algorithm 1 needs a corrupted load (and its call
+//!   stack) to start from.
+
+use crate::report::{Access, RaceReport};
+use crate::vc::VectorClock;
+use owl_ir::{InstRef, Module, Type};
+use owl_vm::{EventKind, ThreadId, TraceEvent, TraceSink};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// One annotated adhoc synchronization: the flag-setting write and the
+/// busy-wait read it releases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct HbAnnotation {
+    /// The write that publishes the flag (e.g. `dying = 1`).
+    pub write_site: InstRef,
+    /// The spinning read that consumes it.
+    pub read_site: InstRef,
+}
+
+/// Detector configuration.
+#[derive(Clone, Debug)]
+pub struct HbConfig {
+    /// Hard cap on distinct reports kept.
+    pub max_reports: usize,
+    /// Adhoc-synchronization annotations to honour.
+    pub annotations: Vec<HbAnnotation>,
+}
+
+impl Default for HbConfig {
+    fn default() -> Self {
+        HbConfig {
+            max_reports: 100_000,
+            annotations: Vec::new(),
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct Shadow {
+    last_write: Option<(VectorClock, Access)>,
+    reads: Vec<(VectorClock, Access)>,
+}
+
+/// Online happens-before race detector; implement as a [`TraceSink`]
+/// and feed it a VM run.
+#[derive(Clone, Debug)]
+pub struct HbDetector {
+    cfg: HbConfig,
+    clocks: Vec<VectorClock>,
+    lock_clocks: HashMap<u64, VectorClock>,
+    atomic_clocks: HashMap<u64, VectorClock>,
+    ann_clocks: HashMap<u64, VectorClock>,
+    shadow: BTreeMap<u64, Shadow>,
+    reported: HashSet<(InstRef, InstRef)>,
+    reports: Vec<RaceReport>,
+    /// Report indices awaiting a post-race read of the key address.
+    pending_hint: HashMap<u64, Vec<usize>>,
+    ann_write_sites: HashSet<InstRef>,
+    ann_read_sites: HashSet<InstRef>,
+    ann_pairs: HashSet<(InstRef, InstRef)>,
+    suppressed: usize,
+}
+
+impl HbDetector {
+    /// Creates a detector.
+    pub fn new(cfg: HbConfig) -> Self {
+        let ann_write_sites = cfg.annotations.iter().map(|a| a.write_site).collect();
+        let ann_read_sites = cfg.annotations.iter().map(|a| a.read_site).collect();
+        let ann_pairs = cfg
+            .annotations
+            .iter()
+            .map(|a| normalize(a.write_site, a.read_site))
+            .collect();
+        HbDetector {
+            cfg,
+            clocks: vec![initial_clock(ThreadId::MAIN)],
+            lock_clocks: HashMap::new(),
+            atomic_clocks: HashMap::new(),
+            ann_clocks: HashMap::new(),
+            shadow: BTreeMap::new(),
+            reported: HashSet::new(),
+            reports: Vec::new(),
+            pending_hint: HashMap::new(),
+            ann_write_sites,
+            ann_read_sites,
+            ann_pairs,
+            suppressed: 0,
+        }
+    }
+
+    /// Detector with default configuration and no annotations.
+    pub fn unannotated() -> Self {
+        HbDetector::new(HbConfig::default())
+    }
+
+    /// Reports accumulated so far (one per distinct site pair).
+    pub fn reports(&self) -> &[RaceReport] {
+        &self.reports
+    }
+
+    /// Consumes the detector, resolving global names from `module`.
+    pub fn finish(mut self, module: &Module) -> Vec<RaceReport> {
+        for r in &mut self.reports {
+            r.global_name = global_name_for_addr(module, r.addr).map(str::to_string);
+        }
+        self.reports
+    }
+
+    /// Number of race observations suppressed by annotations.
+    pub fn suppressed(&self) -> usize {
+        self.suppressed
+    }
+
+    fn clock_mut(&mut self, t: ThreadId) -> &mut VectorClock {
+        while self.clocks.len() <= t.index() {
+            let t2 = ThreadId(self.clocks.len() as u32);
+            self.clocks.push(initial_clock(t2));
+        }
+        &mut self.clocks[t.index()]
+    }
+
+    fn record(&mut self, addr: u64, prior: &Access, current: &Access) {
+        let key = normalize(prior.site, current.site);
+        if self.ann_pairs.contains(&key) {
+            self.suppressed += 1;
+            return;
+        }
+        if self.reported.contains(&key) || self.reports.len() >= self.cfg.max_reports {
+            return;
+        }
+        self.reported.insert(key);
+        let report = RaceReport {
+            addr,
+            global_name: None,
+            first: prior.clone(),
+            second: current.clone(),
+            read_hint: None,
+        };
+        let idx = self.reports.len();
+        self.reports.push(report);
+        if prior.is_write && current.is_write {
+            // §6.3: watch the corrupted address; attach the next read.
+            self.pending_hint.entry(addr).or_default().push(idx);
+        }
+    }
+
+    fn on_read(&mut self, ev: &TraceEvent, addr: u64, value: i64, ty: Type) {
+        let access = Access {
+            tid: ev.tid,
+            site: ev.site,
+            stack: ev.stack.clone(),
+            is_write: false,
+            value,
+            ty,
+        };
+        // Serve pending write-write read hints.
+        if let Some(idxs) = self.pending_hint.remove(&addr) {
+            for i in idxs {
+                if self.reports[i].read_hint.is_none() {
+                    self.reports[i].read_hint = Some(access.clone());
+                }
+            }
+        }
+        // Annotated acquire.
+        if self.ann_read_sites.contains(&ev.site) {
+            if let Some(rc) = self.ann_clocks.get(&addr).cloned() {
+                self.clock_mut(ev.tid).join(&rc);
+            }
+        }
+        let clock = self.clock_mut(ev.tid).clone();
+        let shadow = self.shadow.entry(addr).or_default();
+        let racy_write = match &shadow.last_write {
+            Some((wc, wacc)) if wacc.tid != ev.tid && !wc.le(&clock) => Some(wacc.clone()),
+            _ => None,
+        };
+        // Prune reads that happen-before this one, then record it.
+        shadow.reads.retain(|(rc, _)| !rc.le(&clock));
+        shadow.reads.push((clock, access.clone()));
+        if let Some(w) = racy_write {
+            self.record(addr, &w, &access);
+        }
+    }
+
+    fn on_write(&mut self, ev: &TraceEvent, addr: u64, value: i64) {
+        let access = Access {
+            tid: ev.tid,
+            site: ev.site,
+            stack: ev.stack.clone(),
+            is_write: true,
+            value,
+            ty: Type::I64,
+        };
+        let clock = self.clock_mut(ev.tid).clone();
+        let shadow = self.shadow.entry(addr).or_default();
+        let mut conflicts: Vec<Access> = Vec::new();
+        if let Some((wc, wacc)) = &shadow.last_write {
+            if wacc.tid != ev.tid && !wc.le(&clock) {
+                conflicts.push(wacc.clone());
+            }
+        }
+        for (rc, racc) in &shadow.reads {
+            if racc.tid != ev.tid && !rc.le(&clock) {
+                conflicts.push(racc.clone());
+            }
+        }
+        shadow.last_write = Some((clock.clone(), access.clone()));
+        shadow.reads.retain(|(rc, _)| !rc.le(&clock));
+        for c in conflicts {
+            self.record(addr, &c, &access);
+        }
+        // Annotated release.
+        if self.ann_write_sites.contains(&ev.site) {
+            let tc = self.clock_mut(ev.tid).clone();
+            self.ann_clocks.entry(addr).or_default().join(&tc);
+            self.clock_mut(ev.tid).tick(ev.tid);
+        }
+    }
+}
+
+impl TraceSink for HbDetector {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        match ev.kind {
+            EventKind::Read {
+                addr,
+                value,
+                ty,
+                atomic,
+            } => {
+                if atomic {
+                    if let Some(rc) = self.atomic_clocks.get(&addr).cloned() {
+                        self.clock_mut(ev.tid).join(&rc);
+                    }
+                } else {
+                    self.on_read(ev, addr, value, ty);
+                }
+            }
+            EventKind::Write {
+                addr,
+                value,
+                atomic,
+                ..
+            } => {
+                if atomic {
+                    let tc = self.clock_mut(ev.tid).clone();
+                    self.atomic_clocks.entry(addr).or_default().join(&tc);
+                    self.clock_mut(ev.tid).tick(ev.tid);
+                } else {
+                    self.on_write(ev, addr, value);
+                }
+            }
+            EventKind::Lock { addr } => {
+                if let Some(lc) = self.lock_clocks.get(&addr).cloned() {
+                    self.clock_mut(ev.tid).join(&lc);
+                }
+            }
+            EventKind::Unlock { addr } => {
+                let tc = self.clock_mut(ev.tid).clone();
+                self.lock_clocks.insert(addr, tc);
+                self.clock_mut(ev.tid).tick(ev.tid);
+            }
+            EventKind::Fork { child } => {
+                let parent = self.clock_mut(ev.tid).clone();
+                let c = self.clock_mut(child);
+                c.join(&parent);
+                c.tick(child);
+                self.clock_mut(ev.tid).tick(ev.tid);
+            }
+            EventKind::Join { child } => {
+                let cc = self.clock_mut(child).clone();
+                self.clock_mut(ev.tid).join(&cc);
+            }
+            EventKind::Malloc { .. } | EventKind::Free { .. } => {
+                // Allocation events carry no HB information here; the
+                // VM's memory model already reports UAF/double-free.
+            }
+        }
+    }
+}
+
+fn initial_clock(t: ThreadId) -> VectorClock {
+    let mut c = VectorClock::new();
+    c.tick(t);
+    c
+}
+
+fn normalize(a: InstRef, b: InstRef) -> (InstRef, InstRef) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Resolves the global variable containing `addr` from the module's
+/// (contiguous) global layout, mirroring [`owl_vm::mem`].
+pub fn global_name_for_addr(module: &Module, addr: u64) -> Option<&str> {
+    let mut base = owl_vm::mem::GLOBAL_BASE;
+    for g in &module.globals {
+        if addr >= base && addr < base + u64::from(g.size) {
+            return Some(&g.name);
+        }
+        base += u64::from(g.size);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_ir::{ModuleBuilder, Operand};
+    use owl_vm::{ProgramInput, RoundRobin, Vm};
+
+    /// Two threads write/read `flag` with no synchronization.
+    fn racy_module() -> (Module, owl_ir::FuncId) {
+        let mut mb = ModuleBuilder::new("racy");
+        let g = mb.global("flag", 1, Type::I64);
+        let writer = mb.declare_func("writer", 1);
+        let main = mb.declare_func("main", 0);
+        {
+            let mut b = mb.build_func(writer);
+            let a = b.global_addr(g);
+            b.store(a, 1);
+            b.ret(None);
+        }
+        {
+            let mut b = mb.build_func(main);
+            let t = b.thread_create(writer, 0);
+            let a = b.global_addr(g);
+            b.load(a, Type::I64);
+            b.thread_join(t);
+            b.ret(None);
+        }
+        (mb.finish(), main)
+    }
+
+    /// Same shape but the store/load are protected by a mutex.
+    fn locked_module() -> (Module, owl_ir::FuncId) {
+        let mut mb = ModuleBuilder::new("locked");
+        let g = mb.global("flag", 1, Type::I64);
+        let l = mb.global("lock", 1, Type::I64);
+        let writer = mb.declare_func("writer", 1);
+        let main = mb.declare_func("main", 0);
+        {
+            let mut b = mb.build_func(writer);
+            let la = b.global_addr(l);
+            b.lock(la);
+            let a = b.global_addr(g);
+            b.store(a, 1);
+            b.unlock(la);
+            b.ret(None);
+        }
+        {
+            let mut b = mb.build_func(main);
+            let t = b.thread_create(writer, 0);
+            let la = b.global_addr(l);
+            b.lock(la);
+            let a = b.global_addr(g);
+            b.load(a, Type::I64);
+            b.unlock(la);
+            b.thread_join(t);
+            b.ret(None);
+        }
+        (mb.finish(), main)
+    }
+
+    fn run_detector(m: &Module, entry: owl_ir::FuncId, cfg: HbConfig) -> Vec<RaceReport> {
+        let mut det = HbDetector::new(cfg);
+        let mut sched = RoundRobin::new(2);
+        let vm = Vm::new(m, entry, ProgramInput::empty(), Default::default());
+        let _ = vm.run(&mut sched, &mut det);
+        det.finish(m)
+    }
+
+    #[test]
+    fn detects_unsynchronized_race() {
+        let (m, main) = racy_module();
+        let reports = run_detector(&m, main, HbConfig::default());
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].global_name.as_deref(), Some("flag"));
+    }
+
+    #[test]
+    fn mutex_orders_accesses() {
+        let (m, main) = locked_module();
+        let reports = run_detector(&m, main, HbConfig::default());
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn fork_join_order_no_race() {
+        // Parent writes before fork and after join: ordered.
+        let mut mb = ModuleBuilder::new("fj");
+        let g = mb.global("x", 1, Type::I64);
+        let child = mb.declare_func("child", 1);
+        let main = mb.declare_func("main", 0);
+        {
+            let mut b = mb.build_func(child);
+            let a = b.global_addr(g);
+            let v = b.load(a, Type::I64);
+            let v2 = b.add(v, 1);
+            b.store(a, v2);
+            b.ret(None);
+        }
+        {
+            let mut b = mb.build_func(main);
+            let a = b.global_addr(g);
+            b.store(a, 10);
+            let t = b.thread_create(child, 0);
+            b.thread_join(t);
+            let v = b.load(a, Type::I64);
+            b.output(0, v);
+            b.ret(None);
+        }
+        let m = mb.finish();
+        let main_id = m.func_by_name("main").unwrap();
+        let reports = run_detector(&m, main_id, HbConfig::default());
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn atomics_synchronize() {
+        let mut mb = ModuleBuilder::new("at");
+        let data = mb.global("data", 1, Type::I64);
+        let ready = mb.global("ready", 1, Type::I64);
+        let consumer = mb.declare_func("consumer", 1);
+        let main = mb.declare_func("main", 0);
+        {
+            // Busy-wait on atomic `ready`, then read `data` plainly.
+            let mut b = mb.build_func(consumer);
+            let head = b.block();
+            let done = b.block();
+            b.jmp(head);
+            b.switch_to(head);
+            let ra = b.global_addr(ready);
+            let v = b.atomic_load(ra);
+            b.br(v, done, head);
+            b.switch_to(done);
+            let da = b.global_addr(data);
+            b.load(da, Type::I64);
+            b.ret(None);
+        }
+        {
+            let mut b = mb.build_func(main);
+            let t = b.thread_create(consumer, 0);
+            let da = b.global_addr(data);
+            b.store(da, 42);
+            let ra = b.global_addr(ready);
+            b.atomic_store(ra, 1);
+            b.thread_join(t);
+            b.ret(None);
+        }
+        let m = mb.finish();
+        let main_id = m.func_by_name("main").unwrap();
+        let reports = run_detector(&m, main_id, HbConfig::default());
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn adhoc_sync_races_until_annotated() {
+        // The same producer/consumer but with a *plain* flag — an adhoc
+        // synchronization. Unannotated: races on flag and data.
+        // Annotated: nothing.
+        let mut mb = ModuleBuilder::new("adhoc");
+        let data = mb.global("data", 1, Type::I64);
+        let ready = mb.global("ready", 1, Type::I64);
+        let consumer = mb.declare_func("consumer", 1);
+        let main = mb.declare_func("main", 0);
+        let (read_site, data_read);
+        {
+            let mut b = mb.build_func(consumer);
+            let head = b.block();
+            let done = b.block();
+            b.jmp(head);
+            b.switch_to(head);
+            let ra = b.global_addr(ready);
+            let v = b.load(ra, Type::I64);
+            read_site = InstRef::new(consumer, v);
+            b.br(v, done, head);
+            b.switch_to(done);
+            let da = b.global_addr(data);
+            data_read = b.load(da, Type::I64);
+            let _ = data_read;
+            b.ret(None);
+        }
+        let write_site;
+        {
+            let mut b = mb.build_func(main);
+            let t = b.thread_create(consumer, 0);
+            let da = b.global_addr(data);
+            b.store(da, 42);
+            let ra = b.global_addr(ready);
+            let w = b.store(ra, 1);
+            write_site = InstRef::new(main, w);
+            b.thread_join(t);
+            b.ret(None);
+        }
+        let m = mb.finish();
+        let main_id = m.func_by_name("main").unwrap();
+
+        let raw = run_detector(&m, main_id, HbConfig::default());
+        assert!(
+            raw.iter()
+                .any(|r| r.global_name.as_deref() == Some("ready")),
+            "flag race expected: {raw:?}"
+        );
+        assert!(
+            raw.iter().any(|r| r.global_name.as_deref() == Some("data")),
+            "derived data race expected: {raw:?}"
+        );
+
+        let annotated = run_detector(
+            &m,
+            main_id,
+            HbConfig {
+                annotations: vec![HbAnnotation {
+                    write_site,
+                    read_site,
+                }],
+                ..HbConfig::default()
+            },
+        );
+        assert!(annotated.is_empty(), "{annotated:?}");
+    }
+
+    #[test]
+    fn write_write_race_gets_read_hint() {
+        let mut mb = ModuleBuilder::new("ww");
+        let g = mb.global("g", 1, Type::I64);
+        let writer = mb.declare_func("writer", 1);
+        let main = mb.declare_func("main", 0);
+        {
+            let mut b = mb.build_func(writer);
+            let a = b.global_addr(g);
+            b.store(a, Operand::Param(0));
+            b.ret(None);
+        }
+        {
+            let mut b = mb.build_func(main);
+            let t = b.thread_create(writer, 7);
+            let a = b.global_addr(g);
+            b.store(a, 8);
+            b.thread_join(t);
+            let v = b.load(a, Type::I64);
+            b.output(0, v);
+            b.ret(None);
+        }
+        let m = mb.finish();
+        let main_id = m.func_by_name("main").unwrap();
+        let reports = run_detector(&m, main_id, HbConfig::default());
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].is_write_write());
+        let hint = reports[0].read_hint.as_ref().expect("read hint");
+        assert!(!hint.is_write);
+        assert_eq!(reports[0].read_access().unwrap().site, hint.site);
+    }
+
+    #[test]
+    fn reports_deduplicate_per_site_pair() {
+        // Run the racy pair many times in a loop: still one report.
+        let (m, main) = racy_module();
+        let mut det = HbDetector::unannotated();
+        let mut sched = RoundRobin::new(2);
+        for _ in 0..5 {
+            let vm = Vm::new(&m, main, ProgramInput::empty(), Default::default());
+            let _ = vm.run(&mut sched, &mut det);
+        }
+        assert_eq!(det.reports().len(), 1);
+    }
+
+    #[test]
+    fn global_name_resolution() {
+        let mut mb = ModuleBuilder::new("g");
+        mb.global("a", 2, Type::I64);
+        mb.global("b", 1, Type::I64);
+        let m = mb.finish();
+        let base = owl_vm::mem::GLOBAL_BASE;
+        assert_eq!(global_name_for_addr(&m, base), Some("a"));
+        assert_eq!(global_name_for_addr(&m, base + 1), Some("a"));
+        assert_eq!(global_name_for_addr(&m, base + 2), Some("b"));
+        assert_eq!(global_name_for_addr(&m, base + 3), None);
+    }
+}

@@ -1,0 +1,166 @@
+//! Race reports.
+//!
+//! A report pairs two conflicting accesses with their call stacks — the
+//! unit every later OWL stage consumes: the adhoc-sync detector reads
+//! the racy read's loop context, Algorithm 1 starts from the racy
+//! read's call stack, and the dynamic verifiers breakpoint both sites.
+
+use owl_ir::{InstRef, Module, Type};
+use owl_vm::{CallStack, ThreadId};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One side of a race.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Access {
+    /// Acting thread.
+    pub tid: ThreadId,
+    /// The racing instruction.
+    pub site: InstRef,
+    /// Call stack at the access (call sites, outermost first).
+    pub stack: CallStack,
+    /// Whether the access writes.
+    pub is_write: bool,
+    /// The value read / written.
+    pub value: i64,
+    /// Static type at the access site.
+    pub ty: Type,
+}
+
+/// A detected data race on one address.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RaceReport {
+    /// The racing address.
+    pub addr: u64,
+    /// Name of the global containing `addr`, when known.
+    pub global_name: Option<String>,
+    /// The access that executed first.
+    pub first: Access,
+    /// The conflicting access that executed later.
+    pub second: Access,
+    /// For write-write races: the first subsequent load of the corrupted
+    /// address. The paper modified SKI's policy to record exactly this
+    /// (§6.3), because Algorithm 1 needs a corrupted *read* to start
+    /// from.
+    pub read_hint: Option<Access>,
+}
+
+impl RaceReport {
+    /// Normalized site-pair key for deduplication (TSan reports each
+    /// static pair once).
+    pub fn key(&self) -> (InstRef, InstRef) {
+        let (a, b) = (self.first.site, self.second.site);
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// The read side whose call stack seeds the vulnerability analysis:
+    /// prefer a racy read access, else the recorded post-race read hint.
+    pub fn read_access(&self) -> Option<&Access> {
+        if !self.second.is_write {
+            Some(&self.second)
+        } else if !self.first.is_write {
+            Some(&self.first)
+        } else {
+            self.read_hint.as_ref()
+        }
+    }
+
+    /// Whether both sides write (needs `read_hint` for analysis).
+    pub fn is_write_write(&self) -> bool {
+        self.first.is_write && self.second.is_write
+    }
+
+    /// Renders the report in the paper's Figure-4 style: the racing
+    /// pair, then each side's call stack.
+    pub fn format(&self, m: &Module) -> String {
+        let mut out = String::new();
+        let name = self
+            .global_name
+            .clone()
+            .unwrap_or_else(|| format!("{:#x}", self.addr));
+        let _ = writeln!(out, "data race on `{name}`:");
+        for (label, acc) in [("first", &self.first), ("second", &self.second)] {
+            let _ = writeln!(
+                out,
+                "  {label}: {} {} of {} (value {})",
+                acc.tid,
+                if acc.is_write { "write" } else { "read" },
+                m.format_loc(acc.site),
+                acc.value,
+            );
+            let _ = writeln!(out, "    {}", m.format_frame(acc.site));
+            for frame in acc.stack.iter().rev() {
+                let _ = writeln!(out, "    {}", m.format_frame(*frame));
+            }
+        }
+        if let Some(h) = &self.read_hint {
+            let _ = writeln!(out, "  first read after race: {}", m.format_frame(h.site));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_ir::{FuncId, InstId};
+    use std::sync::Arc;
+
+    fn acc(f: u32, i: u32, w: bool) -> Access {
+        Access {
+            tid: ThreadId(0),
+            site: InstRef::new(FuncId(f), InstId(i)),
+            stack: Arc::from(vec![].into_boxed_slice()),
+            is_write: w,
+            value: 0,
+            ty: Type::I64,
+        }
+    }
+
+    fn report(first: Access, second: Access) -> RaceReport {
+        RaceReport {
+            addr: 0x1000,
+            global_name: Some("dying".into()),
+            first,
+            second,
+            read_hint: None,
+        }
+    }
+
+    #[test]
+    fn key_is_order_insensitive() {
+        let r1 = report(acc(0, 1, true), acc(1, 2, false));
+        let r2 = report(acc(1, 2, false), acc(0, 1, true));
+        assert_eq!(r1.key(), r2.key());
+    }
+
+    #[test]
+    fn read_access_prefers_actual_read() {
+        let r = report(acc(0, 1, true), acc(1, 2, false));
+        assert_eq!(
+            r.read_access().unwrap().site,
+            InstRef::new(FuncId(1), InstId(2))
+        );
+        let r = report(acc(0, 1, false), acc(1, 2, true));
+        assert_eq!(
+            r.read_access().unwrap().site,
+            InstRef::new(FuncId(0), InstId(1))
+        );
+    }
+
+    #[test]
+    fn write_write_uses_hint() {
+        let mut r = report(acc(0, 1, true), acc(1, 2, true));
+        assert!(r.is_write_write());
+        assert!(r.read_access().is_none());
+        r.read_hint = Some(acc(2, 3, false));
+        assert_eq!(
+            r.read_access().unwrap().site,
+            InstRef::new(FuncId(2), InstId(3))
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Property test: the vector-clock detector against an independent
+//! happens-before oracle.
+//!
+//! Random concurrent programs (threads mixing locked and unlocked
+//! accesses to a handful of globals) are executed once; the resulting
+//! event trace is analyzed two ways:
+//!
+//! * by [`owl_race::HbDetector`] (vector clocks, online);
+//! * by a brute-force oracle that builds the happens-before DAG
+//!   (program order + unlock→lock + fork/join edges) and checks
+//!   reachability for every conflicting pair.
+//!
+//! Required agreement:
+//!
+//! * **no false positives** — every pair the detector reports is
+//!   concurrent per the oracle;
+//! * **per-address coverage** — every address with at least one true
+//!   race gets at least one detector report (the detector may pick a
+//!   different representative pair; TSan's read-set pruning has the
+//!   same property).
+
+use owl_ir::{FuncId, ModuleBuilder, Type};
+use owl_race::HbDetector;
+use owl_vm::{
+    EventKind, ProgramInput, RandomScheduler, RunConfig, ThreadId, TraceEvent, VecSink, Vm,
+};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Action {
+    /// Unlocked access to global `g` (write if `w`).
+    Plain {
+        g: usize,
+        w: bool,
+    },
+    /// Lock-protected accesses.
+    Locked {
+        body: Vec<(usize, bool)>,
+    },
+    Yield,
+}
+
+fn action_strategy(globals: usize) -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0..globals, any::<bool>()).prop_map(|(g, w)| Action::Plain { g, w }),
+        prop::collection::vec((0..globals, any::<bool>()), 1..3)
+            .prop_map(|body| Action::Locked { body }),
+        Just(Action::Yield),
+    ]
+}
+
+fn program_strategy() -> impl Strategy<Value = Vec<Vec<Action>>> {
+    prop::collection::vec(
+        prop::collection::vec(action_strategy(3), 1..6),
+        2..4, // threads
+    )
+}
+
+fn build(threads: &[Vec<Action>]) -> (owl_ir::Module, FuncId) {
+    let mut mb = ModuleBuilder::new("prop-hb");
+    let globals: Vec<_> = (0..3)
+        .map(|i| mb.global(format!("g{i}"), 1, Type::I64))
+        .collect();
+    let mutex = mb.global("m", 1, Type::I64);
+    let fns: Vec<FuncId> = (0..threads.len())
+        .map(|i| mb.declare_func(format!("t{i}"), 1))
+        .collect();
+    for (f, actions) in fns.iter().zip(threads) {
+        let mut b = mb.build_func(*f);
+        for a in actions {
+            match a {
+                Action::Plain { g, w } => {
+                    let addr = b.global_addr(globals[*g]);
+                    if *w {
+                        b.store(addr, 1);
+                    } else {
+                        b.load(addr, Type::I64);
+                    }
+                }
+                Action::Locked { body } => {
+                    let la = b.global_addr(mutex);
+                    b.lock(la);
+                    for (g, w) in body {
+                        let addr = b.global_addr(globals[*g]);
+                        if *w {
+                            b.store(addr, 2);
+                        } else {
+                            b.load(addr, Type::I64);
+                        }
+                    }
+                    b.unlock(la);
+                }
+                Action::Yield => {
+                    b.yield_now();
+                }
+            }
+        }
+        b.ret(None);
+    }
+    let main = mb.declare_func("main", 0);
+    {
+        let mut b = mb.build_func(main);
+        let tids: Vec<_> = fns.iter().map(|&f| b.thread_create(f, 0)).collect();
+        for t in tids {
+            b.thread_join(t);
+        }
+        b.ret(None);
+    }
+    (mb.finish(), main)
+}
+
+/// Brute-force oracle: happens-before reachability over the trace.
+fn oracle_races(events: &[TraceEvent]) -> Vec<(u64, usize, usize)> {
+    let n = events.len();
+    let mut edge = vec![vec![]; n];
+    // Program order.
+    let mut last_of_thread: std::collections::HashMap<ThreadId, usize> = Default::default();
+    // Lock hand-off.
+    let mut last_unlock: std::collections::HashMap<u64, usize> = Default::default();
+    // Thread start/end for fork/join edges.
+    let mut first_of_thread: std::collections::HashMap<ThreadId, usize> = Default::default();
+    for (i, ev) in events.iter().enumerate() {
+        if let Some(&p) = last_of_thread.get(&ev.tid) {
+            edge[p].push(i);
+        }
+        first_of_thread.entry(ev.tid).or_insert(i);
+        last_of_thread.insert(ev.tid, i);
+        match ev.kind {
+            EventKind::Lock { addr } => {
+                if let Some(&u) = last_unlock.get(&addr) {
+                    edge[u].push(i);
+                }
+            }
+            EventKind::Unlock { addr } => {
+                last_unlock.insert(addr, i);
+            }
+            EventKind::Fork { child } => {
+                // Edge to the child's first (future) event: handled in a
+                // second pass below, once first_of_thread is complete.
+                let _ = child;
+            }
+            EventKind::Join { child } => {
+                if let Some(&l) = last_of_thread.get(&child) {
+                    edge[l].push(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    for (i, ev) in events.iter().enumerate() {
+        if let EventKind::Fork { child } = ev.kind {
+            if let Some(&f) = first_of_thread.get(&child) {
+                if f > i {
+                    edge[i].push(f);
+                }
+            }
+        }
+    }
+    // Reachability (forward BFS per node; traces here are small).
+    let mut reach = vec![vec![false; n]; n];
+    for (s, row) in reach.iter_mut().enumerate() {
+        let mut stack = vec![s];
+        while let Some(x) = stack.pop() {
+            for &y in &edge[x] {
+                if !row[y] {
+                    row[y] = true;
+                    stack.push(y);
+                }
+            }
+        }
+    }
+    let mut races = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (a, b) = (&events[i], &events[j]);
+            if !a.is_data_access() || !b.is_data_access() {
+                continue;
+            }
+            if a.tid == b.tid || a.addr() != b.addr() {
+                continue;
+            }
+            if !(a.is_write() || b.is_write()) {
+                continue;
+            }
+            if !reach[i][j] && !reach[j][i] {
+                races.push((a.addr().unwrap(), i, j));
+            }
+        }
+    }
+    races
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn detector_agrees_with_oracle(threads in program_strategy(), seed in 0u64..64) {
+        let (m, main) = build(&threads);
+        let mut sink = VecSink::default();
+        let mut sched = RandomScheduler::new(seed);
+        let vm = Vm::new(&m, main, ProgramInput::empty(), RunConfig::default());
+        let _ = vm.run(&mut sched, &mut sink);
+
+        // Oracle verdict on this exact trace.
+        let truth = oracle_races(&sink.events);
+        let racy_addrs: std::collections::BTreeSet<u64> =
+            truth.iter().map(|(a, _, _)| *a).collect();
+        let concurrent_pairs: std::collections::BTreeSet<(u64, _, _)> = truth
+            .iter()
+            .map(|(a, i, j)| {
+                let (s1, s2) = (sink.events[*i].site, sink.events[*j].site);
+                if s1 <= s2 { (*a, s1, s2) } else { (*a, s2, s1) }
+            })
+            .collect();
+
+        // Detector verdict on the same trace.
+        let mut det = HbDetector::unannotated();
+        for ev in &sink.events {
+            use owl_vm::TraceSink as _;
+            det.on_event(ev);
+        }
+        let reports = det.finish(&m);
+
+        // 1. No false positives.
+        for r in &reports {
+            let key = r.key();
+            prop_assert!(
+                concurrent_pairs.contains(&(r.addr, key.0, key.1)),
+                "false positive: {r:?}\ntruth: {concurrent_pairs:?}"
+            );
+        }
+        // 2. Per-address coverage.
+        let reported_addrs: std::collections::BTreeSet<u64> =
+            reports.iter().map(|r| r.addr).collect();
+        for a in &racy_addrs {
+            prop_assert!(
+                reported_addrs.contains(a),
+                "missed racy address {a:#x}; reports: {reports:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests: vector clocks must form a join-semilattice and the
+//! happens-before order must be a partial order — the correctness
+//! bedrock of the race detector.
+
+use owl_race::VectorClock;
+use owl_vm::ThreadId;
+use proptest::prelude::*;
+
+fn clock_strategy() -> impl Strategy<Value = VectorClock> {
+    prop::collection::vec(0u64..50, 0..6).prop_map(|vals| {
+        let mut c = VectorClock::new();
+        for (i, v) in vals.into_iter().enumerate() {
+            c.set(ThreadId(i as u32), v);
+        }
+        c
+    })
+}
+
+proptest! {
+    #[test]
+    fn join_is_commutative(a in clock_strategy(), b in clock_strategy()) {
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        // Compare componentwise (the representation may differ in
+        // trailing zeros).
+        for t in 0..8 {
+            prop_assert_eq!(ab.get(ThreadId(t)), ba.get(ThreadId(t)));
+        }
+    }
+
+    #[test]
+    fn join_is_associative(a in clock_strategy(), b in clock_strategy(), c in clock_strategy()) {
+        let mut left = a.clone();
+        left.join(&b);
+        left.join(&c);
+        let mut bc = b.clone();
+        bc.join(&c);
+        let mut right = a.clone();
+        right.join(&bc);
+        for t in 0..8 {
+            prop_assert_eq!(left.get(ThreadId(t)), right.get(ThreadId(t)));
+        }
+    }
+
+    #[test]
+    fn join_is_idempotent_and_upper_bound(a in clock_strategy(), b in clock_strategy()) {
+        let mut aa = a.clone();
+        aa.join(&a);
+        for t in 0..8 {
+            prop_assert_eq!(aa.get(ThreadId(t)), a.get(ThreadId(t)));
+        }
+        let mut j = a.clone();
+        j.join(&b);
+        prop_assert!(a.le(&j));
+        prop_assert!(b.le(&j));
+    }
+
+    #[test]
+    fn le_is_reflexive_and_antisymmetric(a in clock_strategy(), b in clock_strategy()) {
+        prop_assert!(a.le(&a));
+        if a.le(&b) && b.le(&a) {
+            for t in 0..8 {
+                prop_assert_eq!(a.get(ThreadId(t)), b.get(ThreadId(t)));
+            }
+        }
+    }
+
+    #[test]
+    fn le_is_transitive(a in clock_strategy(), b in clock_strategy(), c in clock_strategy()) {
+        if a.le(&b) && b.le(&c) {
+            prop_assert!(a.le(&c));
+        }
+    }
+
+    #[test]
+    fn concurrent_is_symmetric_and_irreflexive(a in clock_strategy(), b in clock_strategy()) {
+        prop_assert_eq!(a.concurrent(&b), b.concurrent(&a));
+        prop_assert!(!a.concurrent(&a));
+    }
+
+    #[test]
+    fn tick_strictly_increases(a in clock_strategy(), t in 0u32..6) {
+        let mut b = a.clone();
+        b.tick(ThreadId(t));
+        prop_assert!(a.le(&b));
+        prop_assert!(!b.le(&a));
+    }
+}

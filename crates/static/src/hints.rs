@@ -1,0 +1,148 @@
+//! Report rendering in the paper's formats.
+//!
+//! Figure 4 shows the call stack OWL starts from; Figure 5 shows the
+//! vulnerable input hint: the corrupted branch instructions in IR form
+//! with source locations, followed by the vulnerable site location.
+//! These renderings are what made the hints "expressive enough to
+//! manually infer vulnerable inputs" (§1), so the formats are kept
+//! close to the original.
+
+use crate::vuln::{DepKind, VulnReport};
+use owl_ir::{inst_with_loc, InstRef, Module};
+use std::fmt::Write as _;
+
+/// Renders a call stack in Figure-4 style:
+///
+/// ```text
+/// libsafe_strcpy (intercept.c:151)
+/// stack_check (util.c:164)
+/// ```
+pub fn format_call_stack(module: &Module, site: InstRef, stack: &[InstRef]) -> String {
+    let mut out = String::new();
+    for frame in stack {
+        let _ = writeln!(out, "{}", module.format_frame(*frame));
+    }
+    let _ = writeln!(out, "{}", module.format_frame(site));
+    out
+}
+
+/// Renders one vulnerability report in Figure-5 style:
+///
+/// ```text
+/// ---- Ctrl Dependent Vulnerability ----
+/// [ %4 ]
+/// %4 = br %3, bb1, bb2  ; intercept.c:164
+/// Vulnerable Site Location: (intercept.c:165) [memory-op]
+/// ```
+pub fn format_vuln_report(module: &Module, report: &VulnReport) -> String {
+    let mut out = String::new();
+    let kind = match report.dep {
+        DepKind::CtrlDep => "Ctrl Dependent",
+        DepKind::DataDep => "Data Dependent",
+    };
+    let _ = writeln!(out, "---- {kind} Vulnerability ----");
+    if !report.branches.is_empty() {
+        let ids: Vec<String> = report
+            .branches
+            .iter()
+            .map(|b| format!("{}", b.inst))
+            .collect();
+        let _ = writeln!(out, "[ {} ]", ids.join(", "));
+        for br in &report.branches {
+            let _ = writeln!(out, "{}", inst_with_loc(module, *br));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "Vulnerable Site Location: ({}) [{}]",
+        module.format_loc(report.site),
+        report.class
+    );
+    if report.chain.len() > 1 {
+        let _ = writeln!(out, "Propagation chain:");
+        for step in &report.chain {
+            let _ = writeln!(out, "  {}", inst_with_loc(module, *step));
+        }
+    }
+    out
+}
+
+/// Renders a batch of reports with a numbered header per entry.
+pub fn format_vuln_reports(module: &Module, reports: &[VulnReport]) -> String {
+    let mut out = String::new();
+    for (i, r) in reports.iter().enumerate() {
+        let _ = writeln!(out, "== vulnerability hint #{} ==", i + 1);
+        out.push_str(&format_vuln_report(module, r));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_ir::{FuncId, InstId, ModuleBuilder, Operand, Pred, Type, VulnClass};
+
+    fn sample() -> (Module, VulnReport, InstRef, Vec<InstRef>) {
+        let mut mb = ModuleBuilder::new("libsafe");
+        let dying = mb.global("dying", 1, Type::I64);
+        let f = mb.declare_func("stack_check", 0);
+        let (load, br, site);
+        {
+            let mut b = mb.build_func(f);
+            b.loc("util.c", 145);
+            let a = b.global_addr(dying);
+            load = b.load(a, Type::I64);
+            let c = b.cmp(Pred::Eq, load, 0);
+            let yes = b.block();
+            let no = b.block();
+            b.loc("intercept.c", 164);
+            br = b.br(c, yes, no);
+            b.switch_to(yes);
+            b.loc("intercept.c", 165);
+            site = b.memcopy(Operand::Const(0x2000), Operand::Const(0x3000), 8);
+            b.jmp(no);
+            b.switch_to(no);
+            b.ret(None);
+        }
+        let m = mb.finish();
+        let report = VulnReport {
+            site: InstRef::new(f, site),
+            class: VulnClass::MemoryOp,
+            dep: DepKind::CtrlDep,
+            source: InstRef::new(f, load),
+            branches: vec![InstRef::new(f, br)],
+            path_branches: vec![InstRef::new(f, br)],
+            chain: vec![InstRef::new(f, load), InstRef::new(f, br)],
+        };
+        (m, report, InstRef::new(f, load), vec![])
+    }
+
+    #[test]
+    fn figure5_style_rendering() {
+        let (m, report, _, _) = sample();
+        let s = format_vuln_report(&m, &report);
+        assert!(s.contains("---- Ctrl Dependent Vulnerability ----"));
+        assert!(s.contains("intercept.c:164"));
+        assert!(s.contains("Vulnerable Site Location: (intercept.c:165) [memory-op]"));
+        assert!(s.contains("Propagation chain:"));
+    }
+
+    #[test]
+    fn figure4_style_call_stack() {
+        let (m, _, site, _) = sample();
+        let other = InstRef::new(FuncId(0), InstId(0));
+        let s = format_call_stack(&m, site, &[other]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("stack_check"));
+        assert!(lines[1].contains("util.c:145"));
+    }
+
+    #[test]
+    fn batch_rendering_numbers_entries() {
+        let (m, report, _, _) = sample();
+        let s = format_vuln_reports(&m, &[report.clone(), report]);
+        assert!(s.contains("hint #1"));
+        assert!(s.contains("hint #2"));
+    }
+}

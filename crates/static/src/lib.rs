@@ -1,0 +1,61 @@
+//! # owl-static
+//!
+//! OWL's static analyses (Rust reproduction of *"Understanding and
+//! Detecting Concurrency Attacks"*, DSN 2018):
+//!
+//! * [`AdhocSyncDetector`] — recognizes busy-wait adhoc
+//!   synchronizations from race reports (§5.1) and produces the
+//!   [`owl_race::HbAnnotation`]s that prune benign **schedules**;
+//! * [`VulnAnalyzer`] — Algorithm 1 (§6.1): inter-procedural forward
+//!   data & control flow analysis from a corrupted racy load to the
+//!   five vulnerable-site classes, guided by the report's dynamic call
+//!   stack; its [`VulnReport`]s are the vulnerable **input** hints;
+//! * [`ConseqAnalyzer`] — a ConSeq-style intra-procedural, data-only
+//!   baseline, kept to demonstrate why concurrency attacks need more;
+//! * [`hints`] — Figure-4/Figure-5 style report rendering.
+//!
+//! ## Example
+//!
+//! ```
+//! use owl_ir::{ModuleBuilder, InstRef, Type, VulnClass};
+//! use owl_static::{VulnAnalyzer, DepKind};
+//!
+//! // if (corrupted) { exec(...) }
+//! let mut mb = ModuleBuilder::new("demo");
+//! let flag = mb.global("flag", 1, Type::I64);
+//! let f = mb.declare_func("handler", 0);
+//! let load;
+//! {
+//!     let mut b = mb.build_func(f);
+//!     let a = b.global_addr(flag);
+//!     load = b.load(a, Type::I64);
+//!     let yes = b.block();
+//!     let no = b.block();
+//!     b.br(load, yes, no);
+//!     b.switch_to(yes);
+//!     b.exec(7);
+//!     b.jmp(no);
+//!     b.switch_to(no);
+//!     b.ret(None);
+//! }
+//! let module = mb.finish();
+//!
+//! let mut analyzer = VulnAnalyzer::with_defaults(&module);
+//! let (reports, _stats) = analyzer.analyze(InstRef::new(f, load), &[]);
+//! assert_eq!(reports[0].class, VulnClass::ExecOp);
+//! assert_eq!(reports[0].dep, DepKind::CtrlDep);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod adhoc;
+mod conseq;
+pub mod hints;
+mod synth;
+mod vuln;
+
+pub use adhoc::{AdhocSyncDetector, AdhocVerdict};
+pub use conseq::ConseqAnalyzer;
+pub use synth::{Affine, Assignment, InputSynthesizer};
+pub use vuln::{DepKind, VulnAnalyzer, VulnConfig, VulnReport, VulnStats};

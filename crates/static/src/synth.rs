@@ -1,0 +1,465 @@
+//! Input synthesis from vulnerable-input hints.
+//!
+//! The paper deliberately stopped at *hints*: "We did not make this
+//! vulnerable input hint automatically generate concrete inputs (can
+//! be done via symbolic execution), because we found the call stacks
+//! and branches in hints are already expressive enough for us to
+//! manually infer vulnerable inputs" (§1). This module automates the
+//! easy 80% of that manual step for the input-dependent gates: when a
+//! hint branch's condition is an affine function of a program input
+//! word (`input[k] * a + b` compared against a constant), solve for an
+//! input value that steers the branch toward the vulnerable site.
+//!
+//! Racy/corrupted conditions are left to the schedule (that is the
+//! verifiers' job); the synthesizer simply skips branches it cannot
+//! express — exactly the division of labour the paper describes
+//! between inputs and schedules.
+
+use owl_ir::analysis::{Cfg, PostDomTree};
+use owl_ir::{BlockId, Function, Inst, InstId, InstRef, Module, Operand, Pred};
+use owl_vm::ProgramInput;
+use serde::{Deserialize, Serialize};
+
+/// An affine expression `coeff * input[idx] + offset` (or a constant
+/// when `idx` is `None`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Affine {
+    /// Input word index, if the expression depends on one.
+    pub idx: Option<i64>,
+    /// Multiplier of the input word.
+    pub coeff: i64,
+    /// Constant offset.
+    pub offset: i64,
+}
+
+impl Affine {
+    fn constant(c: i64) -> Self {
+        Affine {
+            idx: None,
+            coeff: 0,
+            offset: c,
+        }
+    }
+}
+
+/// One solved branch: set `input[idx] = value` to steer `branch`
+/// toward the site.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// Input word index.
+    pub idx: i64,
+    /// Value to set.
+    pub value: i64,
+    /// The branch this satisfies.
+    pub branch: InstRef,
+}
+
+/// Synthesizes concrete inputs satisfying a hint's path branches.
+#[derive(Debug)]
+pub struct InputSynthesizer<'m> {
+    module: &'m Module,
+}
+
+impl<'m> InputSynthesizer<'m> {
+    /// Creates a synthesizer over `module`.
+    pub fn new(module: &'m Module) -> Self {
+        InputSynthesizer { module }
+    }
+
+    /// Expresses `op` (in `func`) as an affine function of at most one
+    /// input word, if possible.
+    fn affine_of(&self, func: &Function, op: Operand, depth: usize) -> Option<Affine> {
+        if depth > 16 {
+            return None;
+        }
+        match op {
+            Operand::Const(c) => Some(Affine::constant(c)),
+            Operand::Param(_) => None,
+            Operand::Value(v) => match func.inst(v) {
+                Inst::Input {
+                    idx: Operand::Const(k),
+                } => Some(Affine {
+                    idx: Some(*k),
+                    coeff: 1,
+                    offset: 0,
+                }),
+                Inst::Bin { op, a, b } => {
+                    let ea = self.affine_of(func, *a, depth + 1)?;
+                    let eb = self.affine_of(func, *b, depth + 1)?;
+                    // At most one side may carry an input.
+                    match op {
+                        owl_ir::BinOp::Add => combine(ea, eb, |x, y| x.checked_add(y), 1),
+                        owl_ir::BinOp::Sub => combine(ea, eb, |x, y| x.checked_sub(y), -1),
+                        owl_ir::BinOp::Mul => {
+                            // One side must be a pure constant.
+                            let (e, c) = if ea.idx.is_none() {
+                                (eb, ea.offset)
+                            } else if eb.idx.is_none() {
+                                (ea, eb.offset)
+                            } else {
+                                return None;
+                            };
+                            Some(Affine {
+                                idx: e.idx,
+                                coeff: e.coeff.checked_mul(c)?,
+                                offset: e.offset.checked_mul(c)?,
+                            })
+                        }
+                        _ => None,
+                    }
+                }
+                _ => None,
+            },
+        }
+    }
+
+    /// Which successor of `branch` leads (via the post-dominator walk
+    /// that defines control dependence) toward `target_block`? Returns
+    /// `Some(true)` for the then-edge, `Some(false)` for the else-edge.
+    fn required_side(
+        &self,
+        func: &Function,
+        cfg: &Cfg,
+        pdom: &PostDomTree,
+        branch: InstId,
+        target_block: BlockId,
+    ) -> Option<bool> {
+        let Inst::Br {
+            then_bb, else_bb, ..
+        } = func.inst(branch)
+        else {
+            return None;
+        };
+        let owner = func.inst_blocks();
+        let branch_block = owner[branch.index()];
+        // The branch's controlled region ends where its two arms rejoin
+        // (the branch block's immediate post-dominator). A side "leads
+        // to" the target if the target is CFG-reachable from that side
+        // without crossing the rejoin point.
+        let stop = pdom.ipdom_raw(branch_block.index());
+        let reaches = |start: BlockId| -> bool {
+            let mut seen = vec![false; func.blocks.len()];
+            let mut work = vec![start];
+            while let Some(b) = work.pop() {
+                if Some(b.index()) == stop {
+                    continue;
+                }
+                if b == target_block {
+                    return true;
+                }
+                if std::mem::replace(&mut seen[b.index()], true) {
+                    continue;
+                }
+                work.extend(cfg.succs(b).iter().copied());
+            }
+            false
+        };
+        match (reaches(*then_bb), reaches(*else_bb)) {
+            (true, false) => Some(true),
+            (false, true) => Some(false),
+            _ => None, // both or neither: no constraint from this branch
+        }
+    }
+
+    /// Solves `expr PRED rhs == want` for the input word in `expr`.
+    fn solve(lhs: Affine, pred: Pred, rhs: Affine, want: bool) -> Option<Assignment> {
+        // Normalize so the input is on the left.
+        let (e, c, pred, want) = match (lhs.idx, rhs.idx) {
+            (Some(_), None) => (lhs, rhs.offset, pred, want),
+            (None, Some(_)) => {
+                // Mirror the predicate.
+                let mirrored = match pred {
+                    Pred::Eq => Pred::Eq,
+                    Pred::Ne => Pred::Ne,
+                    Pred::Lt => Pred::Gt,
+                    Pred::Le => Pred::Ge,
+                    Pred::Gt => Pred::Lt,
+                    Pred::Ge => Pred::Le,
+                    Pred::LtU => return None,
+                };
+                (rhs, lhs.offset, mirrored, want)
+            }
+            _ => return None,
+        };
+        let idx = e.idx?;
+        if e.coeff == 0 {
+            return None;
+        }
+        // Solve coeff*v + offset PRED c (== want). Scan a candidate
+        // window around the boundary — robust against rounding with
+        // negative coefficients, and plenty for corpus-scale inputs.
+        let boundary = (c - e.offset) / e.coeff;
+        for delta in [0i64, 1, -1, 2, -2, 3, -3] {
+            let v = boundary + delta;
+            let val = e.coeff.checked_mul(v)?.checked_add(e.offset)?;
+            let holds = match pred {
+                Pred::Eq => val == c,
+                Pred::Ne => val != c,
+                Pred::Lt => val < c,
+                Pred::Le => val <= c,
+                Pred::Gt => val > c,
+                Pred::Ge => val >= c,
+                Pred::LtU => (val as u64) < (c as u64),
+            };
+            if holds == want {
+                return Some(Assignment {
+                    idx,
+                    value: v,
+                    branch: InstRef::new(owl_ir::FuncId(0), InstId(0)), // patched by caller
+                });
+            }
+        }
+        None
+    }
+
+    /// Solves one branch of the hint: returns the input assignment that
+    /// steers `branch` toward `site`, when the condition is affine in
+    /// an input word.
+    pub fn solve_branch(&self, branch: InstRef, site: InstRef) -> Option<Assignment> {
+        if branch.func != site.func {
+            return None; // cross-function gates are schedule territory
+        }
+        let func = self.module.func(branch.func);
+        let cfg = Cfg::new(func);
+        let pdom = PostDomTree::new(func, &cfg);
+        let owner = func.inst_blocks();
+        let want = self.required_side(func, &cfg, &pdom, branch.inst, owner[site.inst.index()])?;
+        let Inst::Br { cond, .. } = func.inst(branch.inst) else {
+            return None;
+        };
+        // Condition may be a comparison or a raw (affine) value.
+        let assignment = match cond {
+            Operand::Value(v) => match func.inst(*v) {
+                Inst::Cmp { pred, a, b } => {
+                    let ea = self.affine_of(func, *a, 0)?;
+                    let eb = self.affine_of(func, *b, 0)?;
+                    Self::solve(ea, *pred, eb, want)
+                }
+                _ => {
+                    let e = self.affine_of(func, *cond, 0)?;
+                    // Truthiness: want != 0 (or == 0).
+                    Self::solve(e, Pred::Ne, Affine::constant(0), want)
+                }
+            },
+            _ => {
+                let e = self.affine_of(func, *cond, 0)?;
+                Self::solve(e, Pred::Ne, Affine::constant(0), want)
+            }
+        };
+        assignment.map(|mut a| {
+            a.branch = branch;
+            a
+        })
+    }
+
+    /// Synthesizes an input from `base` that satisfies every solvable
+    /// branch in `branches` toward `site`. Returns the refined input
+    /// and the assignments made (empty assignments mean nothing was
+    /// solvable — no refinement to try).
+    pub fn refine_input(
+        &self,
+        base: &ProgramInput,
+        branches: &[InstRef],
+        site: InstRef,
+    ) -> (ProgramInput, Vec<Assignment>) {
+        let mut assignments = Vec::new();
+        for br in branches {
+            if let Some(a) = self.solve_branch(*br, site) {
+                assignments.push(a);
+            }
+        }
+        if assignments.is_empty() {
+            return (base.clone(), assignments);
+        }
+        let max_idx = assignments
+            .iter()
+            .map(|a| a.idx)
+            .chain(std::iter::once(base.values().len() as i64 - 1))
+            .max()
+            .unwrap_or(0)
+            .max(0) as usize;
+        let mut values = vec![0i64; max_idx + 1];
+        values[..base.values().len()].copy_from_slice(base.values());
+        for a in &assignments {
+            if a.idx >= 0 {
+                values[a.idx as usize] = a.value;
+            }
+        }
+        (
+            ProgramInput::new(values).with_label("synthesized"),
+            assignments,
+        )
+    }
+}
+
+fn combine(
+    a: Affine,
+    b: Affine,
+    op: impl Fn(i64, i64) -> Option<i64>,
+    b_sign: i64,
+) -> Option<Affine> {
+    match (a.idx, b.idx) {
+        (Some(_), Some(_)) => None,
+        (Some(_), None) => Some(Affine {
+            idx: a.idx,
+            coeff: a.coeff,
+            offset: op(a.offset, b.offset)?,
+        }),
+        (None, Some(_)) => Some(Affine {
+            idx: b.idx,
+            coeff: b.coeff.checked_mul(b_sign)?,
+            offset: op(a.offset, b.offset)?,
+        }),
+        (None, None) => Some(Affine::constant(op(a.offset, b.offset)?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_ir::{ModuleBuilder, Type};
+
+    /// `if (input0 * 2 + 1 > 100) { if (input1 == 7) exec(9) } `
+    fn gated() -> (Module, InstRef, InstRef, InstRef) {
+        let mut mb = ModuleBuilder::new("g");
+        let f = mb.declare_func("f", 0);
+        let (br1, br2, site);
+        {
+            let mut b = mb.build_func(f);
+            let i0 = b.input(0);
+            let x = b.bin(owl_ir::BinOp::Mul, i0, 2);
+            let y = b.add(x, 1);
+            let c1 = b.cmp(Pred::Gt, y, 100);
+            let inner = b.block();
+            let out = b.block();
+            br1 = b.br(c1, inner, out);
+            b.switch_to(inner);
+            let i1 = b.input(1);
+            let c2 = b.cmp(Pred::Eq, i1, 7);
+            let fire = b.block();
+            br2 = b.br(c2, fire, out);
+            b.switch_to(fire);
+            site = b.exec(9);
+            b.jmp(out);
+            b.switch_to(out);
+            b.ret(None);
+        }
+        let m = mb.finish();
+        (
+            m,
+            InstRef::new(f, br1),
+            InstRef::new(f, br2),
+            InstRef::new(f, site),
+        )
+    }
+
+    #[test]
+    fn solves_affine_comparison() {
+        let (m, br1, _, site) = gated();
+        let synth = InputSynthesizer::new(&m);
+        let a = synth.solve_branch(br1, site).expect("solvable");
+        assert_eq!(a.idx, 0);
+        assert!(2 * a.value + 1 > 100, "2*{}+1 > 100", a.value);
+    }
+
+    #[test]
+    fn solves_equality() {
+        let (m, _, br2, site) = gated();
+        let synth = InputSynthesizer::new(&m);
+        let a = synth.solve_branch(br2, site).expect("solvable");
+        assert_eq!(a.idx, 1);
+        assert_eq!(a.value, 7);
+    }
+
+    #[test]
+    fn refines_base_input_with_all_assignments() {
+        let (m, br1, br2, site) = gated();
+        let synth = InputSynthesizer::new(&m);
+        let (input, assignments) = synth.refine_input(&ProgramInput::empty(), &[br1, br2], site);
+        assert_eq!(assignments.len(), 2);
+        assert!(2 * input.get(0) + 1 > 100);
+        assert_eq!(input.get(1), 7);
+    }
+
+    #[test]
+    fn racy_conditions_are_not_solvable() {
+        // A branch on a loaded (racy) value has no input expression.
+        let mut mb = ModuleBuilder::new("r");
+        let g = mb.global("g", 1, Type::I64);
+        let f = mb.declare_func("f", 0);
+        let (br, site);
+        {
+            let mut b = mb.build_func(f);
+            let a = b.global_addr(g);
+            let v = b.load(a, Type::I64);
+            let fire = b.block();
+            let out = b.block();
+            br = b.br(v, fire, out);
+            b.switch_to(fire);
+            site = b.exec(1);
+            b.jmp(out);
+            b.switch_to(out);
+            b.ret(None);
+        }
+        let m = mb.finish();
+        let synth = InputSynthesizer::new(&m);
+        assert!(synth
+            .solve_branch(InstRef::new(f, br), InstRef::new(f, site))
+            .is_none());
+    }
+
+    #[test]
+    fn truthy_gate_solved_directly() {
+        // `if (input3) site` — no comparison at all.
+        let mut mb = ModuleBuilder::new("t");
+        let f = mb.declare_func("f", 0);
+        let (br, site);
+        {
+            let mut b = mb.build_func(f);
+            let i = b.input(3);
+            let fire = b.block();
+            let out = b.block();
+            br = b.br(i, fire, out);
+            b.switch_to(fire);
+            site = b.exec(1);
+            b.jmp(out);
+            b.switch_to(out);
+            b.ret(None);
+        }
+        let m = mb.finish();
+        let synth = InputSynthesizer::new(&m);
+        let a = synth
+            .solve_branch(InstRef::new(f, br), InstRef::new(f, site))
+            .expect("solvable");
+        assert_eq!(a.idx, 3);
+        assert_ne!(a.value, 0);
+    }
+
+    #[test]
+    fn required_side_handles_else_edges() {
+        // `if (input0 == 0) out else site` — must choose the else edge
+        // (want = false for the condition).
+        let mut mb = ModuleBuilder::new("e");
+        let f = mb.declare_func("f", 0);
+        let (br, site);
+        {
+            let mut b = mb.build_func(f);
+            let i = b.input(0);
+            let c = b.cmp(Pred::Eq, i, 0);
+            let out = b.block();
+            let fire = b.block();
+            br = b.br(c, out, fire);
+            b.switch_to(fire);
+            site = b.exec(1);
+            b.jmp(out);
+            b.switch_to(out);
+            b.ret(None);
+        }
+        let m = mb.finish();
+        let synth = InputSynthesizer::new(&m);
+        let a = synth
+            .solve_branch(InstRef::new(f, br), InstRef::new(f, site))
+            .expect("solvable");
+        assert_ne!(a.value, 0, "input must be non-zero to take the else edge");
+    }
+}

@@ -1,0 +1,32 @@
+//! # owl-verify
+//!
+//! OWL's dynamic verifiers (Rust reproduction of *"Understanding and
+//! Detecting Concurrency Attacks"*, DSN 2018):
+//!
+//! * [`RaceVerifier`] (§5.2) — catches a reported race "in the racing
+//!   moment" with thread-specific breakpoints: one thread halts at one
+//!   racing instruction until a different thread arrives at the other
+//!   instruction on the same address. Emits [`SecurityHints`] (values
+//!   about to be read/written, variable type, NULL-dereference risk)
+//!   and releases the threads in a chosen [`RaceOrder`].
+//! * [`VulnVerifier`] (§6.2) — re-runs the program against a static
+//!   [`owl_static::VulnReport`] to check whether the vulnerable site is
+//!   actually reachable; failures yield the *diverged branches* as
+//!   further input hints.
+//!
+//! The original implementation drove LLDB; here the breakpoints are the
+//! VM's (`owl_vm::Breakpoint`), including the automatic livelock
+//! release the paper describes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod minimize;
+mod race_verifier;
+mod vuln_verifier;
+
+pub use minimize::{format_schedule, minimize_schedule_prefix, MinimalSchedule};
+pub use race_verifier::{
+    AccessHint, RaceOrder, RaceVerification, RaceVerifier, RaceVerifyConfig, SecurityHints,
+};
+pub use vuln_verifier::{VulnVerification, VulnVerifier, VulnVerifyConfig};

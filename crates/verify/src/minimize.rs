@@ -1,0 +1,185 @@
+//! Schedule-witness minimization.
+//!
+//! The paper ships exploit *scripts*; the equivalent artifact here is a
+//! recorded scheduler-choice sequence that reproduces an attack. Full
+//! recordings contain one choice per executed instruction — almost all
+//! of them irrelevant. This module shrinks a witness to the shortest
+//! *prefix* of explicit choices that still reproduces the property
+//! (after the prefix, the replayer's default fallback takes over),
+//! giving the developer a minimal "these first N scheduling decisions
+//! are what matters" reproduction recipe.
+
+use owl_ir::{FuncId, Module};
+use owl_vm::{ExecOutcome, ProgramInput, ReplayScheduler, RunConfig, ThreadId, Vm};
+use std::fmt::Write as _;
+
+/// A minimized schedule witness.
+#[derive(Clone, Debug)]
+pub struct MinimalSchedule {
+    /// The minimal prefix of explicit choices.
+    pub prefix: Vec<ThreadId>,
+    /// Replays performed during minimization.
+    pub tests: u64,
+    /// Length of the original recording.
+    pub original_len: usize,
+}
+
+impl MinimalSchedule {
+    /// Compression ratio (1.0 = nothing saved).
+    pub fn ratio(&self) -> f64 {
+        if self.original_len == 0 {
+            return 1.0;
+        }
+        self.prefix.len() as f64 / self.original_len as f64
+    }
+}
+
+/// Renders a choice sequence run-length encoded: `T0×12 T3×2 T0×5`.
+pub fn format_schedule(prefix: &[ThreadId]) -> String {
+    let mut out = String::new();
+    let mut i = 0;
+    while i < prefix.len() {
+        let t = prefix[i];
+        let mut n = 1;
+        while i + n < prefix.len() && prefix[i + n] == t {
+            n += 1;
+        }
+        if !out.is_empty() {
+            out.push(' ');
+        }
+        let _ = write!(out, "{t}×{n}");
+        i += n;
+    }
+    out
+}
+
+/// Finds the shortest prefix of `schedule` whose replay still satisfies
+/// `pred`. Binary-searches assuming (approximate) monotonicity, then
+/// walks down linearly to tighten; the returned prefix is always
+/// re-validated.
+pub fn minimize_schedule_prefix(
+    module: &Module,
+    entry: FuncId,
+    input: &ProgramInput,
+    run_config: &RunConfig,
+    schedule: &[ThreadId],
+    mut pred: impl FnMut(&ExecOutcome) -> bool,
+) -> Option<MinimalSchedule> {
+    let mut tests = 0u64;
+    let mut try_prefix = |k: usize, tests: &mut u64| -> bool {
+        *tests += 1;
+        let mut sched = ReplayScheduler::new(schedule[..k].to_vec());
+        let vm = Vm::new(module, entry, input.clone(), run_config.clone());
+        let outcome = vm.run(&mut sched, &mut owl_vm::NullSink);
+        pred(&outcome)
+    };
+
+    // The full recording must reproduce, else there is nothing to
+    // minimize.
+    if !try_prefix(schedule.len(), &mut tests) {
+        return None;
+    }
+
+    // Binary search for a small working prefix.
+    let (mut lo, mut hi) = (0usize, schedule.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if try_prefix(mid, &mut tests) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    // `hi` works if the search stayed monotone; re-validate and widen if
+    // the boundary was noisy.
+    let mut k = hi;
+    while k <= schedule.len() && !try_prefix(k, &mut tests) {
+        k += (k / 4).max(1);
+    }
+    let k = k.min(schedule.len());
+    if !try_prefix(k, &mut tests) {
+        // Fall back to the full recording (always valid).
+        return Some(MinimalSchedule {
+            prefix: schedule.to_vec(),
+            tests,
+            original_len: schedule.len(),
+        });
+    }
+    Some(MinimalSchedule {
+        prefix: schedule[..k].to_vec(),
+        tests,
+        original_len: schedule.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_vm::{RandomScheduler, Violation};
+
+    #[test]
+    fn minimizes_a_libsafe_witness() {
+        let p = owl_corpus::program("Libsafe").unwrap();
+        let input = &p.exploit_inputs[0];
+        // Record a triggering run.
+        let mut recording = None;
+        for seed in 0..30 {
+            let mut sched = RandomScheduler::new(seed);
+            let vm = Vm::new(&p.module, p.entry, input.clone(), RunConfig::default());
+            let o = vm.run(&mut sched, &mut owl_vm::NullSink);
+            if o.any_violation(|v| matches!(v, Violation::CorruptFuncPtr { .. })) {
+                recording = Some(o.schedule);
+                break;
+            }
+        }
+        let recording = recording.expect("exploit triggers");
+        let min = minimize_schedule_prefix(
+            &p.module,
+            p.entry,
+            input,
+            &RunConfig::default(),
+            &recording,
+            |o| o.any_violation(|v| matches!(v, Violation::CorruptFuncPtr { .. })),
+        )
+        .expect("minimizable");
+        assert!(
+            min.prefix.len() <= min.original_len,
+            "{} <= {}",
+            min.prefix.len(),
+            min.original_len
+        );
+        // The witness still reproduces.
+        let mut sched = ReplayScheduler::new(min.prefix.clone());
+        let vm = Vm::new(&p.module, p.entry, input.clone(), RunConfig::default());
+        let o = vm.run(&mut sched, &mut owl_vm::NullSink);
+        assert!(o.any_violation(|v| matches!(v, Violation::CorruptFuncPtr { .. })));
+        // And renders compactly.
+        let text = format_schedule(&min.prefix);
+        assert!(text.is_empty() || text.contains('×'));
+    }
+
+    #[test]
+    fn non_reproducing_recording_returns_none() {
+        let p = owl_corpus::program("Libsafe").unwrap();
+        let input = &p.workloads[0];
+        let mut sched = RandomScheduler::new(1);
+        let vm = Vm::new(&p.module, p.entry, input.clone(), RunConfig::default());
+        let o = vm.run(&mut sched, &mut owl_vm::NullSink);
+        let min = minimize_schedule_prefix(
+            &p.module,
+            p.entry,
+            input,
+            &RunConfig::default(),
+            &o.schedule,
+            |o| o.any_violation(|v| matches!(v, Violation::CorruptFuncPtr { .. })),
+        );
+        assert!(min.is_none(), "benign run cannot witness the attack");
+    }
+
+    #[test]
+    fn rle_rendering() {
+        let s = [ThreadId(0), ThreadId(0), ThreadId(2), ThreadId(0)];
+        assert_eq!(format_schedule(&s), "T0×2 T2×1 T0×1");
+        assert_eq!(format_schedule(&[]), "");
+    }
+}

@@ -1,0 +1,440 @@
+//! The dynamic race verifier (paper §5.2).
+//!
+//! Race detectors over-report; OWL verifies each surviving report by
+//! catching the race "in the racing moment": thread-specific
+//! breakpoints halt a thread arriving at one racing instruction until a
+//! *different* thread arrives at the other racing instruction with the
+//! *same* address. Only then is the race real. The verifier then prints
+//! security hints — the racing instructions, the values they are about
+//! to read/write, and the variable's type — and can release the
+//! threads in a chosen order to let the corruption actually happen
+//! (the "bug order"), which the vulnerability verifier builds on.
+//!
+//! Livelocks caused by suspensions are resolved by the VM's automatic
+//! oldest-suspension release, mirroring the paper's "temporarily
+//! releasing one of the currently triggered breakpoints".
+
+use owl_ir::{FuncId, InstRef, Module, Type};
+use owl_race::RaceReport;
+use owl_vm::{
+    BreakDecision, BreakWorld, Breakpoint, Controller, ExecOutcome, ProgramInput, RandomScheduler,
+    RunConfig, Suspension, ThreadId, Vm,
+};
+use serde::{Deserialize, Serialize};
+
+/// Which racing instruction should execute first once the race is
+/// caught.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RaceOrder {
+    /// The write executes first (the "bug order" — the read observes
+    /// the corrupted value).
+    #[default]
+    WriteFirst,
+    /// The read executes first (the benign order).
+    ReadFirst,
+}
+
+/// One side of the confirmed race, as observed at the breakpoint.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AccessHint {
+    /// The racing instruction.
+    pub site: InstRef,
+    /// The thread that arrived.
+    pub tid: ThreadId,
+    /// Whether this side writes.
+    pub is_write: bool,
+    /// Value about to be written (writes only).
+    pub value_to_write: Option<i64>,
+    /// Value currently in memory (what a read would observe).
+    pub current_value: Option<i64>,
+    /// Static type at the site.
+    pub ty: Type,
+}
+
+/// The verifier's security hints (§5.2): "the racing instructions from
+/// source code, the value they're about to read and write and the type
+/// of the variable".
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SecurityHints {
+    /// The racing address.
+    pub addr: u64,
+    /// Global variable name, when resolvable.
+    pub global_name: Option<String>,
+    /// The side that was already suspended when the partner arrived.
+    pub waiting: AccessHint,
+    /// The side whose arrival confirmed the race.
+    pub arriving: AccessHint,
+    /// Whether the race can produce a NULL pointer dereference: a
+    /// pointer-typed location about to hold (or already holding) NULL.
+    pub null_pointer_risk: bool,
+}
+
+/// Result of verifying one race report.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RaceVerification {
+    /// Whether both racing instructions were caught simultaneously on
+    /// the same address.
+    pub confirmed: bool,
+    /// Schedules tried.
+    pub attempts: u64,
+    /// Hints captured at the racing moment (when confirmed).
+    pub hints: Option<SecurityHints>,
+    /// Outcome of the confirming execution (violations included).
+    pub outcome: Option<ExecOutcome>,
+}
+
+/// Verifier configuration.
+#[derive(Clone, Debug)]
+pub struct RaceVerifyConfig {
+    /// Maximum schedules to try before declaring the report
+    /// unverifiable.
+    pub max_schedules: u64,
+    /// First scheduler seed.
+    pub base_seed: u64,
+    /// Release order after confirmation.
+    pub order: RaceOrder,
+    /// VM limits.
+    pub run_config: RunConfig,
+}
+
+impl Default for RaceVerifyConfig {
+    fn default() -> Self {
+        RaceVerifyConfig {
+            max_schedules: 20,
+            base_seed: 100,
+            order: RaceOrder::WriteFirst,
+            run_config: RunConfig::default(),
+        }
+    }
+}
+
+/// Dynamic race verifier.
+#[derive(Debug)]
+pub struct RaceVerifier<'m> {
+    module: &'m Module,
+    config: RaceVerifyConfig,
+}
+
+struct RvController {
+    site_a: InstRef,
+    site_b: InstRef,
+    /// Site preferred to execute first once confirmed.
+    first_site: Option<InstRef>,
+    confirmed: Option<SecurityHints>,
+}
+
+impl RvController {
+    fn hint_of(s: &Suspension) -> Option<AccessHint> {
+        let a = s.access?;
+        Some(AccessHint {
+            site: s.site,
+            tid: s.tid,
+            is_write: a.is_write,
+            value_to_write: a.value_to_write,
+            current_value: a.current_value,
+            ty: a.ty,
+        })
+    }
+}
+
+impl Controller for RvController {
+    fn on_break(&mut self, world: &mut BreakWorld<'_>, hit: &Suspension) -> BreakDecision {
+        if self.confirmed.is_some() {
+            return BreakDecision::Continue;
+        }
+        let Some(acc) = hit.access else {
+            return BreakDecision::Continue;
+        };
+        // A partner is a *different thread* suspended at the *other*
+        // racing site touching the *same address*.
+        let partner = world.suspended.iter().find(|(tid, s)| {
+            **tid != hit.tid
+                && s.site != hit.site
+                && (s.site == self.site_a || s.site == self.site_b)
+                && s.access.map(|a| a.addr) == Some(acc.addr)
+        });
+        if let Some((&ptid, psusp)) = partner {
+            // Caught in the racing moment.
+            let waiting = Self::hint_of(psusp);
+            let arriving = Self::hint_of(hit);
+            if let (Some(waiting), Some(arriving)) = (waiting, arriving) {
+                let null_risk = (waiting.ty.is_pointer() || arriving.ty.is_pointer())
+                    && (waiting.value_to_write == Some(0)
+                        || arriving.value_to_write == Some(0)
+                        || waiting.current_value == Some(0)
+                        || arriving.current_value == Some(0));
+                self.confirmed = Some(SecurityHints {
+                    addr: acc.addr,
+                    global_name: None,
+                    waiting,
+                    arriving,
+                    null_pointer_risk: null_risk,
+                });
+            }
+            // Disarm: the verification is done; let the program run the
+            // chosen order out.
+            for bp in world.breakpoints.iter_mut() {
+                bp.enabled = false;
+            }
+            let hit_first = match self.first_site {
+                Some(f) => hit.site == f,
+                None => true,
+            };
+            if hit_first {
+                // The arriving side executes now; the partner follows.
+                world.resume.push(ptid);
+                BreakDecision::Continue
+            } else {
+                // Partner first; the arriving thread stays suspended and
+                // is released by the VM's stall resolution (or keeps its
+                // turn once the partner has gone through).
+                world.resume.push(ptid);
+                BreakDecision::Suspend
+            }
+        } else {
+            // Wait here for a partner.
+            BreakDecision::Suspend
+        }
+    }
+
+    fn on_stall(&mut self, _world: &mut BreakWorld<'_>) -> Option<ThreadId> {
+        None // default: VM releases the oldest suspension (§5.2)
+    }
+}
+
+impl<'m> RaceVerifier<'m> {
+    /// Creates a verifier over `module`.
+    pub fn new(module: &'m Module, config: RaceVerifyConfig) -> Self {
+        RaceVerifier { module, config }
+    }
+
+    /// Verifier with default configuration.
+    pub fn with_defaults(module: &'m Module) -> Self {
+        Self::new(module, RaceVerifyConfig::default())
+    }
+
+    /// Attempts to catch `report`'s race in the racing moment, trying
+    /// up to `max_schedules` seeds.
+    pub fn verify(
+        &self,
+        entry: FuncId,
+        input: &ProgramInput,
+        report: &RaceReport,
+    ) -> RaceVerification {
+        let write_site = if report.first.is_write {
+            report.first.site
+        } else {
+            report.second.site
+        };
+        let read_site = if !report.first.is_write {
+            Some(report.first.site)
+        } else if !report.second.is_write {
+            Some(report.second.site)
+        } else {
+            None
+        };
+        let first_site = match self.config.order {
+            RaceOrder::WriteFirst => Some(write_site),
+            RaceOrder::ReadFirst => read_site,
+        };
+        for k in 0..self.config.max_schedules {
+            let mut controller = RvController {
+                site_a: report.first.site,
+                site_b: report.second.site,
+                first_site,
+                confirmed: None,
+            };
+            let mut vm = Vm::new(
+                self.module,
+                entry,
+                input.clone(),
+                self.config.run_config.clone(),
+            );
+            vm.add_breakpoint(Breakpoint::at(report.first.site));
+            vm.add_breakpoint(Breakpoint::at(report.second.site));
+            let mut sched = RandomScheduler::new(self.config.base_seed + k);
+            let outcome = vm.run_controlled(&mut sched, &mut owl_vm::NullSink, &mut controller);
+            if let Some(mut hints) = controller.confirmed {
+                hints.global_name =
+                    owl_race::global_name_for_addr(self.module, hints.addr).map(str::to_string);
+                return RaceVerification {
+                    confirmed: true,
+                    attempts: k + 1,
+                    hints: Some(hints),
+                    outcome: Some(outcome),
+                };
+            }
+        }
+        RaceVerification {
+            confirmed: false,
+            attempts: self.config.max_schedules,
+            hints: None,
+            outcome: None,
+        }
+    }
+
+    /// Renders the §5.2 hint block for a verification.
+    pub fn format_hints(&self, v: &RaceVerification) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let Some(h) = &v.hints else {
+            return format!("race not verified after {} schedules\n", v.attempts);
+        };
+        let name = h
+            .global_name
+            .clone()
+            .unwrap_or_else(|| format!("{:#x}", h.addr));
+        let _ = writeln!(out, "race VERIFIED on `{name}` (attempt {}):", v.attempts);
+        for (label, a) in [("waiting", &h.waiting), ("arriving", &h.arriving)] {
+            let _ = writeln!(
+                out,
+                "  {label}: {} {} at {} — about to {} (current value {:?}, type {})",
+                a.tid,
+                if a.is_write { "write" } else { "read" },
+                self.module.format_loc(a.site),
+                match a.value_to_write {
+                    Some(v) => format!("write {v}"),
+                    None => "read".to_string(),
+                },
+                a.current_value,
+                a.ty,
+            );
+        }
+        if h.null_pointer_risk {
+            let _ = writeln!(out, "  hint: NULL pointer dereference possible");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_ir::{ModuleBuilder, Type};
+    use owl_race::{HbConfig, HbDetector};
+    use owl_vm::RoundRobin;
+
+    /// Writer stores NULL to a pointer-typed global; main reads it.
+    fn ptr_race_module() -> (Module, FuncId) {
+        let mut mb = ModuleBuilder::new("pr");
+        let fp = mb.global_init("f_op", 1, vec![1], Type::Ptr);
+        let w = mb.declare_func("writer", 1);
+        let main = mb.declare_func("main", 0);
+        {
+            let mut b = mb.build_func(w);
+            let a = b.global_addr(fp);
+            b.store(a, 0); // NULL
+            b.ret(None);
+        }
+        {
+            let mut b = mb.build_func(main);
+            let t = b.thread_create(w, 0);
+            let a = b.global_addr(fp);
+            b.load(a, Type::Ptr);
+            b.thread_join(t);
+            b.ret(None);
+        }
+        (mb.finish(), main)
+    }
+
+    fn first_report(m: &Module, main: FuncId) -> RaceReport {
+        let mut det = HbDetector::new(HbConfig::default());
+        let mut sched = RoundRobin::new(2);
+        let vm = Vm::new(m, main, ProgramInput::empty(), Default::default());
+        let _ = vm.run(&mut sched, &mut det);
+        det.finish(m).remove(0)
+    }
+
+    #[test]
+    fn verifies_real_race_with_hints() {
+        let (m, main) = ptr_race_module();
+        let report = first_report(&m, main);
+        let verifier = RaceVerifier::with_defaults(&m);
+        let v = verifier.verify(main, &ProgramInput::empty(), &report);
+        assert!(v.confirmed, "race should be verifiable");
+        let hints = v.hints.as_ref().expect("hints");
+        assert_eq!(hints.global_name.as_deref(), Some("f_op"));
+        assert!(
+            hints.null_pointer_risk,
+            "storing NULL into a pointer must be flagged: {hints:?}"
+        );
+        let text = verifier.format_hints(&v);
+        assert!(text.contains("VERIFIED"));
+        assert!(text.contains("NULL pointer"));
+    }
+
+    #[test]
+    fn ordered_accesses_do_not_verify() {
+        // Build a module where the same two sites exist but are ordered
+        // by a join — the "race" can never be caught in the moment.
+        let mut mb = ModuleBuilder::new("ord");
+        let g = mb.global("g", 1, Type::I64);
+        let w = mb.declare_func("writer", 1);
+        let main = mb.declare_func("main", 0);
+        {
+            let mut b = mb.build_func(w);
+            let a = b.global_addr(g);
+            b.store(a, 1);
+            b.ret(None);
+        }
+        {
+            let mut b = mb.build_func(main);
+            let t = b.thread_create(w, 0);
+            b.thread_join(t); // join *before* the read: ordered
+            let a = b.global_addr(g);
+            b.load(a, Type::I64);
+            b.ret(None);
+        }
+        let m = mb.finish();
+        let main_id = m.func_by_name("main").unwrap();
+        // Hand-craft a (bogus) report over the ordered pair.
+        let store_site = InstRef::new(m.func_by_name("writer").unwrap(), owl_ir::InstId(1));
+        let load_site = InstRef::new(main_id, owl_ir::InstId(3));
+        let fake = |site, is_write| owl_race::Access {
+            tid: ThreadId(0),
+            site,
+            stack: std::sync::Arc::from(vec![].into_boxed_slice()),
+            is_write,
+            value: 0,
+            ty: Type::I64,
+        };
+        let report = RaceReport {
+            addr: owl_vm::mem::GLOBAL_BASE,
+            global_name: Some("g".into()),
+            first: fake(store_site, true),
+            second: fake(load_site, false),
+            read_hint: None,
+        };
+        let verifier = RaceVerifier::new(
+            &m,
+            RaceVerifyConfig {
+                max_schedules: 5,
+                ..RaceVerifyConfig::default()
+            },
+        );
+        let v = verifier.verify(main_id, &ProgramInput::empty(), &report);
+        assert!(!v.confirmed);
+        assert_eq!(v.attempts, 5);
+        assert!(verifier.format_hints(&v).contains("not verified"));
+    }
+
+    #[test]
+    fn write_first_order_realizes_corruption() {
+        // After confirmation with WriteFirst, the read must observe the
+        // written value; the confirming run's outcome proves execution
+        // completed.
+        let (m, main) = ptr_race_module();
+        let report = first_report(&m, main);
+        let verifier = RaceVerifier::new(
+            &m,
+            RaceVerifyConfig {
+                order: RaceOrder::WriteFirst,
+                ..RaceVerifyConfig::default()
+            },
+        );
+        let v = verifier.verify(main, &ProgramInput::empty(), &report);
+        assert!(v.confirmed);
+        let outcome = v.outcome.expect("outcome");
+        assert_eq!(outcome.status, owl_vm::ExitStatus::Finished);
+    }
+}

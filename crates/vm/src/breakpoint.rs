@@ -1,0 +1,155 @@
+//! Thread-specific breakpoints.
+//!
+//! The paper's dynamic race verifier (§5.2) sets *thread-specific*
+//! breakpoints on the racing instructions reported by the detector:
+//! when a breakpoint triggers, only that thread halts while the rest
+//! keep running, so the verifier can catch the race "in the racing
+//! moment" — both racing instructions reached, by different threads,
+//! on the same address. Livelocks caused by suspensions are resolved by
+//! temporarily releasing one breakpoint.
+//!
+//! The VM reproduces the same mechanism: [`Breakpoint`]s match
+//! instruction sites; a [`Controller`] decides suspension, resumption,
+//! and stall release.
+
+use crate::event::{CallStack, ThreadId};
+use owl_ir::{InstRef, Type};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A breakpoint on one instruction site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Breakpoint {
+    /// Instruction to trap.
+    pub site: InstRef,
+    /// Restrict to one thread (`None` traps whichever thread arrives —
+    /// still halting only the arriving thread).
+    pub thread: Option<ThreadId>,
+    /// Disabled breakpoints never trigger.
+    pub enabled: bool,
+}
+
+impl Breakpoint {
+    /// An enabled, any-thread breakpoint at `site`.
+    pub fn at(site: InstRef) -> Self {
+        Breakpoint {
+            site,
+            thread: None,
+            enabled: true,
+        }
+    }
+
+    /// Whether this breakpoint traps `tid` at `site`.
+    pub fn matches(&self, site: InstRef, tid: ThreadId) -> bool {
+        self.enabled && self.site == site && self.thread.is_none_or(|t| t == tid)
+    }
+}
+
+/// The memory access the suspended thread is *about to* perform — the
+/// verifier's security hints ("the value they're about to read and
+/// write and the type of the variable", §5.2).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PendingAccess {
+    /// Address about to be touched.
+    pub addr: u64,
+    /// Whether the access writes.
+    pub is_write: bool,
+    /// Value about to be written (writes only).
+    pub value_to_write: Option<i64>,
+    /// Value currently in memory at `addr` (what a read would observe).
+    pub current_value: Option<i64>,
+    /// Static type at the access site.
+    pub ty: Type,
+}
+
+/// A thread halted at a breakpoint.
+#[derive(Clone, Debug)]
+pub struct Suspension {
+    /// The halted thread.
+    pub tid: ThreadId,
+    /// The trapped instruction.
+    pub site: InstRef,
+    /// The access it is about to perform, if it is a memory access.
+    pub access: Option<PendingAccess>,
+    /// Call stack at the trap.
+    pub stack: CallStack,
+    /// Step at which it halted.
+    pub step: u64,
+}
+
+/// Controller's verdict when a thread traps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakDecision {
+    /// Halt the thread (it will not execute the instruction yet).
+    Suspend,
+    /// Let the thread execute the instruction immediately.
+    Continue,
+}
+
+/// The controller's view of suspension state during callbacks.
+#[derive(Debug)]
+pub struct BreakWorld<'a> {
+    /// Currently suspended threads.
+    pub suspended: &'a BTreeMap<ThreadId, Suspension>,
+    /// Breakpoints (the controller may enable/disable them).
+    pub breakpoints: &'a mut Vec<Breakpoint>,
+    /// Threads to resume after this callback returns. Resumed threads
+    /// re-execute their trapped instruction without re-trapping once.
+    pub resume: &'a mut Vec<ThreadId>,
+}
+
+/// Reacts to breakpoint hits and livelock stalls. Implemented by the
+/// dynamic race verifier and the vulnerability verifier.
+pub trait Controller {
+    /// A thread hit a breakpoint; decide whether to halt it. `world`
+    /// also allows resuming other suspended threads and toggling
+    /// breakpoints.
+    fn on_break(&mut self, world: &mut BreakWorld<'_>, hit: &Suspension) -> BreakDecision;
+
+    /// No thread is runnable but some are suspended. Return a thread to
+    /// release, or `None` to let the VM release the oldest suspension
+    /// (the paper's automatic livelock resolution).
+    fn on_stall(&mut self, world: &mut BreakWorld<'_>) -> Option<ThreadId> {
+        let _ = world;
+        None
+    }
+}
+
+/// Controller that never suspends anything (plain execution).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoController;
+
+impl Controller for NoController {
+    fn on_break(&mut self, _world: &mut BreakWorld<'_>, _hit: &Suspension) -> BreakDecision {
+        BreakDecision::Continue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use owl_ir::{FuncId, InstId};
+
+    #[test]
+    fn matching_rules() {
+        let site = InstRef::new(FuncId(0), InstId(3));
+        let other = InstRef::new(FuncId(0), InstId(4));
+        let any = Breakpoint::at(site);
+        assert!(any.matches(site, ThreadId(0)));
+        assert!(any.matches(site, ThreadId(5)));
+        assert!(!any.matches(other, ThreadId(0)));
+
+        let specific = Breakpoint {
+            thread: Some(ThreadId(2)),
+            ..Breakpoint::at(site)
+        };
+        assert!(specific.matches(site, ThreadId(2)));
+        assert!(!specific.matches(site, ThreadId(3)));
+
+        let disabled = Breakpoint {
+            enabled: false,
+            ..Breakpoint::at(site)
+        };
+        assert!(!disabled.matches(site, ThreadId(0)));
+    }
+}

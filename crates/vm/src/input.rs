@@ -1,0 +1,104 @@
+//! Program inputs.
+//!
+//! A central finding of the paper (§3.1, finding III) is that
+//! concurrency bugs and their attacks are triggered by *separate, subtle
+//! program inputs* — both input **values** (e.g. the `flush
+//! privileges;` query) and input **timings** (crafted IO delays that
+//! widen the race window). A [`ProgramInput`] carries both: plain words
+//! read by `Input` instructions, which corpus programs route into
+//! branches and into `IoDelay` amounts.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The input vector handed to one program execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProgramInput {
+    values: Vec<i64>,
+    label: Option<String>,
+}
+
+impl ProgramInput {
+    /// An empty input (every `Input` instruction reads 0).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds an input from explicit words.
+    pub fn new(values: impl Into<Vec<i64>>) -> Self {
+        ProgramInput {
+            values: values.into(),
+            label: None,
+        }
+    }
+
+    /// Attaches a human-readable label (e.g. `"FLUSH PRIVILEGES"`),
+    /// surfaced in reports the way the paper's Table 4 lists subtle
+    /// inputs.
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// The word at `idx`, or 0 when out of range or negative.
+    pub fn get(&self, idx: i64) -> i64 {
+        usize::try_from(idx)
+            .ok()
+            .and_then(|i| self.values.get(i))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All words.
+    pub fn values(&self) -> &[i64] {
+        &self.values
+    }
+
+    /// The label, if any.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+}
+
+impl From<Vec<i64>> for ProgramInput {
+    fn from(values: Vec<i64>) -> Self {
+        ProgramInput::new(values)
+    }
+}
+
+impl fmt::Display for ProgramInput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.label {
+            Some(l) => write!(f, "{l} {:?}", self.values),
+            None => write!(f, "{:?}", self.values),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_range_reads_zero() {
+        let i = ProgramInput::new(vec![5, 6]);
+        assert_eq!(i.get(0), 5);
+        assert_eq!(i.get(1), 6);
+        assert_eq!(i.get(2), 0);
+        assert_eq!(i.get(-1), 0);
+    }
+
+    #[test]
+    fn labels_render() {
+        let i = ProgramInput::new(vec![1]).with_label("FLUSH PRIVILEGES");
+        assert_eq!(i.to_string(), "FLUSH PRIVILEGES [1]");
+        assert_eq!(i.label(), Some("FLUSH PRIVILEGES"));
+    }
+
+    #[test]
+    fn empty_input_is_all_zero() {
+        let i = ProgramInput::empty();
+        assert_eq!(i.get(0), 0);
+        assert!(i.values().is_empty());
+    }
+}

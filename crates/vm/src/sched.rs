@@ -1,0 +1,302 @@
+//! Schedulers: who runs next.
+//!
+//! The paper's dynamic components differ only in how schedules are
+//! produced: TSan observes whatever the OS gives it (≈ random), SKI
+//! systematically explores kernel interleavings (≈ PCT), and OWL's
+//! verifiers *direct* schedules via breakpoints. The VM makes the
+//! scheduler a trait so all three are the same machinery.
+
+use crate::event::ThreadId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Picks the next thread to execute one instruction.
+pub trait Scheduler {
+    /// Chooses among `runnable` (never empty). `step` is the global
+    /// instruction counter.
+    fn pick(&mut self, runnable: &[ThreadId], step: u64) -> ThreadId;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str {
+        "scheduler"
+    }
+}
+
+impl<S: Scheduler + ?Sized> Scheduler for &mut S {
+    fn pick(&mut self, runnable: &[ThreadId], step: u64) -> ThreadId {
+        (**self).pick(runnable, step)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Cooperative round-robin with a fixed quantum: runs one thread for
+/// `quantum` steps, then rotates. Deterministic; good for smoke tests.
+#[derive(Clone, Debug)]
+pub struct RoundRobin {
+    quantum: u64,
+    current: Option<ThreadId>,
+    used: u64,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler with the given quantum (≥ 1).
+    pub fn new(quantum: u64) -> Self {
+        RoundRobin {
+            quantum: quantum.max(1),
+            current: None,
+            used: 0,
+        }
+    }
+}
+
+impl Default for RoundRobin {
+    fn default() -> Self {
+        RoundRobin::new(8)
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn pick(&mut self, runnable: &[ThreadId], _step: u64) -> ThreadId {
+        if let Some(cur) = self.current {
+            if self.used < self.quantum && runnable.contains(&cur) {
+                self.used += 1;
+                return cur;
+            }
+            // Rotate to the next runnable after `cur`.
+            let next = runnable
+                .iter()
+                .copied()
+                .find(|t| *t > cur)
+                .unwrap_or(runnable[0]);
+            self.current = Some(next);
+            self.used = 1;
+            return next;
+        }
+        self.current = Some(runnable[0]);
+        self.used = 1;
+        runnable[0]
+    }
+
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+}
+
+/// Uniform random scheduling from a seed — the "native execution"
+/// stand-in used for TSan-style detection runs.
+#[derive(Clone, Debug)]
+pub struct RandomScheduler {
+    rng: StdRng,
+    seed: u64,
+}
+
+impl RandomScheduler {
+    /// Creates a random scheduler from `seed`.
+    pub fn new(seed: u64) -> Self {
+        RandomScheduler {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// The seed this scheduler was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn pick(&mut self, runnable: &[ThreadId], _step: u64) -> ThreadId {
+        runnable[self.rng.gen_range(0..runnable.len())]
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// PCT (probabilistic concurrency testing): random thread priorities
+/// plus `depth` random priority-change points. This is the SKI-style
+/// systematic explorer: sweeping seeds sweeps interleavings with
+/// probabilistic coverage guarantees for small bug depths.
+#[derive(Clone, Debug)]
+pub struct PctScheduler {
+    rng: StdRng,
+    /// Priority per thread index (higher runs first).
+    priorities: Vec<i64>,
+    /// Steps at which the running thread's priority drops.
+    change_points: Vec<u64>,
+    next_low_priority: i64,
+}
+
+impl PctScheduler {
+    /// Creates a PCT scheduler with `depth` change points over an
+    /// expected execution length of `expected_steps`.
+    pub fn new(seed: u64, depth: usize, expected_steps: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut change_points: Vec<u64> = (0..depth)
+            .map(|_| rng.gen_range(0..expected_steps.max(1)))
+            .collect();
+        change_points.sort_unstable();
+        PctScheduler {
+            rng,
+            priorities: Vec::new(),
+            change_points,
+            next_low_priority: -1,
+        }
+    }
+
+    fn priority(&mut self, t: ThreadId) -> i64 {
+        let idx = t.index();
+        while self.priorities.len() <= idx {
+            // New threads get a random high priority.
+            let p = self.rng.gen_range(1000..1_000_000);
+            self.priorities.push(p);
+        }
+        self.priorities[idx]
+    }
+}
+
+impl Scheduler for PctScheduler {
+    fn pick(&mut self, runnable: &[ThreadId], step: u64) -> ThreadId {
+        let best = runnable
+            .iter()
+            .copied()
+            .max_by_key(|t| self.priority(*t))
+            .expect("runnable is never empty");
+        if self.change_points.first().is_some_and(|&c| step >= c) {
+            self.change_points.remove(0);
+            // Demote the thread we just chose below every other.
+            let p = self.next_low_priority;
+            self.next_low_priority -= 1;
+            self.priorities[best.index()] = p;
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        "pct"
+    }
+}
+
+/// Replays a recorded schedule exactly; after it is exhausted (or on a
+/// mismatch) falls back to the first runnable thread.
+#[derive(Clone, Debug)]
+pub struct ReplayScheduler {
+    choices: Vec<ThreadId>,
+    pos: usize,
+    /// Number of choices that could not be honoured (thread not
+    /// runnable at that point).
+    pub divergences: u64,
+}
+
+impl ReplayScheduler {
+    /// Creates a replayer from a recorded choice sequence
+    /// ([`crate::ExecOutcome::schedule`]).
+    pub fn new(choices: Vec<ThreadId>) -> Self {
+        ReplayScheduler {
+            choices,
+            pos: 0,
+            divergences: 0,
+        }
+    }
+}
+
+impl Scheduler for ReplayScheduler {
+    fn pick(&mut self, runnable: &[ThreadId], _step: u64) -> ThreadId {
+        if let Some(&want) = self.choices.get(self.pos) {
+            self.pos += 1;
+            if runnable.contains(&want) {
+                return want;
+            }
+            self.divergences += 1;
+        }
+        runnable[0]
+    }
+
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tids(v: &[u32]) -> Vec<ThreadId> {
+        v.iter().map(|&i| ThreadId(i)).collect()
+    }
+
+    #[test]
+    fn round_robin_honours_quantum() {
+        let mut s = RoundRobin::new(2);
+        let r = tids(&[0, 1]);
+        assert_eq!(s.pick(&r, 0), ThreadId(0));
+        assert_eq!(s.pick(&r, 1), ThreadId(0));
+        assert_eq!(s.pick(&r, 2), ThreadId(1));
+        assert_eq!(s.pick(&r, 3), ThreadId(1));
+        assert_eq!(s.pick(&r, 4), ThreadId(0));
+    }
+
+    #[test]
+    fn round_robin_skips_unrunnable() {
+        let mut s = RoundRobin::new(1);
+        assert_eq!(s.pick(&tids(&[0, 1]), 0), ThreadId(0));
+        // Thread 0 blocked; must move on.
+        assert_eq!(s.pick(&tids(&[1]), 1), ThreadId(1));
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let r = tids(&[0, 1, 2]);
+        let picks1: Vec<_> = {
+            let mut s = RandomScheduler::new(42);
+            (0..20).map(|i| s.pick(&r, i)).collect()
+        };
+        let picks2: Vec<_> = {
+            let mut s = RandomScheduler::new(42);
+            (0..20).map(|i| s.pick(&r, i)).collect()
+        };
+        assert_eq!(picks1, picks2);
+        let picks3: Vec<_> = {
+            let mut s = RandomScheduler::new(43);
+            (0..20).map(|i| s.pick(&r, i)).collect()
+        };
+        assert_ne!(picks1, picks3);
+    }
+
+    #[test]
+    fn pct_always_picks_runnable() {
+        let mut s = PctScheduler::new(7, 3, 100);
+        let r = tids(&[0, 1, 2]);
+        for step in 0..200 {
+            let t = s.pick(&r, step);
+            assert!(r.contains(&t));
+        }
+    }
+
+    #[test]
+    fn pct_demotes_at_change_points() {
+        // With depth == expected steps the scheduler demotes often; the
+        // chosen thread must eventually change.
+        let mut s = PctScheduler::new(1, 50, 50);
+        let r = tids(&[0, 1]);
+        let picks: Vec<_> = (0..100).map(|i| s.pick(&r, i)).collect();
+        assert!(picks.contains(&ThreadId(0)));
+        assert!(picks.contains(&ThreadId(1)));
+    }
+
+    #[test]
+    fn replay_reproduces_and_counts_divergence() {
+        let mut s = ReplayScheduler::new(tids(&[1, 0, 1]));
+        assert_eq!(s.pick(&tids(&[0, 1]), 0), ThreadId(1));
+        // Thread 0 requested but only 1 runnable: divergence.
+        assert_eq!(s.pick(&tids(&[1]), 1), ThreadId(1));
+        assert_eq!(s.divergences, 1);
+        assert_eq!(s.pick(&tids(&[0, 1]), 2), ThreadId(1));
+        // Exhausted: falls back to first runnable.
+        assert_eq!(s.pick(&tids(&[0, 1]), 3), ThreadId(0));
+    }
+}

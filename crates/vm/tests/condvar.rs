@@ -1,0 +1,303 @@
+//! Condition-variable semantics: wait releases and re-acquires the
+//! mutex, signal wakes exactly one waiter, broadcast wakes all, and
+//! lost wakeups deadlock (pthread semantics — the bug class adhoc
+//! synchronizations usually try to avoid hand-rolling).
+
+use owl_ir::{BlockId, FuncId, Module, ModuleBuilder, Operand, Pred, Type};
+use owl_vm::{ExitStatus, ProgramInput, RandomScheduler, RoundRobin, Vm};
+
+/// Producer/consumer over a condvar-protected mailbox.
+///
+/// consumer: lock; while (!ready) cond_wait(cv, m); v = data; unlock; output v
+/// producer: io_delay; lock; data = 42; ready = 1; cond_signal(cv); unlock
+fn mailbox(consumers: u32) -> (Module, FuncId) {
+    let mut mb = ModuleBuilder::new("mailbox");
+    let data = mb.global("data", 1, Type::I64);
+    let ready = mb.global("ready", 1, Type::I64);
+    let m = mb.global("m", 1, Type::I64);
+    let cv = mb.global("cv", 1, Type::I64);
+    let consumer = mb.declare_func("consumer", 1);
+    let producer = mb.declare_func("producer", 1);
+    let main = mb.declare_func("main", 0);
+    {
+        let mut b = mb.build_func(consumer);
+        let ma = b.global_addr(m);
+        let cva = b.global_addr(cv);
+        b.lock(ma);
+        let head = b.block();
+        let wait = b.block();
+        let done = b.block();
+        b.jmp(head);
+        b.switch_to(head);
+        let ra = b.global_addr(ready);
+        let r = b.load(ra, Type::I64);
+        let set = b.cmp(Pred::Ne, r, 0);
+        b.br(set, done, wait);
+        b.switch_to(wait);
+        b.cond_wait(cva, ma);
+        b.jmp(head);
+        b.switch_to(done);
+        let da = b.global_addr(data);
+        let v = b.load(da, Type::I64);
+        b.unlock(ma);
+        b.output(1, v);
+        b.ret(None);
+    }
+    {
+        let mut b = mb.build_func(producer);
+        b.io_delay(30);
+        let ma = b.global_addr(m);
+        let cva = b.global_addr(cv);
+        b.lock(ma);
+        let da = b.global_addr(data);
+        b.store(da, 42);
+        let ra = b.global_addr(ready);
+        b.store(ra, 1);
+        b.cond_broadcast(cva);
+        b.unlock(ma);
+        b.ret(None);
+    }
+    {
+        let mut b = mb.build_func(main);
+        let mut tids = Vec::new();
+        for _ in 0..consumers {
+            tids.push(b.thread_create(consumer, 0));
+        }
+        tids.push(b.thread_create(producer, 0));
+        for t in tids {
+            b.thread_join(t);
+        }
+        b.ret(None);
+    }
+    let module = mb.finish();
+    owl_ir::assert_verified(&module);
+    let main_id = module.func_by_name("main").unwrap();
+    (module, main_id)
+}
+
+#[test]
+fn wait_signal_delivers_the_value() {
+    let (m, main) = mailbox(1);
+    for seed in 0..10 {
+        let mut sched = RandomScheduler::new(seed);
+        let o = Vm::run_quiet(&m, main, ProgramInput::empty(), &mut sched);
+        assert_eq!(o.status, ExitStatus::Finished, "seed {seed}");
+        assert_eq!(o.outputs, vec![(1, 42)], "seed {seed}");
+    }
+}
+
+#[test]
+fn broadcast_wakes_every_consumer() {
+    let (m, main) = mailbox(3);
+    for seed in 0..10 {
+        let mut sched = RandomScheduler::new(seed);
+        let o = Vm::run_quiet(&m, main, ProgramInput::empty(), &mut sched);
+        assert_eq!(o.status, ExitStatus::Finished, "seed {seed}");
+        assert_eq!(o.outputs.len(), 3, "seed {seed}: {:?}", o.outputs);
+        assert!(o.outputs.iter().all(|&(c, v)| c == 1 && v == 42));
+    }
+}
+
+#[test]
+fn lost_wakeup_deadlocks() {
+    // Signal before anyone waits: the waiter then sleeps forever.
+    let mut mb = ModuleBuilder::new("lost");
+    let m = mb.global("m", 1, Type::I64);
+    let cv = mb.global("cv", 1, Type::I64);
+    let waiter = mb.declare_func("waiter", 1);
+    let main = mb.declare_func("main", 0);
+    {
+        let mut b = mb.build_func(waiter);
+        b.io_delay(50); // arrives after the signal
+        let ma = b.global_addr(m);
+        let cva = b.global_addr(cv);
+        b.lock(ma);
+        b.cond_wait(cva, ma);
+        b.unlock(ma);
+        b.ret(None);
+    }
+    {
+        let mut b = mb.build_func(main);
+        let t = b.thread_create(waiter, 0);
+        let cva = b.global_addr(cv);
+        b.cond_signal(cva); // nobody is waiting yet: lost
+        b.thread_join(t);
+        b.ret(None);
+    }
+    let module = mb.finish();
+    let main_id = module.func_by_name("main").unwrap();
+    let mut sched = RoundRobin::new(4);
+    let o = Vm::run_quiet(&module, main_id, ProgramInput::empty(), &mut sched);
+    assert_eq!(o.status, ExitStatus::Deadlock);
+}
+
+#[test]
+fn condvar_transfer_is_race_free() {
+    // The mailbox hand-off is fully synchronized: the happens-before
+    // detector must stay silent across many schedules.
+    use owl_race::{explore, ExplorerConfig};
+    let (m, main) = mailbox(2);
+    let r = explore(
+        &m,
+        main,
+        &[],
+        &ExplorerConfig {
+            runs_per_input: 20,
+            ..Default::default()
+        },
+    );
+    assert!(r.reports.is_empty(), "{:?}", r.reports);
+}
+
+#[test]
+fn signal_wakes_exactly_one() {
+    // Two waiters, one signal: one proceeds, the other deadlocks; the
+    // run must end in Deadlock with exactly one output.
+    let mut mb = ModuleBuilder::new("one");
+    let m = mb.global("m", 1, Type::I64);
+    let cv = mb.global("cv", 1, Type::I64);
+    let waiter = mb.declare_func("waiter", 1);
+    let main = mb.declare_func("main", 0);
+    {
+        let mut b = mb.build_func(waiter);
+        let ma = b.global_addr(m);
+        let cva = b.global_addr(cv);
+        b.lock(ma);
+        b.cond_wait(cva, ma);
+        b.unlock(ma);
+        b.output(2, Operand::Param(0));
+        b.ret(None);
+    }
+    {
+        let mut b = mb.build_func(main);
+        let t1 = b.thread_create(waiter, 1);
+        let t2 = b.thread_create(waiter, 2);
+        b.io_delay(100); // let both reach the wait
+        let cva = b.global_addr(cv);
+        b.cond_signal(cva);
+        b.thread_join(t1);
+        b.thread_join(t2);
+        b.ret(None);
+    }
+    let module = mb.finish();
+    let main_id = module.func_by_name("main").unwrap();
+    let mut sched = RoundRobin::new(4);
+    let o = Vm::run_quiet(&module, main_id, ProgramInput::empty(), &mut sched);
+    assert_eq!(o.status, ExitStatus::Deadlock, "the second waiter starves");
+    assert_eq!(o.outputs.len(), 1, "{:?}", o.outputs);
+}
+
+#[test]
+fn condvar_round_trips_through_text() {
+    let (m, main) = mailbox(1);
+    let printed = owl_ir::module_to_string(&m);
+    assert!(printed.contains("cond_wait"));
+    assert!(printed.contains("cond_broadcast"));
+    let parsed = owl_ir::parse_module(&printed).expect("parse");
+    owl_ir::verify_module(&parsed).expect("verify");
+    let entry = parsed.func_by_name("main").unwrap();
+    let mut s1 = RoundRobin::new(3);
+    let o1 = Vm::run_quiet(&m, main, ProgramInput::empty(), &mut s1);
+    let mut s2 = RoundRobin::new(3);
+    let o2 = Vm::run_quiet(&parsed, entry, ProgramInput::empty(), &mut s2);
+    assert_eq!(o1.outputs, o2.outputs);
+}
+
+// The BlockId import is used by the mailbox builder via b.block() returns;
+// keep the compiler satisfied if optimized away.
+#[allow(dead_code)]
+fn _unused(_: BlockId) {}
+
+#[test]
+fn deadlock_diagnosis_names_the_waiters() {
+    // Two threads each hold one lock and want the other: a classic ABBA
+    // deadlock, with main stuck in join.
+    let mut mb = ModuleBuilder::new("abba");
+    let la = mb.global("lock_a", 1, Type::I64);
+    let lb = mb.global("lock_b", 1, Type::I64);
+    let t_ab = mb.declare_func("ab", 1);
+    let t_ba = mb.declare_func("ba", 1);
+    let main = mb.declare_func("main", 0);
+    for (f, first, second) in [(t_ab, la, lb), (t_ba, lb, la)] {
+        let mut b = mb.build_func(f);
+        let a1 = b.global_addr(first);
+        b.lock(a1);
+        b.io_delay(50); // guarantee both hold their first lock
+        let a2 = b.global_addr(second);
+        b.lock(a2);
+        b.unlock(a2);
+        b.unlock(a1);
+        b.ret(None);
+    }
+    {
+        let mut b = mb.build_func(main);
+        let t1 = b.thread_create(t_ab, 0);
+        let t2 = b.thread_create(t_ba, 0);
+        b.thread_join(t1);
+        b.thread_join(t2);
+        b.ret(None);
+    }
+    let module = mb.finish();
+    let main_id = module.func_by_name("main").unwrap();
+    let mut sched = RoundRobin::new(2);
+    let o = Vm::run_quiet(&module, main_id, ProgramInput::empty(), &mut sched);
+    assert_eq!(o.status, ExitStatus::Deadlock);
+    let info = o.deadlock.expect("diagnosis attached");
+    // Both workers blocked on a mutex owned by the other; main joining.
+    let mutex_waits: Vec<_> = info
+        .waiting
+        .iter()
+        .filter(|w| matches!(w.reason, owl_vm::WaitReason::Mutex { .. }))
+        .collect();
+    assert_eq!(mutex_waits.len(), 2, "{info:?}");
+    for w in &mutex_waits {
+        let owl_vm::WaitReason::Mutex { owner, .. } = w.reason else {
+            unreachable!()
+        };
+        let owner = owner.expect("deadlocked mutex has an owner");
+        assert_ne!(owner, w.tid, "waiting on a lock someone else holds");
+        assert!(w.site.is_some(), "stuck site resolvable");
+    }
+    assert!(
+        info.waiting
+            .iter()
+            .any(|w| matches!(w.reason, owl_vm::WaitReason::Join { .. })),
+        "main is stuck joining: {info:?}"
+    );
+}
+
+#[test]
+fn lost_wakeup_diagnosis_points_at_the_condvar() {
+    let mut mb = ModuleBuilder::new("lostdiag");
+    let m = mb.global("m", 1, Type::I64);
+    let cv = mb.global("cv", 1, Type::I64);
+    let waiter = mb.declare_func("waiter", 1);
+    let main = mb.declare_func("main", 0);
+    {
+        let mut b = mb.build_func(waiter);
+        let ma = b.global_addr(m);
+        let cva = b.global_addr(cv);
+        b.lock(ma);
+        b.cond_wait(cva, ma);
+        b.unlock(ma);
+        b.ret(None);
+    }
+    {
+        let mut b = mb.build_func(main);
+        let t = b.thread_create(waiter, 0);
+        b.thread_join(t);
+        b.ret(None);
+    }
+    let module = mb.finish();
+    let main_id = module.func_by_name("main").unwrap();
+    let mut sched = RoundRobin::new(4);
+    let o = Vm::run_quiet(&module, main_id, ProgramInput::empty(), &mut sched);
+    assert_eq!(o.status, ExitStatus::Deadlock);
+    let info = o.deadlock.expect("diagnosis");
+    assert!(
+        info.waiting
+            .iter()
+            .any(|w| matches!(w.reason, owl_vm::WaitReason::CondVar { .. })),
+        "{info:?}"
+    );
+}

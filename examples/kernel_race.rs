@@ -1,0 +1,83 @@
+//! The Linux uselib()/msync() race (paper Figure 2) under SKI-style
+//! schedule exploration, from detection to a root shell.
+//!
+//! ```sh
+//! cargo run --example kernel_race
+//! ```
+
+use owl_race::{executions_until, explore, ExploreStrategy, ExplorerConfig};
+use owl_static::{hints, VulnAnalyzer, VulnConfig};
+use owl_vm::RunConfig;
+
+fn main() {
+    let p = owl_corpus::program("Linux").expect("corpus program");
+    println!("== Linux uselib()/msync() f_op race (Figure 2) ==\n");
+
+    // SKI regime: systematic interleaving exploration (PCT) across the
+    // syscall workload.
+    let result = explore(
+        &p.module,
+        p.entry,
+        &p.workloads,
+        &ExplorerConfig {
+            runs_per_input: 15,
+            strategy: ExploreStrategy::Pct { depth: 3 },
+            ..Default::default()
+        },
+    );
+    println!(
+        "schedule exploration: {} runs, {} distinct race report(s)",
+        result.runs,
+        result.reports.len()
+    );
+    let fop = result
+        .reports_on("f_op")
+        .next()
+        .expect("f_op race found")
+        .clone();
+    println!("\nthe kernel race:\n{}", fop.format(&p.module));
+
+    // Bug-to-attack propagation: the corrupted pointer reaches the
+    // indirect call.
+    let read = fop.read_access().expect("read side");
+    let mut analyzer = VulnAnalyzer::new(&p.module, VulnConfig::default());
+    let (vulns, _) = analyzer.analyze(read.site, &read.stack);
+    print!("{}", hints::format_vuln_reports(&p.module, &vulns));
+
+    // The two-input structure of the attack (§3.1 finding III): the
+    // race needs one set of syscall timings, the root shell needs
+    // *another* input (the mmap remap).
+    println!("== triggering with crafted syscall parameters ==");
+    let crash = executions_until(
+        &p.module,
+        p.entry,
+        &p.exploit_inputs[0],
+        &RunConfig::default(),
+        1,
+        20,
+        |o| o.any_violation(|v| matches!(v, owl_vm::Violation::NullFuncPtr)),
+    );
+    println!(
+        "NULL f_op dereference (kernel crash): {}",
+        match crash {
+            Some(n) => format!("triggered after {n} execution(s)"),
+            None => "not triggered in 20 executions".into(),
+        }
+    );
+    let root = executions_until(
+        &p.module,
+        p.entry,
+        &p.exploit_inputs[1],
+        &RunConfig::default(),
+        1,
+        20,
+        |o| o.privilege == 0 && o.executed(31337),
+    );
+    println!(
+        "root shell via remapped page:         {}",
+        match root {
+            Some(n) => format!("triggered after {n} execution(s)"),
+            None => "not triggered in 20 executions".into(),
+        }
+    );
+}

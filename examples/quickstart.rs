@@ -1,0 +1,85 @@
+//! Quickstart: build a small concurrent program with the IR builder,
+//! run the full OWL pipeline on it, and print what it finds.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! The program has a classic concurrency-attack shape: a worker checks
+//! a racy `authenticated` flag and, when it is set, executes a
+//! privileged operation — while another thread sets the flag for a
+//! *different* session without synchronization.
+
+use owl::{Owl, OwlConfig};
+use owl_ir::{ModuleBuilder, Type};
+use owl_static::hints;
+use owl_vm::ProgramInput;
+
+fn main() {
+    // 1. Build the program.
+    let mut mb = ModuleBuilder::new("quickstart");
+    let authenticated = mb.global("authenticated", 1, Type::I64);
+
+    let login_thread = mb.declare_func("login_thread", 1);
+    let worker_thread = mb.declare_func("worker_thread", 1);
+    let main_fn = mb.declare_func("main", 0);
+
+    {
+        // Sets the flag once its (unrelated) session logs in.
+        let mut b = mb.build_func(login_thread);
+        b.loc("auth.c", 21);
+        let a = b.global_addr(authenticated);
+        b.store(a, 1);
+        b.ret(None);
+    }
+    {
+        // if (authenticated) run_privileged();
+        let mut b = mb.build_func(worker_thread);
+        b.loc("worker.c", 40);
+        let a = b.global_addr(authenticated);
+        let v = b.load(a, Type::I64);
+        let privileged = b.block();
+        let done = b.block();
+        b.br(v, privileged, done);
+        b.switch_to(privileged);
+        b.loc("worker.c", 44);
+        b.set_privilege(0);
+        b.jmp(done);
+        b.switch_to(done);
+        b.ret(None);
+    }
+    {
+        let mut b = mb.build_func(main_fn);
+        let t1 = b.thread_create(login_thread, 0);
+        let t2 = b.thread_create(worker_thread, 0);
+        b.thread_join(t1);
+        b.thread_join(t2);
+        b.ret(None);
+    }
+    let module = mb.finish();
+    owl_ir::assert_verified(&module);
+
+    // 2. Run the OWL pipeline (Figure 3 of the paper).
+    let owl = Owl::new(&module, main_fn, OwlConfig::default());
+    let result = owl.run("quickstart", &[ProgramInput::empty()], &[]);
+
+    // 3. Report.
+    println!("pipeline stats: {:?}\n", result.stats);
+    for f in result.vulnerable_findings() {
+        println!("== finding on {:?} ==", f.race.global_name);
+        println!("{}", f.race.format(&module));
+        for (vr, vv) in f.vulns.iter().zip(&f.vuln_verifications) {
+            print!("{}", hints::format_vuln_report(&module, vr));
+            println!(
+                "dynamically verified: site {}",
+                if vv.reached { "REACHED" } else { "not reached" }
+            );
+        }
+        println!();
+    }
+    let n = result.vulnerable_findings().count();
+    println!(
+        "{n} vulnerable finding(s) out of {} verified race(s)",
+        result.findings.len()
+    );
+}

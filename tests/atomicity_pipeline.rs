@@ -1,0 +1,85 @@
+//! The CTrigger/AVIO integration (paper §8.3's future work): a
+//! lock-protected check-then-act bug that is invisible to the
+//! happens-before front-end is caught by the atomicity-violation
+//! front-end, and the rest of the OWL pipeline (verification,
+//! Algorithm 1, vulnerability verification) carries it to a confirmed
+//! attack.
+
+use owl::{Owl, OwlConfig};
+use owl_corpus::extensions::bank_atomicity;
+use owl_ir::VulnClass;
+
+#[test]
+fn hb_front_end_misses_the_bank_attack() {
+    let p = bank_atomicity();
+    let owl = Owl::new(&p.module, p.entry, OwlConfig::quick());
+    let result = owl.run("Bank", &p.workloads, &p.exploit_inputs);
+    assert!(
+        result
+            .findings
+            .iter()
+            .all(|f| f.race.global_name.as_deref() != Some("balance")),
+        "every balance access is locked; HB must stay silent: {:?}",
+        result
+            .findings
+            .iter()
+            .map(|f| f.race.global_name.clone())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn atomicity_front_end_detects_the_bank_attack() {
+    let p = bank_atomicity();
+    let owl = Owl::new(&p.module, p.entry, OwlConfig::quick());
+    let result = owl.run_atomicity("Bank", &p.workloads, &p.exploit_inputs);
+    assert!(
+        result.stats.raw_reports > 0,
+        "the atomicity detector must flag the check-then-act window"
+    );
+    let finding = result
+        .finding_on("balance")
+        .unwrap_or_else(|| panic!("balance finding expected: {:?}", result.findings));
+    assert!(
+        finding.verification.confirmed,
+        "the unserializable access pair verifies in the racing moment"
+    );
+    let dispense = finding
+        .vulns
+        .iter()
+        .zip(&finding.vuln_verifications)
+        .find(|(v, _)| v.class == VulnClass::FileOp)
+        .unwrap_or_else(|| panic!("cash-dispense hint expected: {:?}", finding.vulns));
+    assert!(
+        dispense.1.reached,
+        "the dispense site is dynamically reachable: {:?}",
+        dispense.1
+    );
+}
+
+#[test]
+fn atomicity_reports_convert_faithfully() {
+    use owl_race::{AtomicityDetector, AtomicityPattern};
+    use owl_vm::{ProgramInput, RandomScheduler, RunConfig, Vm};
+    let p = bank_atomicity();
+    let mut det = AtomicityDetector::new();
+    for seed in 0..20u64 {
+        let mut sched = RandomScheduler::new(seed);
+        let vm = Vm::new(
+            &p.module,
+            p.entry,
+            ProgramInput::new(vec![80, 80, 20, 20]),
+            RunConfig::default(),
+        );
+        let _ = vm.run(&mut sched, &mut det);
+    }
+    let reports = det.finish(&p.module);
+    let balance_report = reports
+        .iter()
+        .find(|r| r.global_name.as_deref() == Some("balance"))
+        .expect("balance violation");
+    assert_eq!(balance_report.pattern, AtomicityPattern::RwR);
+    let rr = balance_report.as_race_report();
+    assert_eq!(rr.global_name.as_deref(), Some("balance"));
+    assert!(rr.read_access().is_some());
+}

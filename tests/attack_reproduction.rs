@@ -1,0 +1,128 @@
+//! Exploit reproduction: every attack's exploit inputs trigger the
+//! consequence within a small number of re-executions — the paper's
+//! §3.1 finding III ("8 out of the 10 triggered attacks required less
+//! than 20 repetitive executions via subtle inputs").
+
+use owl_race::executions_until;
+use owl_vm::RunConfig;
+
+#[test]
+fn every_attack_triggers_within_twenty_executions() {
+    let mut within_twenty = 0;
+    let mut total = 0;
+    for p in owl_corpus::all_programs() {
+        for a in &p.attacks {
+            total += 1;
+            let best = p
+                .exploit_inputs
+                .iter()
+                .filter_map(|input| {
+                    executions_until(
+                        &p.module,
+                        p.entry,
+                        input,
+                        &RunConfig::default(),
+                        11,
+                        20,
+                        a.spec_oracle(),
+                    )
+                })
+                .min();
+            match best {
+                Some(n) => {
+                    assert!(n <= 20);
+                    within_twenty += 1;
+                }
+                None => panic!("{}: {} did not trigger in 20 executions", p.name, a.id()),
+            }
+        }
+    }
+    assert_eq!(total, 10);
+    assert!(
+        within_twenty >= 8,
+        "paper: at least 8/10 within 20 executions; got {within_twenty}"
+    );
+}
+
+/// Helper trait so the test reads naturally.
+trait SpecOracle {
+    fn spec_oracle(&self) -> owl_corpus::AttackOracle;
+    fn id(&self) -> &'static str;
+}
+
+impl SpecOracle for owl_corpus::AttackSpec {
+    fn spec_oracle(&self) -> owl_corpus::AttackOracle {
+        self.oracle
+    }
+    fn id(&self) -> &'static str {
+        self.id
+    }
+}
+
+#[test]
+fn exploits_need_their_subtle_inputs() {
+    // Running each program's *benign* primary workload many times must
+    // not realize the Libsafe code injection or the Apache HTML
+    // integrity violation — those attacks structurally require the
+    // crafted input values (oversized length, planted payload), not
+    // just a lucky schedule (§3.1: "triggering concurrency bugs and
+    // their attacks often need different inputs").
+    for (name, attack_id) in [
+        ("Libsafe", "libsafe-overflow"),
+        ("Apache", "apache-25520-html-integrity"),
+    ] {
+        let p = owl_corpus::program(name).unwrap();
+        let a = p.attack(attack_id).unwrap();
+        let tries = executions_until(
+            &p.module,
+            p.entry,
+            p.primary_workload(),
+            &RunConfig::default(),
+            23,
+            30,
+            a.oracle,
+        );
+        assert!(
+            tries.is_none(),
+            "{name}: benign workload realized {attack_id} after {tries:?} runs"
+        );
+    }
+}
+
+#[test]
+fn consequences_match_the_advertised_types() {
+    use owl_vm::{RandomScheduler, Violation, Vm};
+    // Trigger each attack once and check the mechanical consequence
+    // class lines up with Table 4's vulnerability type.
+    type Check = fn(&owl_vm::ExecOutcome) -> bool;
+    let checks: &[(&str, &str, Check)] = &[
+        ("Libsafe", "Buffer Overflow", |o| {
+            o.any_violation(|v| matches!(v, Violation::BufferOverflow { .. }))
+        }),
+        ("MySQL", "Double Free", |o| {
+            o.any_violation(|v| matches!(v, Violation::DoubleFree { .. }))
+        }),
+        ("SSDB", "Use After Free", |o| {
+            o.any_violation(|v| matches!(v, Violation::UseAfterFree { .. }))
+        }),
+        ("Apache", "Integer Overflow", |o| {
+            o.any_violation(|v| matches!(v, Violation::IntegerUnderflow { .. }))
+        }),
+    ];
+    for (name, label, check) in checks {
+        let p = owl_corpus::program(name).unwrap();
+        let mut seen = false;
+        'outer: for input in &p.exploit_inputs {
+            for seed in 0..25 {
+                let mut sched = RandomScheduler::new(400 + seed);
+                let vm = Vm::new(&p.module, p.entry, input.clone(), RunConfig::default());
+                let o = vm.run(&mut sched, &mut owl_vm::NullSink);
+                if check(&o) {
+                    seen = true;
+                    break 'outer;
+                }
+            }
+        }
+        assert!(seen, "{name}: no {label} consequence observed");
+    }
+}

@@ -1,0 +1,71 @@
+//! End-to-end tests for the `owl_cli` binary.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_owl_cli"))
+}
+
+fn run_ok(args: &[&str]) -> String {
+    let out = cli().args(args).output().expect("spawn owl_cli");
+    assert!(
+        out.status.success(),
+        "owl_cli {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn list_shows_all_programs() {
+    let out = run_ok(&["list"]);
+    for name in ["Apache", "Chrome", "Libsafe", "Linux", "Memcached", "MySQL", "SSDB", "Bank"] {
+        assert!(out.contains(name), "missing {name} in:\n{out}");
+    }
+}
+
+#[test]
+fn run_reports_reduction_and_findings() {
+    let out = run_ok(&["run", "SSDB", "--quick"]);
+    assert!(out.contains("reports:"), "{out}");
+    assert!(out.contains("% reduced"), "{out}");
+    assert!(out.contains("finding on `db`"), "{out}");
+}
+
+#[test]
+fn hints_render_figure5_format() {
+    let out = run_ok(&["hints", "Libsafe", "--quick"]);
+    assert!(out.contains("data race on `dying`"), "{out}");
+    assert!(out.contains("Vulnerable Site Location"), "{out}");
+}
+
+#[test]
+fn audit_separates_benign_from_exploit() {
+    let out = run_ok(&["audit", "Libsafe", "--quick"]);
+    assert!(out.contains("auditing"), "{out}");
+    assert!(out.contains("benign"), "{out}");
+    assert!(out.contains("ATTACK ALERT"), "{out}");
+}
+
+#[test]
+fn atomicity_front_end_flag() {
+    let out = run_ok(&["run", "Bank", "--quick", "--atomicity"]);
+    assert!(out.contains("atomicity front-end"), "{out}");
+    assert!(out.contains("finding on `balance`"), "{out}");
+}
+
+#[test]
+fn unknown_program_fails_cleanly() {
+    let out = cli().args(["run", "nope"]).output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown program"), "{err}");
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = cli().output().expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage:"), "{err}");
+}

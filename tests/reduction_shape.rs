@@ -1,0 +1,120 @@
+//! Shape assertions against the paper's evaluation tables: the
+//! absolute numbers are ours (the substrate is a simulator, not the
+//! authors' testbed), but who floods, who reduces, and where the adhoc
+//! synchronizations are must match Tables 1 and 3.
+
+use owl::{evaluate_program, OwlConfig, ProgramEvaluation};
+use std::sync::OnceLock;
+
+fn evals() -> &'static [ProgramEvaluation] {
+    static EVALS: OnceLock<Vec<ProgramEvaluation>> = OnceLock::new();
+    EVALS.get_or_init(|| {
+        owl_corpus::all_programs()
+            .iter()
+            .map(|p| evaluate_program(p, &OwlConfig::default()))
+            .collect()
+    })
+}
+
+fn stat(name: &str) -> &'static owl::PipelineStats {
+    &evals()
+        .iter()
+        .find(|e| e.name == name)
+        .unwrap()
+        .result
+        .stats
+}
+
+#[test]
+fn overall_reduction_matches_the_papers_94_percent() {
+    let raw: usize = evals().iter().map(|e| e.result.stats.raw_reports).sum();
+    let remaining: usize = evals().iter().map(|e| e.result.stats.remaining).sum();
+    let reduction = 100.0 * (1.0 - remaining as f64 / raw as f64);
+    assert!(
+        reduction >= 90.0,
+        "paper reports 94.3%; we require at least 90%, got {reduction:.1}% ({raw} -> {remaining})"
+    );
+}
+
+#[test]
+fn adhoc_sync_counts_match_table3() {
+    // Table 3's A.S. column: Apache 7, Chrome 1, Libsafe 0, Linux 8,
+    // Memcached 0, MySQL 6, SSDB 0 — 22 total (§8.2).
+    assert_eq!(stat("Apache").adhoc_syncs, 7);
+    assert_eq!(stat("Chrome").adhoc_syncs, 1);
+    assert_eq!(stat("Libsafe").adhoc_syncs, 0);
+    assert_eq!(stat("Linux").adhoc_syncs, 8);
+    assert_eq!(stat("Memcached").adhoc_syncs, 0);
+    assert_eq!(stat("MySQL").adhoc_syncs, 6);
+    assert_eq!(stat("SSDB").adhoc_syncs, 0);
+    let total: usize = evals().iter().map(|e| e.result.stats.adhoc_syncs).sum();
+    assert_eq!(
+        total, 22,
+        "the paper found 22 unique adhoc synchronizations"
+    );
+}
+
+#[test]
+fn report_flood_ordering_matches_table1() {
+    // Table 1 orders the flood: Linux ≫ Chrome/MySQL/Apache ≫ SSDB ≫
+    // Libsafe.
+    let linux = stat("Linux").raw_reports;
+    let chrome = stat("Chrome").raw_reports;
+    let mysql = stat("MySQL").raw_reports;
+    let apache = stat("Apache").raw_reports;
+    let ssdb = stat("SSDB").raw_reports;
+    let libsafe = stat("Libsafe").raw_reports;
+    assert!(linux > chrome, "Linux floods hardest: {linux} vs {chrome}");
+    assert!(linux > mysql && linux > apache);
+    assert!(chrome > ssdb && mysql > ssdb && apache > ssdb);
+    assert!(
+        ssdb > libsafe || libsafe <= 3,
+        "Libsafe is tiny (paper: 3 reports)"
+    );
+}
+
+#[test]
+fn annotation_reduces_each_adhoc_program() {
+    for e in evals() {
+        let s = &e.result.stats;
+        if s.adhoc_syncs > 0 {
+            assert!(
+                s.post_annotation_reports < s.raw_reports,
+                "{}: {} annotations but {} -> {} reports",
+                e.name,
+                s.adhoc_syncs,
+                s.raw_reports,
+                s.post_annotation_reports
+            );
+        }
+    }
+}
+
+#[test]
+fn verifier_elimination_dominates_the_reduction() {
+    // Table 3: R.V.E. is the big hammer (annotation handles schedules,
+    // verification handles everything the primary input can't re-reach).
+    let rve: usize = evals()
+        .iter()
+        .map(|e| e.result.stats.verifier_eliminated)
+        .sum();
+    let raw: usize = evals().iter().map(|e| e.result.stats.raw_reports).sum();
+    assert!(
+        rve * 2 > raw,
+        "verifier should eliminate most reports: {rve} of {raw}"
+    );
+}
+
+#[test]
+fn owl_final_reports_are_few() {
+    // Table 2: OWL leaves a handful of security-relevant reports per
+    // program (paper total: 180 across 5.36 MLoC; ours scales down).
+    for e in evals() {
+        let vulnerable = e.result.vulnerable_findings().count();
+        assert!(
+            vulnerable <= 12,
+            "{}: too many final reports ({vulnerable})",
+            e.name
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Dynamic-verifier integration properties: the race verifier confirms
+//! the corpus's real attack races and eliminates the input-gated noise
+//! races (the R.V.E. column of Table 3), and the vulnerability
+//! verifier's diverged-branch hints behave as §6.2 describes.
+
+use owl_race::{explore, ExplorerConfig};
+use owl_static::{VulnAnalyzer, VulnConfig};
+use owl_verify::{RaceVerifier, RaceVerifyConfig, VulnVerifier, VulnVerifyConfig};
+use owl_vm::ProgramInput;
+
+#[test]
+fn attack_races_verify_on_the_primary_workload() {
+    for name in ["Libsafe", "SSDB", "MySQL", "Linux", "Chrome", "Apache"] {
+        let p = owl_corpus::program(name).unwrap();
+        let raw = explore(
+            &p.module,
+            p.entry,
+            &p.workloads,
+            &ExplorerConfig {
+                runs_per_input: 12,
+                ..Default::default()
+            },
+        );
+        let verifier = RaceVerifier::new(
+            &p.module,
+            RaceVerifyConfig {
+                max_schedules: 12,
+                ..Default::default()
+            },
+        );
+        for a in &p.attacks {
+            let report = raw
+                .reports_on(a.race_global)
+                .next()
+                .unwrap_or_else(|| panic!("{name}: no report on {}", a.race_global));
+            let v = verifier.verify(p.entry, p.primary_workload(), report);
+            assert!(
+                v.confirmed,
+                "{name}: {} race must be verifiable in the racing moment",
+                a.race_global
+            );
+            let hints = v.hints.unwrap();
+            assert_eq!(hints.global_name.as_deref(), Some(a.race_global));
+        }
+    }
+}
+
+#[test]
+fn gated_noise_races_are_eliminated_under_the_primary_workload() {
+    // The extended-coverage workload exposes `noise_gated_*` races; the
+    // verifier re-executes only the primary workload, where that code
+    // never runs — so they cannot be confirmed (Table 3's R.V.E.).
+    let p = owl_corpus::program("Memcached").unwrap();
+    let raw = explore(
+        &p.module,
+        p.entry,
+        &p.workloads,
+        &ExplorerConfig {
+            runs_per_input: 12,
+            ..Default::default()
+        },
+    );
+    let gated: Vec<_> = raw
+        .reports
+        .iter()
+        .filter(|r| {
+            r.global_name
+                .as_deref()
+                .is_some_and(|n| n.starts_with("noise_gated"))
+        })
+        .take(5)
+        .collect();
+    assert!(!gated.is_empty(), "gated noise must flood the detector");
+    let verifier = RaceVerifier::new(
+        &p.module,
+        RaceVerifyConfig {
+            max_schedules: 4,
+            ..Default::default()
+        },
+    );
+    for r in gated {
+        let v = verifier.verify(p.entry, p.primary_workload(), r);
+        assert!(
+            !v.confirmed,
+            "gated race on {:?} must not verify under the primary workload",
+            r.global_name
+        );
+    }
+}
+
+#[test]
+fn always_on_noise_races_do_verify() {
+    // Real, always-on benign races verify — that is exactly why OWL
+    // needs the *vulnerability* analysis stage after verification.
+    let p = owl_corpus::program("Memcached").unwrap();
+    let raw = explore(
+        &p.module,
+        p.entry,
+        &p.workloads,
+        &ExplorerConfig {
+            runs_per_input: 12,
+            ..Default::default()
+        },
+    );
+    let stat_race = raw
+        .reports
+        .iter()
+        .find(|r| {
+            r.global_name
+                .as_deref()
+                .is_some_and(|n| n.starts_with("noise_stat"))
+        })
+        .expect("always-on noise reported");
+    let verifier = RaceVerifier::new(&p.module, RaceVerifyConfig::default());
+    let v = verifier.verify(p.entry, p.primary_workload(), stat_race);
+    assert!(v.confirmed, "always-on noise race is real");
+    // ... but harmless: Algorithm 1 finds no vulnerable site.
+    let read = stat_race.read_access().unwrap();
+    let mut an = VulnAnalyzer::new(&p.module, VulnConfig::default());
+    let (vulns, _) = an.analyze(read.site, &read.stack);
+    assert!(vulns.is_empty(), "benign counter produced hints: {vulns:?}");
+}
+
+#[test]
+fn vuln_verifier_reports_diverged_branches_on_wrong_inputs() {
+    // MySQL's privilege-escalation hint: with FLUSH PRIVILEGES disabled
+    // the gating branch never turns, and the verifier must say which
+    // branch diverged.
+    let p = owl_corpus::program("MySQL").unwrap();
+    let raw = explore(
+        &p.module,
+        p.entry,
+        &p.workloads,
+        &ExplorerConfig {
+            runs_per_input: 12,
+            ..Default::default()
+        },
+    );
+    let report = raw
+        .reports_on("acl_table")
+        .next()
+        .expect("acl race")
+        .clone();
+    let read = report.read_access().unwrap();
+    let mut an = VulnAnalyzer::new(&p.module, VulnConfig::default());
+    let (vulns, _) = an.analyze(read.site, &read.stack);
+    let priv_hint = vulns
+        .iter()
+        .find(|v| v.class == owl_ir::VulnClass::PrivilegeOp)
+        .expect("privilege hint");
+
+    let verifier = VulnVerifier::new(
+        &p.module,
+        VulnVerifyConfig {
+            schedules_per_input: 3,
+            ..Default::default()
+        },
+    );
+    // No flush, no set-password, unprivileged uid: the grant is
+    // unreachable.
+    let quiet = ProgramInput::new(vec![0, 0, 0, 5, 0, 0, 0, 0]);
+    let v = verifier.verify(p.entry, &[quiet], priv_hint);
+    assert!(!v.reached, "grant must be unreachable without the flush");
+    if !priv_hint.branches.is_empty() {
+        assert!(
+            !v.diverged_branches.is_empty() || !v.branches_hit.is_empty(),
+            "branch feedback expected: {v:?}"
+        );
+    }
+    // With the exploit input the same hint verifies.
+    let v2 = verifier.verify(p.entry, &p.exploit_inputs, priv_hint);
+    assert!(v2.reached, "exploit input reaches the grant: {v2:?}");
+}
