@@ -70,6 +70,7 @@ pub struct PathAuditor<'m> {
     entry: FuncId,
     sites: BTreeSet<InstRef>,
     watched: BTreeSet<InstRef>,
+    run_config: owl_vm::RunConfig,
 }
 
 struct AuditController {
@@ -99,7 +100,16 @@ impl<'m> PathAuditor<'m> {
             entry,
             sites,
             watched,
+            run_config: owl_vm::RunConfig::default(),
         }
+    }
+
+    /// Replaces the VM configuration audited executions run under
+    /// (step limits, fault plan). Lets chaos runs audit with the same
+    /// [`owl_vm::FaultPlan`] as the rest of the pipeline.
+    pub fn with_run_config(mut self, run_config: owl_vm::RunConfig) -> Self {
+        self.run_config = run_config;
+        self
     }
 
     /// Builds an auditor from a pipeline result's findings.
@@ -131,7 +141,7 @@ impl<'m> PathAuditor<'m> {
             self.module,
             self.entry,
             input.clone(),
-            owl_vm::RunConfig::default(),
+            self.run_config.clone(),
         );
         for s in &self.watched {
             vm.add_breakpoint(Breakpoint::at(*s));
@@ -179,7 +189,7 @@ mod tests {
 
     #[test]
     fn libsafe_auditor_catches_the_attack_cheaply() {
-        let p = owl_corpus::program("Libsafe").unwrap();
+        let p = owl_corpus::program("Libsafe").expect("Libsafe is in the corpus");
         let owl = Owl::new(&p.module, p.entry, OwlConfig::quick());
         let result = owl.run("Libsafe", &p.workloads, &p.exploit_inputs);
         let auditor = PathAuditor::from_result(&p.module, p.entry, &result);

@@ -10,8 +10,9 @@
 
 use owl::{Owl, OwlConfig, PathAuditor};
 use owl_static::hints;
-use owl_vm::RandomScheduler;
+use owl_vm::{FaultPlan, RandomScheduler};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -20,17 +21,65 @@ fn usage() -> ExitCode {
          list                      list corpus programs\n  \
          run <program> [--quick] [--atomicity]\n                            run the pipeline and print findings\n  \
          hints <program> [--quick] print Figure-4/5 hints for every finding\n  \
-         audit <program> [--quick] demo §7.2 path auditing"
+         audit <program> [--quick] demo §7.2 path auditing\n\
+         robustness options (run/hints/audit):\n  \
+         --fault-seed <n>          seed for deterministic fault injection\n  \
+         --fault-rate <p>          per-check injection probability (default 0.01\n                            when --fault-seed is given)\n  \
+         --stage-deadline-ms <n>   wall-clock budget per pipeline stage\n  \
+         --max-verify-attempts <n> attempt budget for both dynamic verifiers"
     );
     ExitCode::from(2)
 }
 
-fn config(args: &[String]) -> OwlConfig {
-    if args.iter().any(|a| a == "--quick") {
+/// The value following `--name` in `args`, if present.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
+    match flag_value(args, name) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("invalid value `{raw}` for {name}")),
+    }
+}
+
+fn config(args: &[String]) -> Result<OwlConfig, String> {
+    let mut cfg = if args.iter().any(|a| a == "--quick") {
         OwlConfig::quick()
     } else {
         OwlConfig::default()
+    };
+    let seed: Option<u64> = parse_flag(args, "--fault-seed")?;
+    let rate: Option<f64> = parse_flag(args, "--fault-rate")?;
+    match (seed, rate) {
+        (Some(s), rate) => {
+            let rate = rate.unwrap_or(0.01);
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("--fault-rate must be in [0, 1], got {rate}"));
+            }
+            cfg = cfg.with_fault_plan(FaultPlan::uniform(s, rate));
+        }
+        (None, Some(_)) => {
+            return Err("--fault-rate requires --fault-seed".to_string());
+        }
+        (None, None) => {}
     }
+    if let Some(ms) = parse_flag::<u64>(args, "--stage-deadline-ms")? {
+        cfg = cfg.with_stage_deadline(Duration::from_millis(ms));
+    }
+    if let Some(n) = parse_flag::<u64>(args, "--max-verify-attempts")? {
+        if n == 0 {
+            return Err("--max-verify-attempts must be at least 1".to_string());
+        }
+        cfg = cfg.with_max_verify_attempts(n);
+    }
+    Ok(cfg)
 }
 
 fn load(name: &str) -> Option<owl_corpus::CorpusProgram> {
@@ -70,14 +119,24 @@ fn main() -> ExitCode {
                 eprintln!("unknown program `{name}` (try `owl-cli list`)");
                 return ExitCode::FAILURE;
             };
-            let cfg = config(&args);
-            let owl = Owl::new(&p.module, p.entry, cfg);
+            let cfg = match config(&args) {
+                Ok(cfg) => cfg,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::from(2);
+                }
+            };
+            let owl = Owl::new(&p.module, p.entry, cfg.clone());
             let atomicity = args.iter().any(|a| a == "--atomicity");
             let result = if atomicity {
                 owl.run_atomicity(p.name, &p.workloads, &p.exploit_inputs)
             } else {
                 owl.run(p.name, &p.workloads, &p.exploit_inputs)
             };
+            if let Some(err) = &result.error {
+                eprintln!("pipeline failed: {err}");
+                return ExitCode::FAILURE;
+            }
             match cmd.as_str() {
                 "run" => {
                     let s = &result.stats;
@@ -108,6 +167,37 @@ fn main() -> ExitCode {
                             if reached { "REACHED" } else { "not reached" }
                         );
                     }
+                    let h = &result.health;
+                    if h.total_injected_faults() > 0
+                        || h.total_quarantined() > 0
+                        || h.total_panics() > 0
+                    {
+                        println!(
+                            "health: {} fault(s) injected, {} panic(s) caught, {} report(s) quarantined",
+                            h.total_injected_faults(),
+                            h.total_panics(),
+                            h.total_quarantined()
+                        );
+                        for (stage, sh) in [
+                            ("detect", &h.detect),
+                            ("race-verify", &h.race_verify),
+                            ("vuln-analyze", &h.vuln_analyze),
+                            ("vuln-verify", &h.vuln_verify),
+                        ] {
+                            println!(
+                                "  {stage:12} attempts {} retries {} faults {} deadline-hits {} panics {}",
+                                sh.attempts, sh.retries, sh.injected_faults, sh.deadline_hits, sh.panics
+                            );
+                        }
+                    }
+                    for q in &result.quarantined {
+                        let name = q
+                            .race
+                            .global_name
+                            .clone()
+                            .unwrap_or_else(|| format!("{:#x}", q.race.addr));
+                        println!("quarantined `{name}`: {}", q.error);
+                    }
                     ExitCode::SUCCESS
                 }
                 "hints" => {
@@ -121,7 +211,8 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 "audit" => {
-                    let auditor = PathAuditor::from_result(&p.module, p.entry, &result);
+                    let auditor = PathAuditor::from_result(&p.module, p.entry, &result)
+                        .with_run_config(cfg.detect.run_config.clone());
                     println!(
                         "auditing {} instruction(s) of {} ({:.1}% of the program)",
                         auditor.watched_count(),

@@ -119,7 +119,7 @@ mod tests {
 
     #[test]
     fn libsafe_end_to_end() {
-        let p = owl_corpus::program("Libsafe").unwrap();
+        let p = owl_corpus::program("Libsafe").expect("Libsafe is in the corpus");
         let eval = evaluate_program(&p, &OwlConfig::quick());
         assert_eq!(eval.attacks.len(), 1);
         let a = &eval.attacks[0];
@@ -144,7 +144,7 @@ mod tests {
 
     #[test]
     fn ssdb_unknown_attack_detected() {
-        let p = owl_corpus::program("SSDB").unwrap();
+        let p = owl_corpus::program("SSDB").expect("SSDB is in the corpus");
         let eval = evaluate_program(&p, &OwlConfig::quick());
         let a = &eval.attacks[0];
         assert!(!a.spec.known, "SSDB's attack was previously unknown");

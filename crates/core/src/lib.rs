@@ -51,7 +51,10 @@ mod pipeline;
 pub use audit::{AlertKind, AuditAlert, AuditOutcome, PathAuditor};
 pub use config::OwlConfig;
 pub use eval::{evaluate_program, AttackOutcome, ProgramEvaluation};
-pub use pipeline::{Finding, Owl, PipelineResult, PipelineStats};
+pub use pipeline::{
+    Finding, Owl, PipelineError, PipelineHealth, PipelineResult, PipelineStats, Quarantined,
+    Stage, StageHealth,
+};
 
 // Re-export the substrate crates so downstream users need only one
 // dependency.

@@ -1,4 +1,4 @@
-//! The OWL pipeline (paper Figure 3).
+//! The OWL pipeline (paper Figure 3), run under a supervisor.
 //!
 //! 1. A concurrency bug detector runs over the program's workloads and
 //!    produces raw race reports.
@@ -14,13 +14,30 @@
 //! 5. The dynamic vulnerability verifier re-runs the program against
 //!    candidate inputs and checks whether each hinted site is actually
 //!    reachable (and the attack realizable).
+//!
+//! ## Supervision
+//!
+//! Real detection campaigns run for hours over flaky programs; one
+//! pathological report must not take the whole run down. The pipeline
+//! therefore supervises stages 3–5 per report: panics are caught and
+//! the offending report is moved to [`PipelineResult::quarantined`]
+//! with a typed [`PipelineError`]; an optional per-stage wall-clock
+//! deadline ([`OwlConfig::stage_deadline`]) quarantines whatever a
+//! stage did not get to; verifications that abort (see
+//! [`owl_verify::VerifyOutcome`]) are quarantined rather than silently
+//! counted as eliminations. [`PipelineHealth`] summarizes attempts,
+//! retries, injected faults, deadline hits, and panics per stage.
 
 use crate::config::OwlConfig;
-use owl_ir::{FuncId, InstRef, Module};
-use owl_race::{explore, ExplorerConfig, HbAnnotation, RaceReport};
+use owl_ir::{FuncId, Module};
+use owl_race::{explore_with_deadline, ExplorerConfig, HbAnnotation, RaceReport};
 use owl_static::{AdhocSyncDetector, VulnAnalyzer, VulnReport, VulnStats};
-use owl_verify::{RaceVerification, RaceVerifier, VulnVerification, VulnVerifier};
+use owl_verify::{
+    AbortCause, RaceVerification, RaceVerifier, VerifyOutcome, VulnVerification, VulnVerifier,
+};
 use owl_vm::ProgramInput;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// Table-3-shaped stage counters for one pipeline run.
@@ -70,6 +87,170 @@ impl PipelineStats {
     }
 }
 
+/// A supervised pipeline stage (used to tag errors and health).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Stages 1–2: detection and the post-annotation re-run.
+    Detect,
+    /// Stage 2's static adhoc-synchronization identification.
+    AdhocSync,
+    /// Stage 3: dynamic race verification.
+    RaceVerify,
+    /// Stage 4: static vulnerability analysis (Algorithm 1).
+    VulnAnalyze,
+    /// Stage 5: dynamic vulnerability verification.
+    VulnVerify,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stage::Detect => f.write_str("detect"),
+            Stage::AdhocSync => f.write_str("adhoc-sync"),
+            Stage::RaceVerify => f.write_str("race-verify"),
+            Stage::VulnAnalyze => f.write_str("vuln-analyze"),
+            Stage::VulnVerify => f.write_str("vuln-verify"),
+        }
+    }
+}
+
+/// Why a report (or the whole run) was quarantined instead of flowing
+/// through the pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PipelineError {
+    /// A stage panicked while processing the report; the supervisor
+    /// caught the unwind.
+    Panicked {
+        /// The stage that panicked.
+        stage: Stage,
+        /// The panic payload, rendered as text.
+        message: String,
+    },
+    /// The per-stage wall-clock deadline expired before the stage got
+    /// to this report.
+    StageDeadline {
+        /// The stage whose deadline expired.
+        stage: Stage,
+    },
+    /// A dynamic verifier gave up without a meaningful answer.
+    VerifierAborted {
+        /// The verification stage that aborted.
+        stage: Stage,
+        /// Why it aborted.
+        cause: AbortCause,
+        /// Attempts it completed before aborting.
+        attempts: u64,
+    },
+    /// The pipeline's entry function cannot be executed at all, so no
+    /// stage ran.
+    InvalidEntry {
+        /// What is wrong with the entry.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Panicked { stage, message } => {
+                write!(f, "{stage} stage panicked: {message}")
+            }
+            PipelineError::StageDeadline { stage } => {
+                write!(f, "{stage} stage deadline expired")
+            }
+            PipelineError::VerifierAborted {
+                stage,
+                cause,
+                attempts,
+            } => write!(f, "{stage} aborted after {attempts} attempt(s): {cause}"),
+            PipelineError::InvalidEntry { reason } => {
+                write!(f, "invalid entry function: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// A race report the supervisor pulled out of the pipeline together
+/// with the reason.
+#[derive(Clone, Debug)]
+pub struct Quarantined {
+    /// The report that was being processed.
+    pub race: RaceReport,
+    /// Why it was quarantined.
+    pub error: PipelineError,
+}
+
+/// Supervision counters for one stage.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StageHealth {
+    /// Work units attempted (executions for detection, verification
+    /// attempts for the verifiers, reports for the analyzer).
+    pub attempts: u64,
+    /// Attempts beyond the first per report (the retry-with-reseed
+    /// budget actually spent).
+    pub retries: u64,
+    /// Faults the VM's fault plan injected during this stage.
+    pub injected_faults: u64,
+    /// Times a wall-clock deadline cut this stage short.
+    pub deadline_hits: u64,
+    /// Panics the supervisor caught in this stage.
+    pub panics: u64,
+    /// Reports quarantined out of this stage.
+    pub quarantined: u64,
+}
+
+/// Per-stage [`StageHealth`] for a whole pipeline run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PipelineHealth {
+    /// Stages 1–2 (detection runs, both sweeps).
+    pub detect: StageHealth,
+    /// Stage 3 (dynamic race verification).
+    pub race_verify: StageHealth,
+    /// Stage 4 (static vulnerability analysis).
+    pub vuln_analyze: StageHealth,
+    /// Stage 5 (dynamic vulnerability verification).
+    pub vuln_verify: StageHealth,
+}
+
+impl PipelineHealth {
+    /// All faults injected across every stage.
+    pub fn total_injected_faults(&self) -> u64 {
+        self.detect.injected_faults
+            + self.race_verify.injected_faults
+            + self.vuln_analyze.injected_faults
+            + self.vuln_verify.injected_faults
+    }
+
+    /// All reports quarantined across every stage.
+    pub fn total_quarantined(&self) -> u64 {
+        self.detect.quarantined
+            + self.race_verify.quarantined
+            + self.vuln_analyze.quarantined
+            + self.vuln_verify.quarantined
+    }
+
+    /// All panics caught across every stage.
+    pub fn total_panics(&self) -> u64 {
+        self.detect.panics
+            + self.race_verify.panics
+            + self.vuln_analyze.panics
+            + self.vuln_verify.panics
+    }
+}
+
+/// Renders a caught panic payload as text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// One verified race together with its bug-to-attack analysis.
 #[derive(Clone, Debug)]
 pub struct Finding {
@@ -102,6 +283,14 @@ pub struct PipelineResult {
     pub annotations: Vec<HbAnnotation>,
     /// Verified races with their analyses (stage 3–5 output).
     pub findings: Vec<Finding>,
+    /// Reports the supervisor pulled out of the pipeline (panics,
+    /// deadline expiries, aborted verifications).
+    pub quarantined: Vec<Quarantined>,
+    /// Supervision counters per stage.
+    pub health: PipelineHealth,
+    /// A run-level error that prevented the pipeline from running at
+    /// all (currently only [`PipelineError::InvalidEntry`]).
+    pub error: Option<PipelineError>,
 }
 
 impl PipelineResult {
@@ -121,6 +310,19 @@ impl PipelineResult {
                     .iter()
                     .find(|f| f.race.global_name.as_deref() == Some(global))
             })
+    }
+
+    /// An empty result carrying only a run-level error.
+    fn failed(name: &str, error: PipelineError) -> Self {
+        PipelineResult {
+            program: name.to_string(),
+            stats: PipelineStats::default(),
+            annotations: Vec::new(),
+            findings: Vec::new(),
+            quarantined: Vec::new(),
+            health: PipelineHealth::default(),
+            error: Some(error),
+        }
     }
 }
 
@@ -147,6 +349,26 @@ impl<'m> Owl<'m> {
         Self::new(module, entry, OwlConfig::default())
     }
 
+    /// Checks that the entry function can actually be executed, so the
+    /// VM constructor cannot panic deep inside a stage.
+    fn validate_entry(&self) -> Result<(), PipelineError> {
+        let f = self.module.func(self.entry);
+        if !f.is_internal {
+            return Err(PipelineError::InvalidEntry {
+                reason: format!("`{}` is external (no body to execute)", f.name),
+            });
+        }
+        if f.num_params != 0 {
+            return Err(PipelineError::InvalidEntry {
+                reason: format!(
+                    "`{}` takes {} parameter(s); the entry must take none",
+                    f.name, f.num_params
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// Runs the full pipeline.
     ///
     /// * `workloads` drive detection (all of them).
@@ -162,7 +384,13 @@ impl<'m> Owl<'m> {
         workloads: &[ProgramInput],
         extra_inputs: &[ProgramInput],
     ) -> PipelineResult {
+        if let Err(e) = self.validate_entry() {
+            return PipelineResult::failed(name, e);
+        }
         let mut stats = PipelineStats::default();
+        let mut health = PipelineHealth::default();
+        let mut quarantined = Vec::new();
+        let deadline = self.config.stage_deadline;
         let default_workloads = [ProgramInput::empty()];
         let workloads: &[ProgramInput] = if workloads.is_empty() {
             &default_workloads
@@ -172,8 +400,12 @@ impl<'m> Owl<'m> {
 
         // Stage 1: raw detection.
         let t0 = Instant::now();
-        let raw = explore(self.module, self.entry, workloads, &self.config.detect);
+        let raw =
+            explore_with_deadline(self.module, self.entry, workloads, &self.config.detect, deadline);
         stats.raw_reports = raw.reports.len();
+        health.detect.attempts += raw.runs;
+        health.detect.injected_faults += raw.injected_faults;
+        health.detect.deadline_hits += raw.deadline_hit as u64;
 
         // Stage 2: adhoc-synchronization hints + annotate + re-detect.
         let adhoc = AdhocSyncDetector::new(self.module);
@@ -187,18 +419,31 @@ impl<'m> Owl<'m> {
             annotations: annotations.clone(),
             ..self.config.detect.clone()
         };
-        let reduced = explore(self.module, self.entry, workloads, &annotated_cfg);
+        let reduced =
+            explore_with_deadline(self.module, self.entry, workloads, &annotated_cfg, deadline);
         stats.post_annotation_reports = reduced.reports.len();
+        health.detect.attempts += reduced.runs;
+        health.detect.injected_faults += reduced.injected_faults;
+        health.detect.deadline_hits += reduced.deadline_hit as u64;
         stats.detect_time = t0.elapsed();
 
-        let findings =
-            self.verify_and_analyze(&reduced.reports, workloads, extra_inputs, &mut stats);
+        let findings = self.verify_and_analyze(
+            &reduced.reports,
+            workloads,
+            extra_inputs,
+            &mut stats,
+            &mut health,
+            &mut quarantined,
+        );
 
         PipelineResult {
             program: name.to_string(),
             stats,
             annotations,
             findings,
+            quarantined,
+            health,
+            error: None,
         }
     }
 
@@ -213,7 +458,12 @@ impl<'m> Owl<'m> {
         workloads: &[ProgramInput],
         extra_inputs: &[ProgramInput],
     ) -> PipelineResult {
+        if let Err(e) = self.validate_entry() {
+            return PipelineResult::failed(name, e);
+        }
         let mut stats = PipelineStats::default();
+        let mut health = PipelineHealth::default();
+        let mut quarantined = Vec::new();
         let default_workloads = [ProgramInput::empty()];
         let workloads: &[ProgramInput] = if workloads.is_empty() {
             &default_workloads
@@ -234,7 +484,9 @@ impl<'m> Owl<'m> {
                     input.clone(),
                     self.config.detect.run_config.clone(),
                 );
-                let _ = vm.run(&mut sched, &mut detector);
+                let outcome = vm.run(&mut sched, &mut detector);
+                health.detect.attempts += 1;
+                health.detect.injected_faults += outcome.injected_faults.len() as u64;
             }
         }
         let atomicity_reports = detector.finish(self.module);
@@ -248,44 +500,95 @@ impl<'m> Owl<'m> {
         // instead re-executes and confirms the unserializable
         // interleaving re-manifests.
         let tv = Instant::now();
+        let stage_start = Instant::now();
+        let mut stage_expired = false;
         let primary = workloads[0].clone();
         let mut verified: Vec<(RaceReport, RaceVerification)> = Vec::new();
         for report in &atomicity_reports {
-            let mut confirmed = false;
-            let mut attempts = 0;
-            for k in 0..self.config.race_verify.max_schedules {
-                attempts = k + 1;
-                let mut re = owl_race::AtomicityDetector::new();
-                let mut sched = owl_vm::RandomScheduler::new(self.config.race_verify.base_seed + k);
-                let vm = owl_vm::Vm::new(
-                    self.module,
-                    self.entry,
-                    primary.clone(),
-                    self.config.race_verify.run_config.clone(),
-                );
-                let _ = vm.run(&mut sched, &mut re);
-                if re.reports().iter().any(|r| r.key() == report.key()) {
-                    confirmed = true;
-                    break;
+            if let Some(d) = self.config.stage_deadline {
+                if !stage_expired && !verified.is_empty() && stage_start.elapsed() >= d {
+                    stage_expired = true;
+                    health.race_verify.deadline_hits += 1;
                 }
             }
-            if confirmed {
-                verified.push((
-                    report.as_race_report(),
-                    RaceVerification {
-                        confirmed: true,
-                        attempts,
-                        hints: None,
-                        outcome: None,
+            if stage_expired {
+                health.race_verify.quarantined += 1;
+                quarantined.push(Quarantined {
+                    race: report.as_race_report(),
+                    error: PipelineError::StageDeadline {
+                        stage: Stage::RaceVerify,
                     },
-                ));
-            } else {
-                stats.verifier_eliminated += 1;
+                });
+                continue;
+            }
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                let mut confirmed = false;
+                let mut attempts = 0u64;
+                let mut faults = 0u64;
+                for k in 0..self.config.race_verify.max_schedules {
+                    attempts = k + 1;
+                    let mut re = owl_race::AtomicityDetector::new();
+                    let mut sched =
+                        owl_vm::RandomScheduler::new(self.config.race_verify.base_seed + k);
+                    let vm = owl_vm::Vm::new(
+                        self.module,
+                        self.entry,
+                        primary.clone(),
+                        self.config.race_verify.run_config.clone(),
+                    );
+                    let outcome = vm.run(&mut sched, &mut re);
+                    faults += outcome.injected_faults.len() as u64;
+                    if re.reports().iter().any(|r| r.key() == report.key()) {
+                        confirmed = true;
+                        break;
+                    }
+                }
+                (confirmed, attempts, faults)
+            }));
+            match attempt {
+                Ok((confirmed, attempts, faults)) => {
+                    health.race_verify.attempts += attempts;
+                    health.race_verify.retries += attempts.saturating_sub(1);
+                    health.race_verify.injected_faults += faults;
+                    if confirmed {
+                        verified.push((
+                            report.as_race_report(),
+                            RaceVerification {
+                                confirmed: true,
+                                verdict: VerifyOutcome::Confirmed,
+                                attempts,
+                                hints: None,
+                                outcome: None,
+                                injected_faults: faults,
+                            },
+                        ));
+                    } else {
+                        stats.verifier_eliminated += 1;
+                    }
+                }
+                Err(payload) => {
+                    health.race_verify.panics += 1;
+                    health.race_verify.quarantined += 1;
+                    quarantined.push(Quarantined {
+                        race: report.as_race_report(),
+                        error: PipelineError::Panicked {
+                            stage: Stage::RaceVerify,
+                            message: panic_message(payload),
+                        },
+                    });
+                }
             }
         }
         stats.remaining = verified.len();
-        let mut findings = self.analyze_findings(verified, &mut stats);
-        self.verify_vuln_sites(&mut findings, workloads, extra_inputs, &mut stats);
+        let mut findings =
+            self.analyze_findings(verified, &mut stats, &mut health, &mut quarantined);
+        self.verify_vuln_sites(
+            &mut findings,
+            workloads,
+            extra_inputs,
+            &mut health,
+            &mut quarantined,
+        );
         stats.verify_time += tv.elapsed();
 
         PipelineResult {
@@ -293,60 +596,162 @@ impl<'m> Owl<'m> {
             stats,
             annotations: Vec::new(),
             findings,
+            quarantined,
+            health,
+            error: None,
         }
     }
 
     /// Stages 3–5, shared by all detector front-ends: dynamic race
     /// verification on the primary workload, Algorithm 1 on each
     /// verified report, dynamic vulnerability verification over the
-    /// candidate inputs.
+    /// candidate inputs. Each report is supervised: panics and aborted
+    /// verifications quarantine the report instead of taking the run
+    /// down.
     fn verify_and_analyze(
         &self,
         reports: &[RaceReport],
         workloads: &[ProgramInput],
         extra_inputs: &[ProgramInput],
         stats: &mut PipelineStats,
+        health: &mut PipelineHealth,
+        quarantined: &mut Vec<Quarantined>,
     ) -> Vec<Finding> {
         let primary = workloads[0].clone();
         let tv = Instant::now();
 
         // Stage 3: dynamic race verification (primary workload).
+        let stage_start = Instant::now();
+        let mut stage_expired = false;
+        let mut processed = 0u64;
         let race_verifier = RaceVerifier::new(self.module, self.config.race_verify.clone());
         let mut verified: Vec<(RaceReport, RaceVerification)> = Vec::new();
         for report in reports {
-            let v = race_verifier.verify(self.entry, &primary, report);
-            if v.confirmed {
-                verified.push((report.clone(), v));
-            } else {
-                stats.verifier_eliminated += 1;
+            if let Some(d) = self.config.stage_deadline {
+                if !stage_expired && processed > 0 && stage_start.elapsed() >= d {
+                    stage_expired = true;
+                    health.race_verify.deadline_hits += 1;
+                }
+            }
+            if stage_expired {
+                health.race_verify.quarantined += 1;
+                quarantined.push(Quarantined {
+                    race: report.clone(),
+                    error: PipelineError::StageDeadline {
+                        stage: Stage::RaceVerify,
+                    },
+                });
+                continue;
+            }
+            processed += 1;
+            match catch_unwind(AssertUnwindSafe(|| {
+                race_verifier.verify(self.entry, &primary, report)
+            })) {
+                Ok(v) => {
+                    health.race_verify.attempts += v.attempts;
+                    health.race_verify.retries += v.attempts.saturating_sub(1);
+                    health.race_verify.injected_faults += v.injected_faults;
+                    match v.verdict {
+                        VerifyOutcome::Confirmed => verified.push((report.clone(), v)),
+                        VerifyOutcome::Unconfirmed => stats.verifier_eliminated += 1,
+                        VerifyOutcome::Aborted { cause, attempts } => {
+                            if cause == AbortCause::DeadlineExceeded {
+                                health.race_verify.deadline_hits += 1;
+                            }
+                            health.race_verify.quarantined += 1;
+                            quarantined.push(Quarantined {
+                                race: report.clone(),
+                                error: PipelineError::VerifierAborted {
+                                    stage: Stage::RaceVerify,
+                                    cause,
+                                    attempts,
+                                },
+                            });
+                        }
+                    }
+                }
+                Err(payload) => {
+                    health.race_verify.panics += 1;
+                    health.race_verify.quarantined += 1;
+                    quarantined.push(Quarantined {
+                        race: report.clone(),
+                        error: PipelineError::Panicked {
+                            stage: Stage::RaceVerify,
+                            message: panic_message(payload),
+                        },
+                    });
+                }
             }
         }
         stats.remaining = verified.len();
-        let mut findings = self.analyze_findings(verified, stats);
-        self.verify_vuln_sites(&mut findings, workloads, extra_inputs, stats);
+        let mut findings = self.analyze_findings(verified, stats, health, quarantined);
+        self.verify_vuln_sites(&mut findings, workloads, extra_inputs, health, quarantined);
         stats.verify_time += tv.elapsed();
         findings
     }
 
-    /// Stage 4: static vulnerability analysis on each verified report.
+    /// Stage 4: static vulnerability analysis on each verified report,
+    /// supervised. An analyzer panic quarantines the report and
+    /// rebuilds the analyzer (its memoization may be poisoned).
     fn analyze_findings(
         &self,
         verified: Vec<(RaceReport, RaceVerification)>,
         stats: &mut PipelineStats,
+        health: &mut PipelineHealth,
+        quarantined: &mut Vec<Quarantined>,
     ) -> Vec<Finding> {
+        let stage_start = Instant::now();
+        let mut stage_expired = false;
         let mut analyzer = VulnAnalyzer::new(self.module, self.config.vuln.clone());
         let mut findings = Vec::new();
         for (race, verification) in verified {
-            let vulns = match race.read_access() {
-                Some(read) => {
+            if let Some(d) = self.config.stage_deadline {
+                if !stage_expired && !findings.is_empty() && stage_start.elapsed() >= d {
+                    stage_expired = true;
+                    health.vuln_analyze.deadline_hits += 1;
+                }
+            }
+            if stage_expired {
+                health.vuln_analyze.quarantined += 1;
+                quarantined.push(Quarantined {
+                    race,
+                    error: PipelineError::StageDeadline {
+                        stage: Stage::VulnAnalyze,
+                    },
+                });
+                continue;
+            }
+            health.vuln_analyze.attempts += 1;
+            let read_info = race
+                .read_access()
+                .map(|read| (read.site, read.stack.to_vec()));
+            let vulns = match read_info {
+                Some((site, stack)) => {
                     let ta = Instant::now();
-                    let stack: Vec<InstRef> = read.stack.to_vec();
-                    let (reports, work) = analyzer.analyze(read.site, &stack);
+                    let analyzed =
+                        catch_unwind(AssertUnwindSafe(|| analyzer.analyze(site, &stack)));
                     stats.analysis_time += ta.elapsed();
-                    stats.analysis_count += 1;
-                    stats.analysis_work.insts_visited += work.insts_visited;
-                    stats.analysis_work.funcs_entered += work.funcs_entered;
-                    reports
+                    match analyzed {
+                        Ok((reports, work)) => {
+                            stats.analysis_count += 1;
+                            stats.analysis_work.insts_visited += work.insts_visited;
+                            stats.analysis_work.funcs_entered += work.funcs_entered;
+                            reports
+                        }
+                        Err(payload) => {
+                            health.vuln_analyze.panics += 1;
+                            health.vuln_analyze.quarantined += 1;
+                            quarantined.push(Quarantined {
+                                race,
+                                error: PipelineError::Panicked {
+                                    stage: Stage::VulnAnalyze,
+                                    message: panic_message(payload),
+                                },
+                            });
+                            analyzer = VulnAnalyzer::new(self.module, self.config.vuln.clone());
+                            continue;
+                        }
+                    }
                 }
                 None => Vec::new(),
             };
@@ -362,23 +767,101 @@ impl<'m> Owl<'m> {
     }
 
     /// Stage 5: dynamic vulnerability verification over candidate
-    /// inputs (workloads + suspected exploit inputs).
+    /// inputs (workloads + suspected exploit inputs), supervised. A
+    /// panicking or aborting verification is recorded as a synthesized
+    /// aborted [`VulnVerification`] so `vuln_verifications` stays
+    /// parallel to `vulns`, and the finding's race is quarantined.
     fn verify_vuln_sites(
         &self,
         findings: &mut [Finding],
         workloads: &[ProgramInput],
         extra_inputs: &[ProgramInput],
-        _stats: &mut PipelineStats,
+        health: &mut PipelineHealth,
+        quarantined: &mut Vec<Quarantined>,
     ) {
+        let stage_start = Instant::now();
+        let mut stage_expired = false;
+        let mut processed = 0u64;
         let vuln_verifier = VulnVerifier::new(self.module, self.config.vuln_verify.clone());
         let mut candidates: Vec<ProgramInput> = workloads.to_vec();
         candidates.extend_from_slice(extra_inputs);
         for f in findings.iter_mut() {
             for vr in &f.vulns {
-                f.vuln_verifications
-                    .push(vuln_verifier.verify(self.entry, &candidates, vr));
+                if let Some(d) = self.config.stage_deadline {
+                    if !stage_expired && processed > 0 && stage_start.elapsed() >= d {
+                        stage_expired = true;
+                        health.vuln_verify.deadline_hits += 1;
+                    }
+                }
+                if stage_expired {
+                    health.vuln_verify.quarantined += 1;
+                    quarantined.push(Quarantined {
+                        race: f.race.clone(),
+                        error: PipelineError::StageDeadline {
+                            stage: Stage::VulnVerify,
+                        },
+                    });
+                    f.vuln_verifications
+                        .push(aborted_vuln_verification(AbortCause::DeadlineExceeded, 0));
+                    continue;
+                }
+                processed += 1;
+                match catch_unwind(AssertUnwindSafe(|| {
+                    vuln_verifier.verify(self.entry, &candidates, vr)
+                })) {
+                    Ok(v) => {
+                        health.vuln_verify.attempts += v.attempts;
+                        health.vuln_verify.retries += v.attempts.saturating_sub(1);
+                        health.vuln_verify.injected_faults += v.injected_faults;
+                        if let VerifyOutcome::Aborted { cause, attempts } = v.verdict {
+                            if cause == AbortCause::DeadlineExceeded {
+                                health.vuln_verify.deadline_hits += 1;
+                            }
+                            health.vuln_verify.quarantined += 1;
+                            quarantined.push(Quarantined {
+                                race: f.race.clone(),
+                                error: PipelineError::VerifierAborted {
+                                    stage: Stage::VulnVerify,
+                                    cause,
+                                    attempts,
+                                },
+                            });
+                        }
+                        f.vuln_verifications.push(v);
+                    }
+                    Err(payload) => {
+                        health.vuln_verify.panics += 1;
+                        health.vuln_verify.quarantined += 1;
+                        quarantined.push(Quarantined {
+                            race: f.race.clone(),
+                            error: PipelineError::Panicked {
+                                stage: Stage::VulnVerify,
+                                message: panic_message(payload),
+                            },
+                        });
+                        f.vuln_verifications
+                            .push(aborted_vuln_verification(AbortCause::Panicked, 0));
+                    }
+                }
             }
         }
+    }
+}
+
+/// A placeholder verification for a vuln the supervisor could not
+/// verify (stage deadline or panic); keeps `vuln_verifications`
+/// parallel to `vulns`.
+fn aborted_vuln_verification(cause: AbortCause, attempts: u64) -> VulnVerification {
+    VulnVerification {
+        reached: false,
+        verdict: VerifyOutcome::Aborted { cause, attempts },
+        attempts,
+        triggering_input: None,
+        branches_hit: Vec::new(),
+        diverged_branches: Vec::new(),
+        outcome: None,
+        triggered_violation: None,
+        injected_faults: 0,
     }
 }
 
@@ -450,7 +933,9 @@ mod tests {
             b.ret(None);
         }
         let m = mb.finish();
-        let main_id = m.func_by_name("main").unwrap();
+        let main_id = m
+            .func_by_name("main")
+            .expect("tiny_program declares a main function");
         (m, main_id)
     }
 
@@ -468,7 +953,7 @@ mod tests {
         );
         let flag_finding = result
             .finding_on("flag")
-            .unwrap_or_else(|| panic!("flag race must survive: {:?}", result.findings));
+            .expect("flag race must survive the pipeline");
         assert!(!flag_finding.vulns.is_empty(), "exec hint expected");
         assert!(flag_finding.any_site_reached(), "exec site reachable");
         // The benign counter race survives verification but carries no
@@ -476,6 +961,13 @@ mod tests {
         if let Some(c) = result.finding_on("counter") {
             assert!(c.vulns.is_empty(), "counter is benign: {:?}", c.vulns);
         }
+        // A clean run quarantines nothing and catches no panics.
+        assert!(result.quarantined.is_empty(), "{:?}", result.quarantined);
+        assert_eq!(result.health.total_panics(), 0);
+        assert_eq!(result.health.total_injected_faults(), 0);
+        assert!(result.error.is_none());
+        assert!(result.health.detect.attempts > 0);
+        assert!(result.health.race_verify.attempts > 0);
     }
 
     #[test]
@@ -486,5 +978,58 @@ mod tests {
         s.remaining = 6;
         assert!((s.reduction_ratio() - 0.94).abs() < 1e-9);
         assert_eq!(s.avg_analysis_cost(), Duration::ZERO);
+    }
+
+    #[test]
+    fn external_entry_is_rejected_up_front() {
+        let mut mb = ModuleBuilder::new("bad");
+        let ext = mb.declare_external("ext_main", 0);
+        let m = mb.finish();
+        let owl = Owl::with_defaults(&m, ext);
+        let result = owl.run("bad", &[], &[]);
+        assert!(
+            matches!(result.error, Some(PipelineError::InvalidEntry { .. })),
+            "{:?}",
+            result.error
+        );
+        assert!(result.findings.is_empty());
+        let atom = owl.run_atomicity("bad", &[], &[]);
+        assert!(matches!(
+            atom.error,
+            Some(PipelineError::InvalidEntry { .. })
+        ));
+    }
+
+    #[test]
+    fn parameterized_entry_is_rejected_up_front() {
+        let mut mb = ModuleBuilder::new("bad2");
+        let f = mb.declare_func("entry", 2);
+        {
+            let mut b = mb.build_func(f);
+            b.ret(None);
+        }
+        let m = mb.finish();
+        let owl = Owl::with_defaults(&m, f);
+        let result = owl.run("bad2", &[], &[]);
+        let err = result.error.expect("entry with params must be rejected");
+        assert!(err.to_string().contains("parameter"), "{err}");
+    }
+
+    #[test]
+    fn pipeline_error_displays_name_stage_and_cause() {
+        let e = PipelineError::VerifierAborted {
+            stage: Stage::RaceVerify,
+            cause: AbortCause::DeadlineExceeded,
+            attempts: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("race-verify"), "{s}");
+        assert!(s.contains("deadline"), "{s}");
+        let p = PipelineError::Panicked {
+            stage: Stage::VulnAnalyze,
+            message: "boom".into(),
+        };
+        assert!(p.to_string().contains("vuln-analyze"));
+        assert!(p.to_string().contains("boom"));
     }
 }

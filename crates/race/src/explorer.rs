@@ -13,6 +13,7 @@ use crate::report::RaceReport;
 use owl_ir::{FuncId, InstRef, Module};
 use owl_vm::{ExecOutcome, PctScheduler, ProgramInput, RandomScheduler, RunConfig, Scheduler, Vm};
 use std::collections::HashSet;
+use std::time::{Duration, Instant};
 
 /// How the explorer produces schedules.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -69,6 +70,11 @@ pub struct ExploreResult {
     pub suppressed: usize,
     /// Outcome of every execution (violations, outputs, schedules).
     pub outcomes: Vec<ExecOutcome>,
+    /// Total faults the VM's fault plan injected across all runs.
+    pub injected_faults: u64,
+    /// Whether a wall-clock budget cut the sweep short (see
+    /// [`explore_with_deadline`]).
+    pub deadline_hit: bool,
 }
 
 impl ExploreResult {
@@ -94,20 +100,42 @@ pub fn explore(
     inputs: &[ProgramInput],
     cfg: &ExplorerConfig,
 ) -> ExploreResult {
+    explore_with_deadline(module, entry, inputs, cfg, None)
+}
+
+/// [`explore`] under a wall-clock budget: the seed sweep stops early
+/// (with `deadline_hit` set) once `deadline` has elapsed. Reports
+/// found before the cut-off are still aggregated and deduplicated.
+pub fn explore_with_deadline(
+    module: &Module,
+    entry: FuncId,
+    inputs: &[ProgramInput],
+    cfg: &ExplorerConfig,
+    deadline: Option<Duration>,
+) -> ExploreResult {
+    let start = Instant::now();
     let mut detector = HbDetector::new(HbConfig {
         annotations: cfg.annotations.clone(),
         ..HbConfig::default()
     });
     let mut outcomes = Vec::new();
     let mut runs = 0;
+    let mut injected_faults = 0u64;
+    let mut deadline_hit = false;
     let default_input = [ProgramInput::empty()];
     let inputs: &[ProgramInput] = if inputs.is_empty() {
         &default_input
     } else {
         inputs
     };
-    for input in inputs {
+    'sweep: for input in inputs {
         for k in 0..cfg.runs_per_input {
+            if let Some(d) = deadline {
+                if runs > 0 && start.elapsed() >= d {
+                    deadline_hit = true;
+                    break 'sweep;
+                }
+            }
             let seed = cfg.base_seed + k;
             let mut sched: Box<dyn Scheduler> = match cfg.strategy {
                 ExploreStrategy::Random => Box::new(RandomScheduler::new(seed)),
@@ -117,6 +145,7 @@ pub fn explore(
             };
             let vm = Vm::new(module, entry, input.clone(), cfg.run_config.clone());
             let outcome = vm.run(sched.as_mut(), &mut detector);
+            injected_faults += outcome.injected_faults.len() as u64;
             outcomes.push(outcome);
             runs += 1;
         }
@@ -128,6 +157,8 @@ pub fn explore(
         runs,
         suppressed,
         outcomes,
+        injected_faults,
+        deadline_hit,
     }
 }
 
@@ -251,6 +282,23 @@ mod tests {
             |_| false,
         );
         assert_eq!(never, None);
+    }
+
+    #[test]
+    fn expired_deadline_stops_after_first_run() {
+        let (m, main) = narrow_race();
+        let result = explore_with_deadline(
+            &m,
+            main,
+            &[],
+            &ExplorerConfig {
+                runs_per_input: 50,
+                ..ExplorerConfig::default()
+            },
+            Some(Duration::from_secs(0)),
+        );
+        assert_eq!(result.runs, 1, "one run happens before the check");
+        assert!(result.deadline_hit);
     }
 
     #[test]

@@ -290,6 +290,10 @@ impl TraceSink for HbDetector {
                 // Allocation events carry no HB information here; the
                 // VM's memory model already reports UAF/double-free.
             }
+            EventKind::Fault { .. } => {
+                // Injected faults perturb execution but carry no HB
+                // information; the run's outcome records them.
+            }
         }
     }
 }

@@ -60,7 +60,8 @@ mod vc;
 
 pub use atomicity::{AtomicityDetector, AtomicityPattern, AtomicityReport};
 pub use explorer::{
-    executions_until, explore, site_pairs, ExploreResult, ExploreStrategy, ExplorerConfig,
+    executions_until, explore, explore_with_deadline, site_pairs, ExploreResult, ExploreStrategy,
+    ExplorerConfig,
 };
 pub use hb::{global_name_for_addr, HbAnnotation, HbConfig, HbDetector};
 pub use lockset::LocksetDetector;

@@ -23,10 +23,12 @@
 
 mod minimize;
 mod race_verifier;
+mod verdict;
 mod vuln_verifier;
 
 pub use minimize::{format_schedule, minimize_schedule_prefix, MinimalSchedule};
 pub use race_verifier::{
     AccessHint, RaceOrder, RaceVerification, RaceVerifier, RaceVerifyConfig, SecurityHints,
 };
+pub use verdict::{AbortCause, VerifyOutcome};
 pub use vuln_verifier::{VulnVerification, VulnVerifier, VulnVerifyConfig};

@@ -14,13 +14,15 @@
 //! oldest-suspension release, mirroring the paper's "temporarily
 //! releasing one of the currently triggered breakpoints".
 
+use crate::verdict::{AbortCause, VerifyOutcome};
 use owl_ir::{FuncId, InstRef, Module, Type};
 use owl_race::RaceReport;
 use owl_vm::{
-    BreakDecision, BreakWorld, Breakpoint, Controller, ExecOutcome, ProgramInput, RandomScheduler,
-    RunConfig, Suspension, ThreadId, Vm,
+    BreakDecision, BreakWorld, Breakpoint, Controller, ExecOutcome, ExitStatus, ProgramInput,
+    RandomScheduler, RunConfig, Suspension, ThreadId, Vm,
 };
 use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
 
 /// Which racing instruction should execute first once the race is
 /// caught.
@@ -73,28 +75,41 @@ pub struct SecurityHints {
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct RaceVerification {
     /// Whether both racing instructions were caught simultaneously on
-    /// the same address.
+    /// the same address. (Kept for compatibility; equals
+    /// `verdict.is_confirmed()`.)
     pub confirmed: bool,
+    /// Three-way verdict: confirmed, unconfirmed, or aborted without
+    /// a meaningful answer.
+    pub verdict: VerifyOutcome,
     /// Schedules tried.
     pub attempts: u64,
     /// Hints captured at the racing moment (when confirmed).
     pub hints: Option<SecurityHints>,
     /// Outcome of the confirming execution (violations included).
     pub outcome: Option<ExecOutcome>,
+    /// Total faults the VM's [`owl_vm::FaultPlan`] injected across all
+    /// attempts.
+    pub injected_faults: u64,
 }
 
 /// Verifier configuration.
 #[derive(Clone, Debug)]
 pub struct RaceVerifyConfig {
     /// Maximum schedules to try before declaring the report
-    /// unverifiable.
+    /// unverifiable. Each attempt reseeds the scheduler
+    /// (`base_seed + attempt`).
     pub max_schedules: u64,
     /// First scheduler seed.
     pub base_seed: u64,
     /// Release order after confirmation.
     pub order: RaceOrder,
-    /// VM limits.
+    /// VM limits (the per-attempt *step* deadline is
+    /// `run_config.max_steps`).
     pub run_config: RunConfig,
+    /// Wall-clock budget for the whole attempt loop, checked between
+    /// attempts; expiry yields [`VerifyOutcome::Aborted`] with
+    /// [`AbortCause::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
 }
 
 impl Default for RaceVerifyConfig {
@@ -104,6 +119,7 @@ impl Default for RaceVerifyConfig {
             base_seed: 100,
             order: RaceOrder::WriteFirst,
             run_config: RunConfig::default(),
+            deadline: None,
         }
     }
 }
@@ -237,7 +253,25 @@ impl<'m> RaceVerifier<'m> {
             RaceOrder::WriteFirst => Some(write_site),
             RaceOrder::ReadFirst => read_site,
         };
+        let start = Instant::now();
+        let mut injected_faults = 0u64;
+        let mut all_step_limit = true;
         for k in 0..self.config.max_schedules {
+            if let Some(d) = self.config.deadline {
+                if k > 0 && start.elapsed() >= d {
+                    return RaceVerification {
+                        confirmed: false,
+                        verdict: VerifyOutcome::Aborted {
+                            cause: AbortCause::DeadlineExceeded,
+                            attempts: k,
+                        },
+                        attempts: k,
+                        hints: None,
+                        outcome: None,
+                        injected_faults,
+                    };
+                }
+            }
             let mut controller = RvController {
                 site_a: report.first.site,
                 site_b: report.second.site,
@@ -254,22 +288,41 @@ impl<'m> RaceVerifier<'m> {
             vm.add_breakpoint(Breakpoint::at(report.second.site));
             let mut sched = RandomScheduler::new(self.config.base_seed + k);
             let outcome = vm.run_controlled(&mut sched, &mut owl_vm::NullSink, &mut controller);
+            injected_faults += outcome.injected_faults.len() as u64;
+            if outcome.status != ExitStatus::StepLimit {
+                all_step_limit = false;
+            }
             if let Some(mut hints) = controller.confirmed {
                 hints.global_name =
                     owl_race::global_name_for_addr(self.module, hints.addr).map(str::to_string);
                 return RaceVerification {
                     confirmed: true,
+                    verdict: VerifyOutcome::Confirmed,
                     attempts: k + 1,
                     hints: Some(hints),
                     outcome: Some(outcome),
+                    injected_faults,
                 };
             }
         }
+        // The budget ran dry. If no attempt ever ran to completion the
+        // verifier established nothing — abort rather than report a
+        // (misleading) elimination.
+        let verdict = if all_step_limit && self.config.max_schedules > 0 {
+            VerifyOutcome::Aborted {
+                cause: AbortCause::StepBudgetExhausted,
+                attempts: self.config.max_schedules,
+            }
+        } else {
+            VerifyOutcome::Unconfirmed
+        };
         RaceVerification {
             confirmed: false,
+            verdict,
             attempts: self.config.max_schedules,
             hints: None,
             outcome: None,
+            injected_faults,
         }
     }
 
@@ -278,7 +331,12 @@ impl<'m> RaceVerifier<'m> {
         use std::fmt::Write as _;
         let mut out = String::new();
         let Some(h) = &v.hints else {
-            return format!("race not verified after {} schedules\n", v.attempts);
+            return match v.verdict {
+                VerifyOutcome::Aborted { cause, attempts } => {
+                    format!("race verification ABORTED after {attempts} schedule(s): {cause}\n")
+                }
+                _ => format!("race not verified after {} schedules\n", v.attempts),
+            };
         };
         let name = h
             .global_name
@@ -414,8 +472,66 @@ mod tests {
         );
         let v = verifier.verify(main_id, &ProgramInput::empty(), &report);
         assert!(!v.confirmed);
+        assert_eq!(v.verdict, VerifyOutcome::Unconfirmed);
         assert_eq!(v.attempts, 5);
+        assert_eq!(v.injected_faults, 0);
         assert!(verifier.format_hints(&v).contains("not verified"));
+    }
+
+    #[test]
+    fn zero_deadline_aborts_after_first_attempt() {
+        let (m, main) = ptr_race_module();
+        let report = first_report(&m, main);
+        // An already-expired deadline is noticed between attempts, so
+        // exactly one attempt runs: it either confirms (the check never
+        // fires) or the verifier aborts with attempts == 1.
+        let verifier = RaceVerifier::new(
+            &m,
+            RaceVerifyConfig {
+                deadline: Some(Duration::from_secs(0)),
+                ..RaceVerifyConfig::default()
+            },
+        );
+        let v = verifier.verify(main, &ProgramInput::empty(), &report);
+        if !v.confirmed {
+            assert_eq!(
+                v.verdict,
+                VerifyOutcome::Aborted {
+                    cause: AbortCause::DeadlineExceeded,
+                    attempts: 1,
+                }
+            );
+            assert!(verifier.format_hints(&v).contains("ABORTED"));
+        }
+    }
+
+    #[test]
+    fn starved_step_budget_aborts() {
+        // With a step budget too small to even spawn the second thread,
+        // every attempt ends in StepLimit: the verifier must abort, not
+        // claim the race was eliminated.
+        let (m, main) = ptr_race_module();
+        let report = first_report(&m, main);
+        let verifier = RaceVerifier::new(
+            &m,
+            RaceVerifyConfig {
+                max_schedules: 4,
+                run_config: owl_vm::RunConfig {
+                    max_steps: 2,
+                    ..owl_vm::RunConfig::default()
+                },
+                ..RaceVerifyConfig::default()
+            },
+        );
+        let v = verifier.verify(main, &ProgramInput::empty(), &report);
+        assert!(!v.confirmed);
+        assert_eq!(
+            v.verdict,
+            VerifyOutcome::Aborted {
+                cause: AbortCause::StepBudgetExhausted,
+                attempts: 4,
+            }
+        );
     }
 
     #[test]

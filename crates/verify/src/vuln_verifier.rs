@@ -9,20 +9,26 @@
 //! can hand the verifier a whole list of candidate inputs and let it
 //! sweep them.
 
+use crate::verdict::{AbortCause, VerifyOutcome};
 use owl_ir::{FuncId, InstRef, Module};
 use owl_static::VulnReport;
 use owl_vm::{
-    BreakDecision, BreakWorld, Breakpoint, Controller, ExecOutcome, ProgramInput, RandomScheduler,
-    RunConfig, Suspension, Violation, Vm,
+    BreakDecision, BreakWorld, Breakpoint, Controller, ExecOutcome, ExitStatus, ProgramInput,
+    RandomScheduler, RunConfig, Suspension, Violation, Vm,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::time::{Duration, Instant};
 
 /// Result of verifying one vulnerability report.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct VulnVerification {
     /// Whether the vulnerable site was reached in some execution.
+    /// (Kept for compatibility; equals `verdict.is_confirmed()`.)
     pub reached: bool,
+    /// Three-way verdict: confirmed (site reached), unconfirmed, or
+    /// aborted without a meaningful answer.
+    pub verdict: VerifyOutcome,
     /// Executions performed.
     pub attempts: u64,
     /// The input that reached the site, if any.
@@ -37,17 +43,26 @@ pub struct VulnVerification {
     /// A violation recorded *at the vulnerable site* in the reaching
     /// run (the realized attack), if any.
     pub triggered_violation: Option<Violation>,
+    /// Total faults the VM's [`owl_vm::FaultPlan`] injected across all
+    /// executions.
+    pub injected_faults: u64,
 }
 
 /// Verifier configuration.
 #[derive(Clone, Debug)]
 pub struct VulnVerifyConfig {
-    /// Schedules tried per input.
+    /// Schedules tried per input. Each execution reseeds the scheduler
+    /// (`base_seed + schedule_index`).
     pub schedules_per_input: u64,
     /// First scheduler seed.
     pub base_seed: u64,
-    /// VM limits.
+    /// VM limits (the per-execution *step* deadline is
+    /// `run_config.max_steps`).
     pub run_config: RunConfig,
+    /// Wall-clock budget for the whole input × schedule sweep, checked
+    /// between executions; expiry yields [`VerifyOutcome::Aborted`]
+    /// with [`AbortCause::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
 }
 
 impl Default for VulnVerifyConfig {
@@ -56,6 +71,7 @@ impl Default for VulnVerifyConfig {
             schedules_per_input: 10,
             base_seed: 2000,
             run_config: RunConfig::default(),
+            deadline: None,
         }
     }
 }
@@ -106,10 +122,20 @@ impl<'m> VulnVerifier<'m> {
         } else {
             inputs
         };
+        let start = Instant::now();
         let mut attempts = 0;
+        let mut injected_faults = 0u64;
+        let mut all_step_limit = true;
+        let mut deadline_hit = false;
         let mut best_branches: BTreeSet<InstRef> = BTreeSet::new();
-        for input in inputs {
+        'sweep: for input in inputs {
             for k in 0..self.config.schedules_per_input {
+                if let Some(d) = self.config.deadline {
+                    if attempts > 0 && start.elapsed() >= d {
+                        deadline_hit = true;
+                        break 'sweep;
+                    }
+                }
                 attempts += 1;
                 let mut obs = Observer::default();
                 let mut vm = Vm::new(
@@ -124,6 +150,10 @@ impl<'m> VulnVerifier<'m> {
                 }
                 let mut sched = RandomScheduler::new(self.config.base_seed + k);
                 let outcome = vm.run_controlled(&mut sched, &mut owl_vm::NullSink, &mut obs);
+                injected_faults += outcome.injected_faults.len() as u64;
+                if outcome.status != ExitStatus::StepLimit {
+                    all_step_limit = false;
+                }
                 if obs.hit.len() > best_branches.len() {
                     best_branches = obs.hit.clone();
                 }
@@ -151,12 +181,14 @@ impl<'m> VulnVerifier<'m> {
                         .map(|v| v.violation);
                     return VulnVerification {
                         reached: true,
+                        verdict: VerifyOutcome::Confirmed,
                         attempts,
                         triggering_input: Some(input.clone()),
                         branches_hit,
                         diverged_branches: diverged,
                         outcome: Some(outcome),
                         triggered_violation: triggered,
+                        injected_faults,
                     };
                 }
             }
@@ -177,14 +209,31 @@ impl<'m> VulnVerifier<'m> {
             .copied()
             .filter(|b| !best_branches.contains(b))
             .collect();
+        let verdict = if deadline_hit {
+            VerifyOutcome::Aborted {
+                cause: AbortCause::DeadlineExceeded,
+                attempts,
+            }
+        } else if all_step_limit && attempts > 0 {
+            // No execution ever ran to completion: nothing was
+            // established either way.
+            VerifyOutcome::Aborted {
+                cause: AbortCause::StepBudgetExhausted,
+                attempts,
+            }
+        } else {
+            VerifyOutcome::Unconfirmed
+        };
         VulnVerification {
             reached: false,
+            verdict,
             attempts,
             triggering_input: None,
             branches_hit,
             diverged_branches: diverged,
             outcome: None,
             triggered_violation: None,
+            injected_faults,
         }
     }
 
@@ -228,8 +277,10 @@ impl<'m> VulnVerifier<'m> {
                 break; // nothing solvable: schedule territory
             }
             let attempts_so_far = v.attempts;
+            let faults_so_far = v.injected_faults;
             v = self.verify(entry, std::slice::from_ref(&refined), report);
             v.attempts += attempts_so_far;
+            v.injected_faults += faults_so_far;
             if v.reached {
                 return (v, Some(refined));
             }
@@ -257,7 +308,17 @@ impl<'m> VulnVerifier<'m> {
                 let _ = writeln!(out, "attack realized: {viol}");
             }
         } else {
-            let _ = writeln!(out, "site NOT reached in {} execution(s)", v.attempts);
+            match v.verdict {
+                VerifyOutcome::Aborted { cause, attempts } => {
+                    let _ = writeln!(
+                        out,
+                        "verification ABORTED after {attempts} execution(s): {cause}"
+                    );
+                }
+                _ => {
+                    let _ = writeln!(out, "site NOT reached in {} execution(s)", v.attempts);
+                }
+            }
             for b in &v.diverged_branches {
                 let _ = writeln!(
                     out,
@@ -340,11 +401,61 @@ mod tests {
         );
         let v = verifier.verify(main, &[ProgramInput::new(vec![5])], &report);
         assert!(!v.reached);
+        assert_eq!(v.verdict, VerifyOutcome::Unconfirmed);
         assert!(
             !v.diverged_branches.is_empty(),
             "the unmet guard must be reported: {v:?}"
         );
         assert!(verifier.format(&v).contains("diverged branch"));
+    }
+
+    #[test]
+    fn starved_step_budget_aborts() {
+        let (m, main, report) = gated_module();
+        let verifier = VulnVerifier::new(
+            &m,
+            VulnVerifyConfig {
+                schedules_per_input: 3,
+                run_config: RunConfig {
+                    max_steps: 1,
+                    ..RunConfig::default()
+                },
+                ..VulnVerifyConfig::default()
+            },
+        );
+        let v = verifier.verify(main, &[ProgramInput::new(vec![500])], &report);
+        assert!(!v.reached);
+        assert_eq!(
+            v.verdict,
+            VerifyOutcome::Aborted {
+                cause: AbortCause::StepBudgetExhausted,
+                attempts: 3,
+            }
+        );
+        assert!(verifier.format(&v).contains("ABORTED"));
+    }
+
+    #[test]
+    fn zero_deadline_aborts_after_first_execution() {
+        let (m, main, report) = gated_module();
+        let verifier = VulnVerifier::new(
+            &m,
+            VulnVerifyConfig {
+                deadline: Some(std::time::Duration::from_secs(0)),
+                ..VulnVerifyConfig::default()
+            },
+        );
+        // An input that can never reach the site keeps the sweep going,
+        // so the (already-expired) deadline fires after execution 1.
+        let v = verifier.verify(main, &[ProgramInput::new(vec![5])], &report);
+        assert!(!v.reached);
+        assert_eq!(
+            v.verdict,
+            VerifyOutcome::Aborted {
+                cause: AbortCause::DeadlineExceeded,
+                attempts: 1,
+            }
+        );
     }
 
     #[test]

@@ -94,6 +94,12 @@ pub enum EventKind {
         /// Base address freed.
         addr: u64,
     },
+    /// An injected fault fired here (chaos runs only; never emitted
+    /// under a zeroed [`crate::FaultPlan`]).
+    Fault {
+        /// Which fault fired.
+        kind: crate::fault::FaultKind,
+    },
 }
 
 /// One observable action of one thread.

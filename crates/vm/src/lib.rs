@@ -50,6 +50,7 @@
 
 mod breakpoint;
 mod event;
+mod fault;
 mod input;
 pub mod mem;
 mod sched;
@@ -60,6 +61,7 @@ pub use breakpoint::{
     BreakDecision, BreakWorld, Breakpoint, Controller, NoController, PendingAccess, Suspension,
 };
 pub use event::{CallStack, EventKind, NullSink, ThreadId, TraceEvent, TraceSink, VecSink};
+pub use fault::{FaultKind, FaultPlan, FaultRecord};
 pub use input::ProgramInput;
 pub use mem::Memory;
 pub use sched::{PctScheduler, RandomScheduler, ReplayScheduler, RoundRobin, Scheduler};

@@ -11,6 +11,7 @@ use crate::breakpoint::{
     BreakDecision, BreakWorld, Breakpoint, Controller, NoController, PendingAccess, Suspension,
 };
 use crate::event::{CallStack, EventKind, NullSink, ThreadId, TraceEvent, TraceSink};
+use crate::fault::{FaultKind, FaultPlan, FaultRecord, FaultState};
 use crate::input::ProgramInput;
 use crate::mem::{MemError, Memory, FUNCPTR_BASE};
 use crate::sched::Scheduler;
@@ -29,6 +30,10 @@ pub struct RunConfig {
     pub io_delay_cap: u64,
     /// Record the scheduler's choice sequence for replay.
     pub record_schedule: bool,
+    /// Seeded fault-injection plan ([`FaultPlan::none`] by default:
+    /// nothing fires, no RNG is consumed, execution is bit-identical
+    /// to a build without the fault layer).
+    pub fault: FaultPlan,
 }
 
 impl Default for RunConfig {
@@ -37,6 +42,7 @@ impl Default for RunConfig {
             max_steps: 500_000,
             io_delay_cap: 2_000,
             record_schedule: true,
+            fault: FaultPlan::none(),
         }
     }
 }
@@ -119,6 +125,8 @@ pub struct ExecOutcome {
     pub return_value: Option<i64>,
     /// Populated when `status == ExitStatus::Deadlock`.
     pub deadlock: Option<DeadlockInfo>,
+    /// Every fault the configured [`FaultPlan`] injected, in order.
+    pub injected_faults: Vec<FaultRecord>,
 }
 
 impl ExecOutcome {
@@ -211,6 +219,7 @@ pub struct Vm<'m> {
     breakpoints: Vec<Breakpoint>,
     input: ProgramInput,
     config: RunConfig,
+    faults: FaultState,
     step: u64,
     outcome: ExecOutcome,
 }
@@ -250,6 +259,7 @@ impl<'m> Vm<'m> {
             cond_reacquire: false,
             stack_cache: None,
         };
+        let faults = FaultState::new(config.fault.clone(), config.max_steps);
         Vm {
             module,
             mem: Memory::new(module),
@@ -259,6 +269,7 @@ impl<'m> Vm<'m> {
             breakpoints: Vec::new(),
             input,
             config,
+            faults,
             step: 0,
             outcome: ExecOutcome {
                 status: ExitStatus::Finished,
@@ -272,6 +283,7 @@ impl<'m> Vm<'m> {
                 threads_spawned: 1,
                 return_value: None,
                 deadlock: None,
+                injected_faults: vec![],
             },
         }
     }
@@ -314,7 +326,16 @@ impl<'m> Vm<'m> {
     ) -> ExecOutcome {
         let mut runnable: Vec<ThreadId> = Vec::new();
         loop {
-            if self.step >= self.config.max_steps {
+            // A drawn step-exhaustion fault shrinks the budget.
+            let budget = match self.faults.cutoff {
+                Some(c) => c.min(self.config.max_steps),
+                None => self.config.max_steps,
+            };
+            if self.step >= budget {
+                if budget < self.config.max_steps {
+                    self.faults
+                        .record(FaultKind::StepExhaustion, self.step, None, None);
+                }
                 self.outcome.status = ExitStatus::StepLimit;
                 break;
             }
@@ -323,6 +344,35 @@ impl<'m> Vm<'m> {
                 if let ThreadState::Delayed { until } = t.state {
                     if until <= self.step {
                         t.state = ThreadState::Runnable;
+                    }
+                }
+            }
+            // Spurious wakeup: rouse one condition-waiting thread with
+            // no signal. `cond_reacquire` is already set, so the thread
+            // re-checks its predicate exactly like a real POSIX
+            // spurious wakeup.
+            if self.faults.plan.spurious_wakeup_rate > 0.0 {
+                if let Some(i) = self
+                    .threads
+                    .iter()
+                    .position(|t| matches!(t.state, ThreadState::WaitingCond { .. }))
+                {
+                    if self.faults.fire_wakeup(self.step) {
+                        self.threads[i].state = ThreadState::Runnable;
+                        let wtid = ThreadId(i as u32);
+                        let wsite = self.cur_site(wtid).map(|(s, _)| s);
+                        self.faults
+                            .record(FaultKind::SpuriousWakeup, self.step, Some(wtid), wsite);
+                        if let Some(s) = wsite {
+                            self.emit(
+                                sink,
+                                wtid,
+                                s,
+                                EventKind::Fault {
+                                    kind: FaultKind::SpuriousWakeup,
+                                },
+                            );
+                        }
                     }
                 }
             }
@@ -396,6 +446,28 @@ impl<'m> Vm<'m> {
                 runnable.contains(&tid),
                 "scheduler picked unrunnable thread"
             );
+            // Scheduler perturbation: park the pick instead of running
+            // it. The step still advances (livelock guard) and the
+            // choice is not recorded (a replay would diverge anyway).
+            if self.faults.fire_sched_delay(self.step) {
+                let dsite = self.cur_site(tid).map(|(s, _)| s);
+                self.faults
+                    .record(FaultKind::SchedDelay, self.step, Some(tid), dsite);
+                if let Some(s) = dsite {
+                    self.emit(
+                        sink,
+                        tid,
+                        s,
+                        EventKind::Fault {
+                            kind: FaultKind::SchedDelay,
+                        },
+                    );
+                }
+                self.step += 1;
+                let until = self.step + self.faults.plan.sched_delay_steps;
+                self.threads[tid.index()].state = ThreadState::Delayed { until };
+                continue;
+            }
             if self.config.record_schedule {
                 self.outcome.schedule.push(tid);
             }
@@ -403,6 +475,7 @@ impl<'m> Vm<'m> {
             self.exec_one(tid, sink, controller);
         }
         self.outcome.steps = self.step;
+        self.outcome.injected_faults = std::mem::take(&mut self.faults.records);
         std::mem::replace(
             &mut self.outcome,
             ExecOutcome {
@@ -417,6 +490,7 @@ impl<'m> Vm<'m> {
                 threads_spawned: 0,
                 return_value: None,
                 deadlock: None,
+                injected_faults: vec![],
             },
         )
     }
@@ -664,36 +738,51 @@ impl<'m> Vm<'m> {
         // Breakpoint check (before execution).
         let skip = std::mem::replace(&mut self.threads[tid.index()].skip_bp, false);
         if !skip && self.breakpoints.iter().any(|b| b.matches(site, tid)) {
-            let hit = Suspension {
-                tid,
-                site,
-                access: self.pending_access(tid, &inst),
-                stack: self.call_stack(tid),
-                step: self.step,
-            };
-            let mut resume = Vec::new();
-            let decision = {
-                let mut world = BreakWorld {
-                    suspended: &self.suspended,
-                    breakpoints: &mut self.breakpoints,
-                    resume: &mut resume,
+            // Dropped-hit fault: the controller never hears about this
+            // match; execution falls through as if nothing was armed.
+            if self.faults.fire_drop_bp(self.step) {
+                self.faults
+                    .record(FaultKind::DroppedBreakpoint, self.step, Some(tid), Some(site));
+                self.emit(
+                    sink,
+                    tid,
+                    site,
+                    EventKind::Fault {
+                        kind: FaultKind::DroppedBreakpoint,
+                    },
+                );
+            } else {
+                let hit = Suspension {
+                    tid,
+                    site,
+                    access: self.pending_access(tid, &inst),
+                    stack: self.call_stack(tid),
+                    step: self.step,
                 };
-                controller.on_break(&mut world, &hit)
-            };
-            match decision {
-                BreakDecision::Suspend => {
-                    self.threads[tid.index()].state = ThreadState::Suspended;
-                    self.suspended.insert(tid, hit);
-                    for r in resume {
-                        self.resume_thread(r);
+                let mut resume = Vec::new();
+                let decision = {
+                    let mut world = BreakWorld {
+                        suspended: &self.suspended,
+                        breakpoints: &mut self.breakpoints,
+                        resume: &mut resume,
+                    };
+                    controller.on_break(&mut world, &hit)
+                };
+                match decision {
+                    BreakDecision::Suspend => {
+                        self.threads[tid.index()].state = ThreadState::Suspended;
+                        self.suspended.insert(tid, hit);
+                        for r in resume {
+                            self.resume_thread(r);
+                        }
+                        return;
                     }
-                    return;
-                }
-                BreakDecision::Continue => {
-                    for r in resume {
-                        self.resume_thread(r);
+                    BreakDecision::Continue => {
+                        for r in resume {
+                            self.resume_thread(r);
+                        }
+                        // Fall through and execute now.
                     }
-                    // Fall through and execute now.
                 }
             }
         }
@@ -811,6 +900,22 @@ impl<'m> Vm<'m> {
             }
             Inst::Load { addr, ty } => {
                 let a = eval!(addr) as u64;
+                // Injected memory fault: the load fails as a wild
+                // access before touching memory.
+                if self.faults.fire_mem(self.step) {
+                    self.faults
+                        .record(FaultKind::MemFault, self.step, Some(tid), Some(site));
+                    self.emit(
+                        sink,
+                        tid,
+                        site,
+                        EventKind::Fault {
+                            kind: FaultKind::MemFault,
+                        },
+                    );
+                    self.record_violation(tid, Violation::WildAccess { addr: a }, site);
+                    return;
+                }
                 let shared = self.mem.is_shared(a);
                 match self.mem.read(a) {
                     Ok(v) => {
@@ -864,6 +969,22 @@ impl<'m> Vm<'m> {
             Inst::Store { addr, val } => {
                 let a = eval!(addr) as u64;
                 let v = eval!(val);
+                // Injected memory fault: the store fails as a wild
+                // access before touching memory.
+                if self.faults.fire_mem(self.step) {
+                    self.faults
+                        .record(FaultKind::MemFault, self.step, Some(tid), Some(site));
+                    self.emit(
+                        sink,
+                        tid,
+                        site,
+                        EventKind::Fault {
+                            kind: FaultKind::MemFault,
+                        },
+                    );
+                    self.record_violation(tid, Violation::WildAccess { addr: a }, site);
+                    return;
+                }
                 let shared = self.mem.is_shared(a);
                 let old = self.mem.read_raw(a).unwrap_or(0);
                 match self.mem.write(a, v) {

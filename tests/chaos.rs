@@ -1,0 +1,141 @@
+//! Chaos suite: the pipeline under deterministic fault injection.
+//!
+//! Every corpus program is run with a seeded [`FaultPlan`] injecting
+//! faults at 1% across three fixed seeds. The acceptance bar:
+//!
+//! * the supervised pipeline never panics — every injected fault is
+//!   either retried past or surfaced in `quarantined` / `health`;
+//! * fault injection is observable: across the seeds, faults are
+//!   actually injected and accounted for;
+//! * with a zeroed plan the fault layer is inert — stage counters are
+//!   identical to a run without it;
+//! * the same fault seed reproduces the same run.
+
+use owl::{Owl, OwlConfig, PipelineResult, PipelineStats};
+use owl_vm::FaultPlan;
+use std::time::Duration;
+
+const CHAOS_SEEDS: [u64; 3] = [11, 23, 47];
+const CHAOS_RATE: f64 = 0.01;
+
+/// The deterministic (non-`Duration`) slice of [`PipelineStats`],
+/// comparable across runs.
+fn counters(s: &PipelineStats) -> (usize, usize, usize, usize, usize, usize, usize, u64, u64) {
+    (
+        s.raw_reports,
+        s.adhoc_syncs,
+        s.post_annotation_reports,
+        s.verifier_eliminated,
+        s.remaining,
+        s.vulnerable,
+        s.analysis_count,
+        s.analysis_work.insts_visited,
+        s.analysis_work.funcs_entered,
+    )
+}
+
+fn chaos_run(name: &str, seed: u64) -> PipelineResult {
+    let p = owl_corpus::program(name).expect("corpus program exists");
+    let cfg = OwlConfig::quick()
+        .with_fault_plan(FaultPlan::uniform(seed, CHAOS_RATE))
+        .with_stage_deadline(Duration::from_secs(30));
+    let owl = Owl::new(&p.module, p.entry, cfg);
+    owl.run(p.name, &p.workloads, &p.exploit_inputs)
+}
+
+#[test]
+fn corpus_survives_fault_injection_across_seeds() {
+    let mut total_faults = 0u64;
+    for p in owl_corpus::all_programs() {
+        for seed in CHAOS_SEEDS {
+            let result = chaos_run(p.name, seed);
+            assert!(
+                result.error.is_none(),
+                "{} seed {seed}: run-level error {:?}",
+                p.name,
+                result.error
+            );
+            total_faults += result.health.total_injected_faults();
+            // Supervision accounting: quarantined entries and the
+            // health counters agree, and every quarantined report
+            // carries a typed cause.
+            assert_eq!(
+                result.health.total_quarantined(),
+                result.quarantined.len() as u64,
+                "{} seed {seed}",
+                p.name
+            );
+            for q in &result.quarantined {
+                assert!(!q.error.to_string().is_empty());
+            }
+            // Findings stay structurally sound under faults.
+            for f in &result.findings {
+                assert_eq!(
+                    f.vulns.len(),
+                    f.vuln_verifications.len(),
+                    "{} seed {seed}: verifications not parallel to vulns",
+                    p.name
+                );
+            }
+        }
+    }
+    assert!(
+        total_faults > 0,
+        "1% injection across {CHAOS_SEEDS:?} must fire at least once"
+    );
+}
+
+#[test]
+fn atomicity_frontend_survives_fault_injection() {
+    let p = owl_corpus::extensions::bank_atomicity();
+    for seed in CHAOS_SEEDS {
+        let cfg = OwlConfig::quick().with_fault_plan(FaultPlan::uniform(seed, CHAOS_RATE));
+        let owl = Owl::new(&p.module, p.entry, cfg);
+        let result = owl.run_atomicity("Bank", &p.workloads, &p.exploit_inputs);
+        assert!(result.error.is_none());
+        assert_eq!(
+            result.health.total_quarantined(),
+            result.quarantined.len() as u64
+        );
+    }
+}
+
+#[test]
+fn zeroed_plan_is_bit_identical_to_no_fault_layer() {
+    for p in owl_corpus::all_programs() {
+        let base = Owl::new(&p.module, p.entry, OwlConfig::quick()).run(
+            p.name,
+            &p.workloads,
+            &p.exploit_inputs,
+        );
+        let zeroed_cfg = OwlConfig::quick().with_fault_plan(FaultPlan::none());
+        let zeroed = Owl::new(&p.module, p.entry, zeroed_cfg).run(
+            p.name,
+            &p.workloads,
+            &p.exploit_inputs,
+        );
+        assert_eq!(
+            counters(&base.stats),
+            counters(&zeroed.stats),
+            "{}: zeroed fault plan must not perturb the pipeline",
+            p.name
+        );
+        assert_eq!(base.findings.len(), zeroed.findings.len(), "{}", p.name);
+        assert_eq!(base.health.total_injected_faults(), 0);
+        assert_eq!(zeroed.health.total_injected_faults(), 0);
+        assert!(base.quarantined.is_empty() && zeroed.quarantined.is_empty());
+    }
+}
+
+#[test]
+fn same_fault_seed_reproduces_the_run() {
+    let a = chaos_run("Libsafe", CHAOS_SEEDS[0]);
+    let b = chaos_run("Libsafe", CHAOS_SEEDS[0]);
+    assert_eq!(counters(&a.stats), counters(&b.stats));
+    assert_eq!(
+        a.health.total_injected_faults(),
+        b.health.total_injected_faults()
+    );
+    assert_eq!(a.quarantined.len(), b.quarantined.len());
+    assert_eq!(a.findings.len(), b.findings.len());
+}
