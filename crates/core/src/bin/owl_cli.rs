@@ -26,7 +26,10 @@ fn usage() -> ExitCode {
          --fault-seed <n>          seed for deterministic fault injection\n  \
          --fault-rate <p>          per-check injection probability (default 0.01\n                            when --fault-seed is given)\n  \
          --stage-deadline-ms <n>   wall-clock budget per pipeline stage\n  \
-         --max-verify-attempts <n> attempt budget for both dynamic verifiers"
+         --max-verify-attempts <n> attempt budget for both dynamic verifiers\n\
+         static-analysis options (run/hints/audit):\n  \
+         --no-points-to            disable memory-aware corruption propagation\n  \
+         --no-summaries            disable memoized function summaries and the\n                            whole-program caller walk"
     );
     ExitCode::from(2)
 }
@@ -79,12 +82,24 @@ fn config(args: &[String]) -> Result<OwlConfig, String> {
         }
         cfg = cfg.with_max_verify_attempts(n);
     }
+    if args.iter().any(|a| a == "--no-points-to") {
+        cfg.vuln.points_to = false;
+    }
+    if args.iter().any(|a| a == "--no-summaries") {
+        cfg.vuln.summaries = false;
+    }
     Ok(cfg)
 }
 
 fn load(name: &str) -> Option<owl_corpus::CorpusProgram> {
     if name.eq_ignore_ascii_case("bank") {
         return Some(owl_corpus::extensions::bank_atomicity());
+    }
+    if name.eq_ignore_ascii_case("heaprelay") || name.eq_ignore_ascii_case("heap-relay") {
+        return Some(owl_corpus::extensions::heap_relay());
+    }
+    if name.eq_ignore_ascii_case("cacherelay") || name.eq_ignore_ascii_case("cache-relay") {
+        return Some(owl_corpus::extensions::cache_relay());
     }
     // Accept case-insensitive names.
     owl_corpus::all_programs()
@@ -109,6 +124,14 @@ fn main() -> ExitCode {
                 );
             }
             println!("  {:10} extension: atomicity-violation demo", "Bank");
+            println!(
+                "  {:10} extension: corruption relayed through a heap buffer",
+                "HeapRelay"
+            );
+            println!(
+                "  {:10} extension: corrupted pointer through a global cache",
+                "CacheRelay"
+            );
             ExitCode::SUCCESS
         }
         "run" | "hints" | "audit" => {
@@ -168,6 +191,10 @@ fn main() -> ExitCode {
                         );
                     }
                     let h = &result.health;
+                    println!(
+                        "stage 4: points-to solved in {:?}; summary cache {} hit(s) / {} miss(es)",
+                        h.points_to_solve, h.summary_cache_hits, h.summary_cache_misses
+                    );
                     if h.total_injected_faults() > 0
                         || h.total_quarantined() > 0
                         || h.total_panics() > 0

@@ -33,6 +33,17 @@ impl AttackOutcome {
     pub fn detected(&self) -> bool {
         self.hinted && self.reached
     }
+
+    /// Whether a matching hint carries the spec's ground-truth
+    /// dependence kind. `None` when the spec pins no kind or no hint
+    /// matched the expected class.
+    pub fn dep_matched(&self) -> Option<bool> {
+        let expected = self.spec.expected_dep?;
+        if self.dep_kinds.is_empty() {
+            return None;
+        }
+        Some(self.dep_kinds.iter().any(|d| d.to_string() == expected))
+    }
 }
 
 /// Pipeline result plus per-attack scoring for one corpus program.
@@ -138,6 +149,12 @@ mod tests {
         assert!(
             a.dep_kinds.contains(&DepKind::CtrlDep),
             "the Libsafe attack is control-dependent: {:?}",
+            a.dep_kinds
+        );
+        assert_eq!(
+            a.dep_matched(),
+            Some(true),
+            "spec ground truth agrees with the hint: {:?}",
             a.dep_kinds
         );
     }

@@ -29,15 +29,18 @@
 //! retries, injected faults, deadline hits, and panics per stage.
 
 use crate::config::OwlConfig;
+use owl_ir::analysis::{CallGraph, PointsTo};
 use owl_ir::{FuncId, Module};
 use owl_race::{explore_with_deadline, ExplorerConfig, HbAnnotation, RaceReport};
-use owl_static::{AdhocSyncDetector, VulnAnalyzer, VulnReport, VulnStats};
+use owl_static::{AdhocSyncDetector, SummaryCache, VulnAnalyzer, VulnReport, VulnStats};
 use owl_verify::{
     AbortCause, RaceVerification, RaceVerifier, VerifyOutcome, VulnVerification, VulnVerifier,
 };
 use owl_vm::ProgramInput;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Table-3-shaped stage counters for one pipeline run.
@@ -212,6 +215,14 @@ pub struct PipelineHealth {
     pub vuln_analyze: StageHealth,
     /// Stage 5 (dynamic vulnerability verification).
     pub vuln_verify: StageHealth,
+    /// Stage-4 summary-cache hits: memoized callee walks replayed
+    /// instead of recomputed (across reports and worker threads).
+    pub summary_cache_hits: u64,
+    /// Stage-4 summary-cache misses: callee walks actually computed.
+    pub summary_cache_misses: u64,
+    /// Wall-clock spent solving the whole-module points-to analysis
+    /// (done once per stage-4 entry, shared by every report).
+    pub points_to_solve: Duration,
 }
 
 impl PipelineHealth {
@@ -693,6 +704,15 @@ impl<'m> Owl<'m> {
     /// Stage 4: static vulnerability analysis on each verified report,
     /// supervised. An analyzer panic quarantines the report and
     /// rebuilds the analyzer (its memoization may be poisoned).
+    ///
+    /// Module-level state — the points-to solution, the refined call
+    /// graph, and the summary cache — is built once here and shared by
+    /// every per-report analyzer. When no per-stage deadline is
+    /// configured the reports are independent, so they fan out across
+    /// worker threads; each worker has its own analyzer but all share
+    /// the one summary cache, so a callee summarized by one worker
+    /// replays for free on the others. Results land in per-report
+    /// slots, keeping finding order and every counter deterministic.
     fn analyze_findings(
         &self,
         verified: Vec<(RaceReport, RaceVerification)>,
@@ -701,66 +721,190 @@ impl<'m> Owl<'m> {
         quarantined: &mut Vec<Quarantined>,
     ) -> Vec<Finding> {
         let stage_start = Instant::now();
-        let mut stage_expired = false;
-        let mut analyzer = VulnAnalyzer::new(self.module, self.config.vuln.clone());
+        let vuln_cfg = &self.config.vuln;
+        let tp = Instant::now();
+        let points_to = vuln_cfg
+            .points_to
+            .then(|| Arc::new(PointsTo::new(self.module)));
+        health.points_to_solve += tp.elapsed();
+        let callgraph = vuln_cfg.summaries.then(|| {
+            Arc::new(match &points_to {
+                Some(p) => CallGraph::with_points_to(self.module, p),
+                None => CallGraph::new(self.module),
+            })
+        });
+        let cache = vuln_cfg.summaries.then(|| Arc::new(SummaryCache::new()));
+        let make_analyzer = || {
+            VulnAnalyzer::with_shared(
+                self.module,
+                vuln_cfg.clone(),
+                points_to.clone(),
+                callgraph.clone(),
+                cache.clone(),
+            )
+        };
+
         let mut findings = Vec::new();
-        for (race, verification) in verified {
-            if let Some(d) = self.config.stage_deadline {
-                if !stage_expired && !findings.is_empty() && stage_start.elapsed() >= d {
-                    stage_expired = true;
-                    health.vuln_analyze.deadline_hits += 1;
+        let parallel = self.config.stage_deadline.is_none() && verified.len() >= 2;
+        if parallel {
+            let n = verified.len();
+            let workers = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(n);
+            let next = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<ReportAnalysis>>> =
+                (0..n).map(|_| Mutex::new(None)).collect();
+            let verified_ref = &verified;
+            let next_ref = &next;
+            let slots_ref = &slots;
+            let make_ref = &make_analyzer;
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(move || {
+                        let mut analyzer = make_ref();
+                        loop {
+                            let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let (race, _) = &verified_ref[i];
+                            let out = match race.read_access().map(|r| (r.site, r.stack.to_vec()))
+                            {
+                                Some((site, stack)) => {
+                                    let ta = Instant::now();
+                                    let analyzed = catch_unwind(AssertUnwindSafe(|| {
+                                        analyzer.analyze(site, &stack)
+                                    }));
+                                    let elapsed = ta.elapsed();
+                                    match analyzed {
+                                        Ok((reports, work)) => ReportAnalysis::Analyzed {
+                                            reports,
+                                            work,
+                                            elapsed,
+                                        },
+                                        Err(payload) => {
+                                            // Internal caches may be
+                                            // poisoned mid-walk.
+                                            analyzer = make_ref();
+                                            ReportAnalysis::Panicked(panic_message(payload))
+                                        }
+                                    }
+                                }
+                                None => ReportAnalysis::NoRead,
+                            };
+                            *slots_ref[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                        }
+                    });
                 }
-            }
-            if stage_expired {
-                health.vuln_analyze.quarantined += 1;
-                quarantined.push(Quarantined {
-                    race,
-                    error: PipelineError::StageDeadline {
-                        stage: Stage::VulnAnalyze,
-                    },
-                });
-                continue;
-            }
-            health.vuln_analyze.attempts += 1;
-            let read_info = race
-                .read_access()
-                .map(|read| (read.site, read.stack.to_vec()));
-            let vulns = match read_info {
-                Some((site, stack)) => {
-                    let ta = Instant::now();
-                    let analyzed =
-                        catch_unwind(AssertUnwindSafe(|| analyzer.analyze(site, &stack)));
-                    stats.analysis_time += ta.elapsed();
-                    match analyzed {
-                        Ok((reports, work)) => {
-                            stats.analysis_count += 1;
-                            stats.analysis_work.insts_visited += work.insts_visited;
-                            stats.analysis_work.funcs_entered += work.funcs_entered;
-                            reports
-                        }
-                        Err(payload) => {
-                            health.vuln_analyze.panics += 1;
-                            health.vuln_analyze.quarantined += 1;
-                            quarantined.push(Quarantined {
-                                race,
-                                error: PipelineError::Panicked {
-                                    stage: Stage::VulnAnalyze,
-                                    message: panic_message(payload),
-                                },
-                            });
-                            analyzer = VulnAnalyzer::new(self.module, self.config.vuln.clone());
-                            continue;
-                        }
+            });
+            for ((race, verification), slot) in verified.into_iter().zip(slots) {
+                health.vuln_analyze.attempts += 1;
+                let out = slot
+                    .into_inner()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .expect("every slot is filled before the scope ends");
+                match out {
+                    ReportAnalysis::Analyzed {
+                        reports,
+                        work,
+                        elapsed,
+                    } => {
+                        stats.analysis_time += elapsed;
+                        stats.analysis_count += 1;
+                        stats.analysis_work.insts_visited += work.insts_visited;
+                        stats.analysis_work.funcs_entered += work.funcs_entered;
+                        findings.push(Finding {
+                            race,
+                            verification,
+                            vulns: reports,
+                            vuln_verifications: Vec::new(),
+                        });
+                    }
+                    ReportAnalysis::NoRead => findings.push(Finding {
+                        race,
+                        verification,
+                        vulns: Vec::new(),
+                        vuln_verifications: Vec::new(),
+                    }),
+                    ReportAnalysis::Panicked(message) => {
+                        health.vuln_analyze.panics += 1;
+                        health.vuln_analyze.quarantined += 1;
+                        quarantined.push(Quarantined {
+                            race,
+                            error: PipelineError::Panicked {
+                                stage: Stage::VulnAnalyze,
+                                message,
+                            },
+                        });
                     }
                 }
-                None => Vec::new(),
-            };
-            findings.push(Finding {
-                race,
-                verification,
-                vulns,
-                vuln_verifications: Vec::new(),
-            });
+            }
+        } else {
+            let mut stage_expired = false;
+            let mut analyzer = make_analyzer();
+            for (race, verification) in verified {
+                if let Some(d) = self.config.stage_deadline {
+                    if !stage_expired && !findings.is_empty() && stage_start.elapsed() >= d {
+                        stage_expired = true;
+                        health.vuln_analyze.deadline_hits += 1;
+                    }
+                }
+                if stage_expired {
+                    health.vuln_analyze.quarantined += 1;
+                    quarantined.push(Quarantined {
+                        race,
+                        error: PipelineError::StageDeadline {
+                            stage: Stage::VulnAnalyze,
+                        },
+                    });
+                    continue;
+                }
+                health.vuln_analyze.attempts += 1;
+                let read_info = race
+                    .read_access()
+                    .map(|read| (read.site, read.stack.to_vec()));
+                let vulns = match read_info {
+                    Some((site, stack)) => {
+                        let ta = Instant::now();
+                        let analyzed =
+                            catch_unwind(AssertUnwindSafe(|| analyzer.analyze(site, &stack)));
+                        stats.analysis_time += ta.elapsed();
+                        match analyzed {
+                            Ok((reports, work)) => {
+                                stats.analysis_count += 1;
+                                stats.analysis_work.insts_visited += work.insts_visited;
+                                stats.analysis_work.funcs_entered += work.funcs_entered;
+                                reports
+                            }
+                            Err(payload) => {
+                                health.vuln_analyze.panics += 1;
+                                health.vuln_analyze.quarantined += 1;
+                                quarantined.push(Quarantined {
+                                    race,
+                                    error: PipelineError::Panicked {
+                                        stage: Stage::VulnAnalyze,
+                                        message: panic_message(payload),
+                                    },
+                                });
+                                analyzer = make_analyzer();
+                                continue;
+                            }
+                        }
+                    }
+                    None => Vec::new(),
+                };
+                findings.push(Finding {
+                    race,
+                    verification,
+                    vulns,
+                    vuln_verifications: Vec::new(),
+                });
+            }
+        }
+        if let Some(c) = &cache {
+            health.summary_cache_hits += c.hits();
+            health.summary_cache_misses += c.misses();
         }
         stats.vulnerable = findings.iter().filter(|f| !f.vulns.is_empty()).count();
         findings
@@ -846,6 +990,21 @@ impl<'m> Owl<'m> {
             }
         }
     }
+}
+
+/// Outcome of analyzing one verified report in stage 4 (the unit a
+/// parallel worker writes into its result slot).
+enum ReportAnalysis {
+    /// Algorithm 1 completed.
+    Analyzed {
+        reports: Vec<VulnReport>,
+        work: VulnStats,
+        elapsed: Duration,
+    },
+    /// The race report carries no read access to start from.
+    NoRead,
+    /// The analyzer panicked; the message is the rendered payload.
+    Panicked(String),
 }
 
 /// A placeholder verification for a vuln the supervisor could not

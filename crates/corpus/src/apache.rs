@@ -296,6 +296,7 @@ pub fn build() -> CorpusProgram {
                 known: true,
                 race_global: "req_buf",
                 expected_class: VulnClass::MemoryOp,
+                expected_dep: Some("DATA_DEP"),
                 oracle: dfree_oracle,
             },
             AttackSpec {
@@ -307,6 +308,7 @@ pub fn build() -> CorpusProgram {
                 known: false,
                 race_global: "outcnt",
                 expected_class: VulnClass::MemoryOp,
+                expected_dep: Some("DATA_DEP"),
                 oracle: html_oracle,
             },
             AttackSpec {
@@ -318,6 +320,7 @@ pub fn build() -> CorpusProgram {
                 known: false,
                 race_global: "busy0",
                 expected_class: VulnClass::NullDeref,
+                expected_dep: Some("DATA_DEP"),
                 oracle: dos_oracle,
             },
         ],

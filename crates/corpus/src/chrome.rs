@@ -136,6 +136,7 @@ pub fn build() -> CorpusProgram {
             known: true,
             race_global: "profile",
             expected_class: VulnClass::NullDeref,
+            expected_dep: Some("DATA_DEP"),
             oracle,
         }],
     }

@@ -217,6 +217,7 @@ pub fn build() -> CorpusProgram {
             known: true,
             race_global: "dying",
             expected_class: VulnClass::MemoryOp,
+            expected_dep: Some("CTRL_DEP"),
             oracle,
         }],
     }

@@ -216,6 +216,7 @@ pub fn build() -> CorpusProgram {
                 known: true,
                 race_global: "f_op",
                 expected_class: VulnClass::NullDeref,
+                expected_dep: Some("DATA_DEP"),
                 oracle: uselib_oracle,
             },
             AttackSpec {
@@ -227,6 +228,7 @@ pub fn build() -> CorpusProgram {
                 known: true,
                 race_global: "cred_uid",
                 expected_class: VulnClass::PrivilegeOp,
+                expected_dep: Some("CTRL_DEP"),
                 oracle: cred_oracle,
             },
         ],

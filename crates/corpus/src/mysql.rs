@@ -205,6 +205,7 @@ pub fn build() -> CorpusProgram {
                 known: true,
                 race_global: "acl_table",
                 expected_class: VulnClass::PrivilegeOp,
+                expected_dep: Some("CTRL_DEP"),
                 oracle: acl_oracle,
             },
             AttackSpec {
@@ -216,6 +217,7 @@ pub fn build() -> CorpusProgram {
                 known: true,
                 race_global: "pwd_buf",
                 expected_class: VulnClass::MemoryOp,
+                expected_dep: Some("DATA_DEP"),
                 oracle: dfree_oracle,
             },
         ],

@@ -34,6 +34,11 @@ pub struct AttackSpec {
     pub race_global: &'static str,
     /// Vulnerable-site class Algorithm 1 should reach.
     pub expected_class: VulnClass,
+    /// Ground-truth dependence kind of the hint — `"DATA_DEP"` or
+    /// `"CTRL_DEP"`, matching the display form of `owl_static`'s
+    /// `DepKind` (kept as a string so the corpus does not depend on
+    /// the analyzer crate). `None` when the kind is not pinned.
+    pub expected_dep: Option<&'static str>,
     /// Ground-truth oracle over an execution outcome.
     pub oracle: AttackOracle,
 }

@@ -194,6 +194,7 @@ pub fn build() -> CorpusProgram {
             known: false,
             race_global: "db",
             expected_class: VulnClass::NullDeref,
+            expected_dep: Some("DATA_DEP"),
             oracle,
         }],
     }

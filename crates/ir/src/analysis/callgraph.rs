@@ -4,12 +4,16 @@
 //! conservatively to every address-taken function of matching arity —
 //! the paper's OWL instead resolves them precisely from runtime call
 //! stacks (§6.1), which our analyzers also do when a dynamic call stack
-//! is available; the static fallback is used otherwise.
+//! is available. When a [`PointsTo`] solution is supplied
+//! ([`CallGraph::with_points_to`]), indirect sites are narrowed to the
+//! functions whose address actually flows into the callee operand,
+//! falling back to the arity match only when nothing flowed in.
 
+use crate::analysis::pointsto::PointsTo;
 use crate::ids::{FuncId, InstId, InstRef};
 use crate::inst::{Callee, Inst};
 use crate::module::Module;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Module-wide call graph.
 #[derive(Clone, Debug)]
@@ -22,6 +26,9 @@ pub struct CallGraph {
     address_taken: BTreeSet<FuncId>,
     /// All call sites: (site, direct callee if any).
     call_sites: Vec<(InstRef, Option<FuncId>)>,
+    /// Points-to-resolved targets per indirect call site (present only
+    /// when built via [`CallGraph::with_points_to`]).
+    indirect_targets: BTreeMap<InstRef, Vec<FuncId>>,
 }
 
 impl CallGraph {
@@ -63,7 +70,54 @@ impl CallGraph {
             callers,
             address_taken,
             call_sites,
+            indirect_targets: BTreeMap::new(),
         }
+    }
+
+    /// Builds the call graph of `m` and refines every indirect call
+    /// site with the points-to targets of its callee operand. Sites the
+    /// analysis resolved gain real caller/callee edges; sites with an
+    /// empty points-to set keep the arity-matched fallback in
+    /// [`CallGraph::resolve`].
+    pub fn with_points_to(m: &Module, pts: &PointsTo) -> Self {
+        let mut cg = Self::new(m);
+        for (site, targets) in pts.indirect_sites() {
+            if targets.is_empty() {
+                continue;
+            }
+            cg.indirect_targets.insert(site, targets.to_vec());
+            for t in targets {
+                cg.callees[site.func.index()].insert(*t);
+                cg.callers[t.index()].insert(site.func);
+            }
+        }
+        cg
+    }
+
+    /// Points-to-resolved targets of an indirect call site, when this
+    /// graph was built with [`CallGraph::with_points_to`] and the
+    /// analysis found at least one target.
+    pub fn indirect_targets(&self, site: InstRef) -> Option<&[FuncId]> {
+        self.indirect_targets.get(&site).map(|v| v.as_slice())
+    }
+
+    /// Like [`CallGraph::resolve`], but uses the points-to targets of
+    /// the specific indirect `site` when available, only falling back
+    /// to the arity-matched address-taken set when points-to was not
+    /// run or tracked nothing into the operand.
+    pub fn resolve_at(
+        &self,
+        m: &Module,
+        site: InstRef,
+        callee: &Callee,
+        num_args: usize,
+    ) -> Vec<FuncId> {
+        if let Callee::Indirect(_) = callee {
+            if let Some(ts) = self.indirect_targets(site) {
+                return ts.to_vec();
+            }
+        }
+        self.resolve(m, callee, num_args)
     }
 
     /// Direct callees of `f` (including thread entry points it spawns).
@@ -84,6 +138,25 @@ impl CallGraph {
     /// All call sites in the module.
     pub fn call_sites(&self) -> &[(InstRef, Option<FuncId>)] {
         &self.call_sites
+    }
+
+    /// All call sites that may invoke `f`: direct sites targeting it
+    /// plus indirect sites whose points-to targets include it (when the
+    /// graph was built with [`CallGraph::with_points_to`]). Used by the
+    /// vulnerability analyzer's whole-program caller walk when no
+    /// dynamic call stack is available.
+    pub fn sites_calling(&self, f: FuncId) -> Vec<InstRef> {
+        self.call_sites
+            .iter()
+            .filter(|(site, direct)| match direct {
+                Some(t) => *t == f,
+                None => self
+                    .indirect_targets
+                    .get(site)
+                    .is_some_and(|ts| ts.contains(&f)),
+            })
+            .map(|(site, _)| *site)
+            .collect()
     }
 
     /// Possible targets of a call: exact for direct calls; all
@@ -139,6 +212,53 @@ mod tests {
         assert_eq!(indirect, vec![other]);
         let direct = cg.resolve(&m, &Callee::Direct(callee), 1);
         assert_eq!(direct, vec![callee]);
+    }
+
+    #[test]
+    fn points_to_narrows_indirect_resolution() {
+        use crate::analysis::pointsto::PointsTo;
+        use crate::inst::Callee;
+        let mut mb = ModuleBuilder::new("t");
+        let cb = mb.declare_func("cb", 1);
+        let other = mb.declare_func("other", 1);
+        let main = mb.declare_func("main", 0);
+        {
+            let mut b = mb.build_func(cb);
+            b.ret(Some(Operand::Param(0)));
+        }
+        {
+            let mut b = mb.build_func(other);
+            b.ret(Some(Operand::Param(0)));
+        }
+        let site;
+        {
+            let mut b = mb.build_func(main);
+            let fp = b.func_addr(cb);
+            let _decoy = b.func_addr(other); // address-taken, never called
+            site = b.call_indirect(fp, vec![Operand::Const(1)]);
+            b.ret(None);
+        }
+        let m = mb.finish();
+        let pts = PointsTo::new(&m);
+        let cg = CallGraph::with_points_to(&m, &pts);
+        let sref = crate::ids::InstRef::new(main, site);
+        // Arity fallback would say {cb, other}; points-to narrows to cb.
+        assert_eq!(cg.indirect_targets(sref), Some(&[cb][..]));
+        assert_eq!(
+            cg.resolve_at(&m, sref, &Callee::Indirect(Operand::Const(0)), 1),
+            vec![cb]
+        );
+        // The refined edge shows up in the graph and in sites_calling.
+        assert!(cg.callees(main).contains(&cb));
+        assert!(cg.callers(cb).contains(&main));
+        assert!(cg.sites_calling(cb).contains(&sref));
+        assert!(!cg.sites_calling(other).contains(&sref));
+        // An unrefined graph still falls back to the arity match.
+        let plain = CallGraph::new(&m);
+        assert_eq!(
+            plain.resolve_at(&m, sref, &Callee::Indirect(Operand::Const(0)), 1),
+            vec![cb, other]
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@ pub mod ctrldep;
 pub mod defuse;
 pub mod dom;
 pub mod loops;
+pub mod pointsto;
 
 pub use callgraph::CallGraph;
 pub use cfg::Cfg;
@@ -14,6 +15,7 @@ pub use ctrldep::ControlDeps;
 pub use defuse::DefUse;
 pub use dom::{DomTree, PostDomTree};
 pub use loops::{Loop, LoopInfo};
+pub use pointsto::{AbsLoc, PointsTo, PointsToStats};
 
 use crate::ids::FuncId;
 use crate::module::Module;

@@ -52,10 +52,12 @@
 mod adhoc;
 mod conseq;
 pub mod hints;
+mod summary;
 mod synth;
 mod vuln;
 
 pub use adhoc::{AdhocSyncDetector, AdhocVerdict};
 pub use conseq::ConseqAnalyzer;
+pub use summary::{FuncSummary, SummaryCache, SummaryKey, SummaryReport};
 pub use synth::{Affine, Assignment, InputSynthesizer};
 pub use vuln::{DepKind, VulnAnalyzer, VulnConfig, VulnReport, VulnStats};

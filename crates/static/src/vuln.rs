@@ -19,18 +19,33 @@
 //!   value was (data- or control-) corrupted. This is what makes the
 //!   analysis scale while still crossing function boundaries — the
 //!   study found bugs and attacks share call-stack prefixes (§3.2).
-//! * **No pointer analysis**: corruption is tracked through SSA virtual
-//!   registers only; the detectors' runtime-observed addresses and call
-//!   stacks compensate (§6.1).
+//! * **Memory-aware propagation** (extension over the paper): the
+//!   paper's OWL tracks corruption through SSA virtual registers only
+//!   and leans on runtime-observed addresses to compensate (§6.1).
+//!   This analyzer additionally consults a flow-insensitive Andersen
+//!   points-to solution ([`owl_ir::analysis::PointsTo`]): a store of a
+//!   corrupted value taints the abstract locations its address may
+//!   point to, and loads that may read a tainted location become
+//!   corruption sources themselves (*relay loads*), so corruption
+//!   survives a round trip through the heap or globals. Disable with
+//!   [`VulnConfig::points_to`] to recover the register-only regime.
+//! * **Memoized function summaries**: callee subtrees are walked once
+//!   per (callee, corrupted-params, control) key and replayed from a
+//!   [`SummaryCache`] thereafter — across reports and across worker
+//!   threads — and the points-to-refined call graph lets the walk
+//!   ascend into *callers* when no dynamic call stack is available
+//!   (whole-program mode). Disable with [`VulnConfig::summaries`].
 //! * **Control-dependence tracking**: a vulnerable site that executes
 //!   under a corrupted branch is reported `CTRL_DEP` even when its
 //!   operands are clean — the Libsafe attack (Figure 1/5) is exactly
 //!   this shape.
 
-use owl_ir::analysis::FuncAnalysis;
+use crate::summary::{FuncSummary, SummaryCache, SummaryKey, SummaryReport};
+use owl_ir::analysis::{AbsLoc, CallGraph, FuncAnalysis, PointsTo};
 use owl_ir::{Callee, FuncId, Inst, InstId, InstRef, Module, Operand, VulnClass};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
 
 /// How the corruption reaches the vulnerable site.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -89,6 +104,14 @@ pub struct VulnConfig {
     /// Track control dependences. Disabling reduces the analyzer to
     /// pure data-flow (the ConSeq-style regime).
     pub track_control: bool,
+    /// Propagate corruption through memory using the Andersen
+    /// points-to solution, and resolve indirect-call descents from it.
+    /// Disabling recovers the paper's register-only regime.
+    pub points_to: bool,
+    /// Memoize per-function corruption summaries and ascend into
+    /// callers via the call graph when no dynamic call stack is
+    /// available (whole-program mode).
+    pub summaries: bool,
 }
 
 impl Default for VulnConfig {
@@ -104,6 +127,8 @@ impl Default for VulnConfig {
             max_call_depth: 8,
             follow_call_stack: true,
             track_control: true,
+            points_to: true,
+            summaries: true,
         }
     }
 }
@@ -125,6 +150,11 @@ pub struct VulnAnalyzer<'m> {
     module: &'m Module,
     config: VulnConfig,
     fa_cache: HashMap<FuncId, FuncAnalysis>,
+    points_to: Option<Arc<PointsTo>>,
+    callgraph: Option<Arc<CallGraph>>,
+    summaries: Option<Arc<SummaryCache>>,
+    /// Summary keys currently being computed (recursion-cycle guard).
+    in_progress: HashSet<SummaryKey>,
 }
 
 /// Where to start traversal inside a function.
@@ -145,6 +175,27 @@ struct Walk {
     visited: HashSet<(FuncId, Option<InstId>, u32, bool)>,
     stats: VulnStats,
     source: InstRef,
+    /// Abstract locations tainted by stores of corrupted values, with
+    /// the tainting store as provenance for relay-load chains.
+    tainted: BTreeMap<AbsLoc, InstRef>,
+    /// Relay loads already promoted to corruption sources.
+    relays: HashSet<InstRef>,
+}
+
+impl Walk {
+    fn new(source: InstRef) -> Self {
+        Walk {
+            crpt: HashSet::new(),
+            parent: HashMap::new(),
+            reports: Vec::new(),
+            reported: HashSet::new(),
+            visited: HashSet::new(),
+            stats: VulnStats::default(),
+            source,
+            tainted: BTreeMap::new(),
+            relays: HashSet::new(),
+        }
+    }
 }
 
 /// Whether `op` is corrupted in the current context.
@@ -172,18 +223,65 @@ fn corrupted_op(
 }
 
 impl<'m> VulnAnalyzer<'m> {
-    /// Creates an analyzer with the given configuration.
+    /// Creates an analyzer with the given configuration, building the
+    /// points-to solution, call graph, and summary cache it demands.
     pub fn new(module: &'m Module, config: VulnConfig) -> Self {
-        VulnAnalyzer {
-            module,
-            config,
-            fa_cache: HashMap::new(),
-        }
+        Self::with_shared(module, config, None, None, None)
     }
 
     /// Analyzer with default configuration.
     pub fn with_defaults(module: &'m Module) -> Self {
         Self::new(module, VulnConfig::default())
+    }
+
+    /// Creates an analyzer that reuses pre-computed module-level state:
+    /// the pipeline solves points-to once, refines one call graph and
+    /// allocates one summary cache, then hands the `Arc`s to every
+    /// per-report (and per-worker) analyzer. Pieces the configuration
+    /// asks for but the caller did not supply are built here; pieces
+    /// the configuration disables are dropped. One summary cache must
+    /// not be shared between analyzers with different configurations —
+    /// summaries record configuration-dependent reports.
+    pub fn with_shared(
+        module: &'m Module,
+        config: VulnConfig,
+        points_to: Option<Arc<PointsTo>>,
+        callgraph: Option<Arc<CallGraph>>,
+        summaries: Option<Arc<SummaryCache>>,
+    ) -> Self {
+        let points_to = config
+            .points_to
+            .then(|| points_to.unwrap_or_else(|| Arc::new(PointsTo::new(module))));
+        let callgraph = config.summaries.then(|| {
+            callgraph.unwrap_or_else(|| {
+                Arc::new(match &points_to {
+                    Some(p) => CallGraph::with_points_to(module, p),
+                    None => CallGraph::new(module),
+                })
+            })
+        });
+        let summaries = config
+            .summaries
+            .then(|| summaries.unwrap_or_else(|| Arc::new(SummaryCache::new())));
+        VulnAnalyzer {
+            module,
+            config,
+            fa_cache: HashMap::new(),
+            points_to,
+            callgraph,
+            summaries,
+            in_progress: HashSet::new(),
+        }
+    }
+
+    /// The shared summary cache, when summaries are enabled.
+    pub fn summary_cache(&self) -> Option<&Arc<SummaryCache>> {
+        self.summaries.as_ref()
+    }
+
+    /// The points-to solution, when memory-aware propagation is on.
+    pub fn points_to(&self) -> Option<&Arc<PointsTo>> {
+        self.points_to.as_ref()
     }
 
     fn fa(&mut self, f: FuncId) -> &FuncAnalysis {
@@ -201,15 +299,7 @@ impl<'m> VulnAnalyzer<'m> {
         start: InstRef,
         call_stack: &[InstRef],
     ) -> (Vec<VulnReport>, VulnStats) {
-        let mut walk = Walk {
-            crpt: HashSet::new(),
-            parent: HashMap::new(),
-            reports: Vec::new(),
-            reported: HashSet::new(),
-            visited: HashSet::new(),
-            stats: VulnStats::default(),
-            source: start,
-        };
+        let mut walk = Walk::new(start);
         walk.crpt.insert(start);
         let mut ret_corrupted = self.do_detect(
             &mut walk,
@@ -221,25 +311,36 @@ impl<'m> VulnAnalyzer<'m> {
             0,
         );
         if self.config.follow_call_stack {
-            // Pop the dynamic call stack from innermost caller outward.
-            for call_site in call_stack.iter().rev() {
+            if call_stack.is_empty() {
+                // Whole-program mode: no dynamic stack was recorded, so
+                // ascend through every call site the (points-to-refined)
+                // call graph says may have invoked the start function.
                 if ret_corrupted {
-                    // The callee's return value is corrupted: taint the
-                    // call instruction in the caller.
-                    walk.crpt.insert(*call_site);
-                    walk.parent.entry(*call_site).or_insert(start);
+                    self.caller_walk(&mut walk, start.func, 0);
                 }
-                ret_corrupted = self.do_detect(
-                    &mut walk,
-                    call_site.func,
-                    Start::After(call_site.inst),
-                    0,
-                    false,
-                    &[],
-                    0,
-                );
+            } else {
+                // Pop the dynamic call stack from innermost caller
+                // outward.
+                for call_site in call_stack.iter().rev() {
+                    if ret_corrupted {
+                        // The callee's return value is corrupted: taint
+                        // the call instruction in the caller.
+                        walk.crpt.insert(*call_site);
+                        walk.parent.entry(*call_site).or_insert(start);
+                    }
+                    ret_corrupted = self.do_detect(
+                        &mut walk,
+                        call_site.func,
+                        Start::After(call_site.inst),
+                        0,
+                        false,
+                        &[],
+                        0,
+                    );
+                }
             }
         }
+        self.relay_fixpoint(&mut walk);
         let mut reports = walk.reports;
         let stats = walk.stats;
         for r in &mut reports {
@@ -419,21 +520,43 @@ impl<'m> VulnAnalyzer<'m> {
                             walk.crpt.insert(iref);
                             walk.parent.entry(iref).or_insert(src);
                         }
-                        // Descend into internal callees.
+                        // Descend into internal callees. Indirect sites
+                        // are resolved from the points-to solution when
+                        // available; an unresolved site descends nowhere
+                        // and the dynamic call stack compensates, as in
+                        // the paper.
                         let targets: Vec<FuncId> = match callee {
                             Callee::Direct(f) => vec![*f],
-                            Callee::Indirect(_) => vec![], // resolved dynamically
+                            Callee::Indirect(_) => self
+                                .points_to
+                                .as_ref()
+                                .and_then(|p| p.resolve_targets(iref))
+                                .map(|ts| ts.to_vec())
+                                .unwrap_or_default(),
                         };
                         for t in targets {
-                            let callee_ret = self.do_detect(
-                                walk,
-                                t,
-                                Start::Entry,
-                                callee_mask,
-                                in_ctrl,
-                                &active_branches(&local_brs),
-                                depth + 1,
-                            );
+                            let brs = active_branches(&local_brs);
+                            let callee_ret = if self.summaries.is_some() {
+                                self.descend_summarized(
+                                    walk,
+                                    t,
+                                    callee_mask,
+                                    in_ctrl,
+                                    &brs,
+                                    iref,
+                                    depth,
+                                )
+                            } else {
+                                self.do_detect(
+                                    walk,
+                                    t,
+                                    Start::Entry,
+                                    callee_mask,
+                                    in_ctrl,
+                                    &brs,
+                                    depth + 1,
+                                )
+                            };
                             if callee_ret {
                                 walk.crpt.insert(iref);
                             }
@@ -447,7 +570,7 @@ impl<'m> VulnAnalyzer<'m> {
                             ret_corrupted = true;
                         }
                     }
-                    Inst::Load { addr, .. } | Inst::Store { addr, .. } => {
+                    Inst::Load { addr, .. } | Inst::AtomicLoad { addr } => {
                         // Dereference of a corrupted pointer.
                         if let Some(src) = corrupted_op(walk, func_id, crpt_params, iref, addr) {
                             if self.config.classes.contains(&VulnClass::NullDeref) {
@@ -465,6 +588,33 @@ impl<'m> VulnAnalyzer<'m> {
                             if inst.has_result() {
                                 walk.crpt.insert(iref);
                                 walk.parent.entry(iref).or_insert(src);
+                            }
+                        }
+                    }
+                    Inst::Store { addr, val } | Inst::AtomicStore { addr, val } => {
+                        // Dereference of a corrupted pointer.
+                        if let Some(src) = corrupted_op(walk, func_id, crpt_params, iref, addr) {
+                            if self.config.classes.contains(&VulnClass::NullDeref) {
+                                walk.parent.entry(iref).or_insert(src);
+                                Self::report(
+                                    walk,
+                                    iref,
+                                    VulnClass::NullDeref,
+                                    DepKind::DataDep,
+                                    active_branches(&local_brs),
+                                );
+                            }
+                        }
+                        // A store of a corrupted value taints every
+                        // abstract location its address may point to;
+                        // relay loads pick the corruption back up in
+                        // the post-walk fixpoint.
+                        if let Some(src) = corrupted_op(walk, func_id, crpt_params, iref, val) {
+                            if let Some(pts) = &self.points_to {
+                                walk.parent.entry(iref).or_insert(src);
+                                for l in pts.pts_operand(func_id, *addr) {
+                                    walk.tainted.entry(*l).or_insert(iref);
+                                }
                             }
                         }
                     }
@@ -515,6 +665,203 @@ impl<'m> VulnAnalyzer<'m> {
         ret_corrupted
     }
 
+    /// Descends into `target` through the summary cache: computes the
+    /// callee's summary on first use, then materializes its reports,
+    /// memory taints, and return-corruption into the caller's walk.
+    #[allow(clippy::too_many_arguments)]
+    fn descend_summarized(
+        &mut self,
+        walk: &mut Walk,
+        target: FuncId,
+        crpt_params: u32,
+        ctrl: bool,
+        ctx_branches: &[InstRef],
+        call_site: InstRef,
+        depth: usize,
+    ) -> bool {
+        if depth + 1 > self.config.max_call_depth {
+            return false;
+        }
+        let key = SummaryKey {
+            func: target,
+            crpt_params,
+            ctrl,
+        };
+        let Some((summary, computed)) = self.summary_for(key) else {
+            return false;
+        };
+        if computed {
+            // First computation pays the traversal cost; cache hits
+            // replay for free — that is the point.
+            walk.stats.insts_visited += summary.stats.insts_visited;
+            walk.stats.funcs_entered += summary.stats.funcs_entered;
+        }
+        for (loc, store) in &summary.tainted {
+            walk.tainted.entry(*loc).or_insert(*store);
+        }
+        let prefix = Self::chain_from(walk, call_site);
+        for r in &summary.reports {
+            if !walk.reported.insert((r.site, r.dep)) {
+                continue;
+            }
+            let mut branches = ctx_branches.to_vec();
+            branches.extend(r.branches.iter().copied());
+            let mut chain = prefix.clone();
+            chain.extend(r.chain.iter().copied());
+            // Chains must start at the source or a corrupted gating
+            // branch. When no data provenance crosses the call boundary
+            // (pure control dependence), re-anchor at the innermost
+            // corrupted branch, exactly as `report` does.
+            let anchored = chain
+                .first()
+                .is_some_and(|f| *f == walk.source || branches.contains(f));
+            if !anchored {
+                let anchor = branches.last().copied().unwrap_or(call_site);
+                chain = Self::chain_from(walk, anchor);
+                chain.push(r.site);
+            }
+            walk.reports.push(VulnReport {
+                site: r.site,
+                class: r.class,
+                dep: r.dep,
+                source: walk.source,
+                branches,
+                path_branches: Vec::new(),
+                chain,
+            });
+        }
+        summary.ret_corrupted
+    }
+
+    /// Returns the summary for `key`, computing and caching it on a
+    /// miss, plus whether this call computed it. `None` means the
+    /// descent must be skipped conservatively: the key is already being
+    /// computed (a recursion cycle) or the mutual-recursion guard
+    /// tripped. Cycles are not cached, so a later acyclic context still
+    /// computes the full summary.
+    fn summary_for(&mut self, key: SummaryKey) -> Option<(Arc<FuncSummary>, bool)> {
+        let cache = self.summaries.clone()?;
+        if let Some(s) = cache.get(key) {
+            return Some((s, false));
+        }
+        if self.in_progress.contains(&key)
+            || self.in_progress.len() > 2 * self.config.max_call_depth
+        {
+            return None;
+        }
+        self.in_progress.insert(key);
+        // Summaries are context-independent: fresh walk, no caller
+        // branches, fresh depth budget. The sentinel source can never
+        // equal a real instruction, so sub-chains terminate at the
+        // callee's own earliest ancestor.
+        let sentinel = InstRef::new(key.func, InstId(u32::MAX));
+        let mut sub = Walk::new(sentinel);
+        let ret_corrupted = self.do_detect(
+            &mut sub,
+            key.func,
+            Start::Entry,
+            key.crpt_params,
+            key.ctrl,
+            &[],
+            0,
+        );
+        self.in_progress.remove(&key);
+        let summary = FuncSummary {
+            ret_corrupted,
+            reports: sub
+                .reports
+                .into_iter()
+                .map(|r| SummaryReport {
+                    site: r.site,
+                    class: r.class,
+                    dep: r.dep,
+                    branches: r.branches,
+                    chain: r.chain,
+                })
+                .collect(),
+            tainted: sub.tainted.into_iter().collect(),
+            stats: sub.stats,
+        };
+        Some((cache.insert(key, summary), true))
+    }
+
+    /// Ascends from `f` through every call site that may invoke it,
+    /// treating each call's result as corrupted — the whole-program
+    /// replacement for the dynamic stack walk when no stack was
+    /// recorded.
+    fn caller_walk(&mut self, walk: &mut Walk, f: FuncId, ascent: usize) {
+        if ascent > self.config.max_call_depth {
+            return;
+        }
+        let Some(cg) = self.callgraph.clone() else {
+            return;
+        };
+        for site in cg.sites_calling(f) {
+            if !self.module.func(site.func).is_internal {
+                continue;
+            }
+            walk.crpt.insert(site);
+            walk.parent.entry(site).or_insert(walk.source);
+            let ret = self.do_detect(walk, site.func, Start::After(site.inst), 0, false, &[], 0);
+            if ret {
+                self.caller_walk(walk, site.func, ascent + 1);
+            }
+        }
+    }
+
+    /// Fixpoint over relay loads: any load whose address may read a
+    /// tainted abstract location becomes a corruption source, and the
+    /// walk restarts after it (ascending into callers when the relay
+    /// corrupts a return value). Monotone in the relay set, so the loop
+    /// terminates after at most `#loads` rounds. An *empty* points-to
+    /// set deliberately does not relay — it means "no tracked
+    /// provenance", and relaying through it would taint every load in
+    /// the program.
+    fn relay_fixpoint(&mut self, walk: &mut Walk) {
+        let Some(pts) = self.points_to.clone() else {
+            return;
+        };
+        let module = self.module;
+        loop {
+            let mut changed = false;
+            for (fi, func) in module.funcs.iter().enumerate() {
+                if !func.is_internal {
+                    continue;
+                }
+                let fid = FuncId::from_index(fi);
+                for (i, inst) in func.insts.iter().enumerate() {
+                    let addr = match inst {
+                        Inst::Load { addr, .. } | Inst::AtomicLoad { addr } => *addr,
+                        _ => continue,
+                    };
+                    let iid = InstId::from_index(i);
+                    let iref = InstRef::new(fid, iid);
+                    if walk.relays.contains(&iref) || walk.crpt.contains(&iref) {
+                        continue;
+                    }
+                    let Some(store) = pts
+                        .pts_operand(fid, addr)
+                        .iter()
+                        .find_map(|l| walk.tainted.get(l).copied())
+                    else {
+                        continue;
+                    };
+                    walk.relays.insert(iref);
+                    walk.crpt.insert(iref);
+                    walk.parent.entry(iref).or_insert(store);
+                    changed = true;
+                    let ret = self.do_detect(walk, fid, Start::After(iid), 0, false, &[], 0);
+                    if ret && self.config.follow_call_stack {
+                        self.caller_walk(walk, fid, 0);
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
     fn report(
         walk: &mut Walk,
         site: InstRef,
@@ -533,18 +880,7 @@ impl<'m> VulnAnalyzer<'m> {
         } else {
             branches.last().copied().unwrap_or(site)
         };
-        let mut chain = Vec::new();
-        let mut cur = Some(anchor);
-        let mut guard = 0;
-        while let Some(c) = cur {
-            chain.push(c);
-            if c == walk.source || guard > 64 {
-                break;
-            }
-            guard += 1;
-            cur = walk.parent.get(&c).copied();
-        }
-        chain.reverse();
+        let mut chain = Self::chain_from(walk, anchor);
         if anchor != site {
             chain.push(site);
         }
@@ -557,6 +893,28 @@ impl<'m> VulnAnalyzer<'m> {
             path_branches: Vec::new(),
             chain,
         });
+    }
+
+    /// Provenance chain from the walk source (or the earliest known
+    /// ancestor) down to `anchor`, inclusive.
+    fn chain_from(walk: &Walk, anchor: InstRef) -> Vec<InstRef> {
+        let mut chain = Vec::new();
+        let mut cur = Some(anchor);
+        let mut guard = 0;
+        while let Some(c) = cur {
+            chain.push(c);
+            if c == walk.source || guard > 64 {
+                break;
+            }
+            guard += 1;
+            let next = walk.parent.get(&c).copied();
+            if next == Some(c) {
+                break; // parameter provenance collapses to a self-loop
+            }
+            cur = next;
+        }
+        chain.reverse();
+        chain
     }
 
     /// The module being analyzed.
