@@ -3,12 +3,16 @@
 //! ```text
 //! owl-cli list                         # corpus programs
 //! owl-cli run <program> [--quick]      # full pipeline + findings
+//! owl-cli run <program> --json         # machine-readable findings + health
 //! owl-cli run <program> --atomicity    # atomicity-violation front-end
+//! owl-cli campaign <dir> [--resume]    # crash-safe sweep of the whole corpus
 //! owl-cli audit <program> [--quick]    # §7.2 path auditing demo
 //! owl-cli hints <program> [--quick]    # Figure-4/5 hints for every finding
 //! ```
 
-use owl::{Owl, OwlConfig, PathAuditor};
+use owl::journal::{encode_error, encode_health, encode_summary};
+use owl::json::Json;
+use owl::{run_campaign, CampaignConfig, Owl, OwlConfig, PathAuditor, ProgramSummary};
 use owl_static::hints;
 use owl_vm::{FaultPlan, RandomScheduler};
 use std::process::ExitCode;
@@ -19,31 +23,43 @@ fn usage() -> ExitCode {
         "usage: owl-cli <command> [args]\n\
          commands:\n  \
          list                      list corpus programs\n  \
-         run <program> [--quick] [--atomicity]\n                            run the pipeline and print findings\n  \
+         run <program> [--quick] [--atomicity] [--json]\n                            run the pipeline and print findings\n  \
+         campaign <dir> [--quick] [--resume] [--json]\n                            run the whole corpus with a durable journal in <dir>\n  \
          hints <program> [--quick] print Figure-4/5 hints for every finding\n  \
          audit <program> [--quick] demo §7.2 path auditing\n\
-         robustness options (run/hints/audit):\n  \
+         robustness options (run/hints/audit/campaign):\n  \
          --fault-seed <n>          seed for deterministic fault injection\n  \
-         --fault-rate <p>          per-check injection probability (default 0.01\n                            when --fault-seed is given)\n  \
+         --fault-rate <p>          per-check injection probability\n                            (default 0.01 when --fault-seed is given)\n  \
          --stage-deadline-ms <n>   wall-clock budget per pipeline stage\n  \
          --max-verify-attempts <n> attempt budget for both dynamic verifiers\n\
-         static-analysis options (run/hints/audit):\n  \
+         campaign options:\n  \
+         --resume                  continue a journal instead of refusing it\n  \
+         --max-attempts <n>        per-program retry budget (default 3)\n  \
+         --backoff-ms <n>          base retry backoff in milliseconds (default 100)\n  \
+         --backoff-seed <n>        seed for the backoff jitter\n  \
+         --kill-after <n>          crash-test hook: die after the Nth journal append\n\
+         static-analysis options (run/hints/audit/campaign):\n  \
          --no-points-to            disable memory-aware corruption propagation\n  \
          --no-summaries            disable memoized function summaries and the\n                            whole-program caller walk"
     );
     ExitCode::from(2)
 }
 
-/// The value following `--name` in `args`, if present.
-fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+/// The value following `--name` in `args`. A token that is itself
+/// another `--flag` is not a value: `--fault-seed --quick` reports a
+/// missing value instead of trying to parse `--quick` as a seed.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    match args.get(i + 1).map(String::as_str) {
+        Some(v) if !v.starts_with("--") => Ok(Some(v)),
+        _ => Err(format!("{name} requires a value")),
+    }
 }
 
 fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
-    match flag_value(args, name) {
+    match flag_value(args, name)? {
         None => Ok(None),
         Some(raw) => raw
             .parse::<T>()
@@ -161,6 +177,41 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             match cmd.as_str() {
+                "run" if args.iter().any(|a| a == "--json") => {
+                    let summary = ProgramSummary::from_result(&result);
+                    let out = Json::obj([
+                        ("program", Json::str(result.program.clone())),
+                        (
+                            "front_end",
+                            Json::str(if atomicity { "atomicity" } else { "race" }),
+                        ),
+                        ("summary", encode_summary(&summary)),
+                        ("health", encode_health(&result.health)),
+                        (
+                            "quarantined",
+                            Json::Arr(
+                                result
+                                    .quarantined
+                                    .iter()
+                                    .map(|q| {
+                                        Json::obj([
+                                            (
+                                                "global",
+                                                match &q.race.global_name {
+                                                    Some(g) => Json::str(g.clone()),
+                                                    None => Json::Null,
+                                                },
+                                            ),
+                                            ("error", encode_error(&q.error)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                    ]);
+                    println!("{}", out.to_json_string());
+                    ExitCode::SUCCESS
+                }
                 "run" => {
                     let s = &result.stats;
                     println!(
@@ -276,6 +327,72 @@ fn main() -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 _ => unreachable!(),
+            }
+        }
+        "campaign" => {
+            let Some(dir) = args.get(1) else {
+                return usage();
+            };
+            if dir.starts_with("--") {
+                return usage();
+            }
+            let cfg = match config(&args) {
+                Ok(cfg) => cfg,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::from(2);
+                }
+            };
+            let mut ccfg = CampaignConfig::new(cfg);
+            let campaign_flags = (|| -> Result<(), String> {
+                if let Some(n) = parse_flag::<u64>(&args, "--max-attempts")? {
+                    if n == 0 {
+                        return Err("--max-attempts must be at least 1".to_string());
+                    }
+                    ccfg.max_attempts = n;
+                }
+                if let Some(ms) = parse_flag::<u64>(&args, "--backoff-ms")? {
+                    ccfg.backoff_base = Duration::from_millis(ms);
+                }
+                if let Some(s) = parse_flag::<u64>(&args, "--backoff-seed")? {
+                    ccfg.backoff_seed = s;
+                }
+                if let Some(n) = parse_flag::<u64>(&args, "--kill-after")? {
+                    ccfg.kill_after_appends = Some(n);
+                }
+                Ok(())
+            })();
+            if let Err(msg) = campaign_flags {
+                eprintln!("{msg}");
+                return ExitCode::from(2);
+            }
+            let resume = args.iter().any(|a| a == "--resume");
+            let dir = std::path::Path::new(dir);
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create campaign directory {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+            let journal_path = dir.join("journal.jsonl");
+            let programs = owl_corpus::all_programs();
+            match run_campaign(&journal_path, &programs, &ccfg, resume) {
+                Ok(outcome) => {
+                    if outcome.recovery.recovered() {
+                        eprintln!(
+                            "journal recovered: discarded {} byte(s) in {} record(s) from a corrupt tail",
+                            outcome.recovery.discarded_bytes, outcome.recovery.discarded_records
+                        );
+                    }
+                    if args.iter().any(|a| a == "--json") {
+                        println!("{}", outcome.summary.to_json().to_json_string());
+                    } else {
+                        print!("{}", outcome.summary.render());
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("campaign failed: {e}");
+                    ExitCode::FAILURE
+                }
             }
         }
         _ => usage(),

@@ -1,0 +1,628 @@
+//! Crash-safe, corpus-wide campaign execution.
+//!
+//! A campaign sweeps a list of corpus programs through the full
+//! pipeline against one durable [`Journal`]:
+//!
+//! * every completed pipeline unit is journaled (see
+//!   [`crate::journal`]), so killing the process loses at most the
+//!   unit in flight;
+//! * each program runs under `catch_unwind` isolation with a bounded
+//!   retry budget and seeded exponential backoff + jitter
+//!   ([`backoff_delay`]);
+//! * a program that exhausts its budget is **quarantined into the
+//!   journal** and the campaign degrades gracefully — the remaining
+//!   programs still run;
+//! * the final consolidated summary ([`CampaignSummary`]) is
+//!   reconstructed purely from journal records, never from in-memory
+//!   state, so a resumed campaign renders byte-identically to an
+//!   uninterrupted one.
+//!
+//! The one panic the supervisor deliberately does **not** absorb is
+//! the journal's own kill point ([`JournalKilled`]): it simulates the
+//! process dying and must propagate like a real `SIGKILL`.
+
+use crate::config::OwlConfig;
+use crate::journal::{
+    encode_error, encode_summary, Journal, JournalError, JournalKilled, JournalRecord,
+    ProgramSummary, RecoveryReport, fnv1a64,
+};
+use crate::json::Json;
+use crate::pipeline::{Owl, PipelineError, PipelineHealth, Stage};
+use owl_corpus::CorpusProgram;
+use owl_verify::VerifyOutcome;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::time::Duration;
+
+/// A config-level fault: force the named program's first `failures`
+/// attempts to panic before any stage runs. Exercises the retry,
+/// backoff, and graceful-degradation paths deterministically.
+#[derive(Clone, Debug)]
+pub struct CampaignFault {
+    /// Program to sabotage.
+    pub program: String,
+    /// Attempts that fail before one is allowed to succeed. Set it at
+    /// or above the campaign's retry budget to force quarantine.
+    pub failures: u64,
+}
+
+/// Campaign configuration.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Pipeline configuration applied to every program.
+    pub owl: OwlConfig,
+    /// Attempts per program before it is quarantined (≥ 1).
+    pub max_attempts: u64,
+    /// Base delay of the exponential backoff between attempts.
+    pub backoff_base: Duration,
+    /// Seed for the backoff jitter.
+    pub backoff_seed: u64,
+    /// Arms the journal's hard kill point: panic with
+    /// [`JournalKilled`] after this many appends (crash testing).
+    pub kill_after_appends: Option<u64>,
+    /// Injected campaign-level faults.
+    pub faults: Vec<CampaignFault>,
+}
+
+impl CampaignConfig {
+    /// A campaign over `owl` with 3 attempts per program and a 100 ms
+    /// backoff base.
+    pub fn new(owl: OwlConfig) -> Self {
+        CampaignConfig {
+            owl,
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(100),
+            backoff_seed: 0,
+            kill_after_appends: None,
+            faults: Vec::new(),
+        }
+    }
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig::new(OwlConfig::default())
+    }
+}
+
+/// The deterministic retry delay before attempt `attempt + 1`
+/// (1-based `attempt` = the attempt that just failed): exponential in
+/// the attempt number with seeded jitter in `[0, exp/2]`, capped at
+/// 30 s. Pure — equal inputs give equal delays, so retry schedules
+/// are reproducible.
+pub fn backoff_delay(base: Duration, attempt: u64, seed: u64) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.saturating_sub(1).min(16) as u32);
+    let exp_ns = exp.as_nanos().min(u64::MAX as u128) as u64;
+    let draw = fnv1a64(&[seed.to_le_bytes(), attempt.to_le_bytes()].concat());
+    let jitter_ns = if exp_ns == 0 { 0 } else { draw % (exp_ns / 2 + 1) };
+    (exp + Duration::from_nanos(jitter_ns)).min(Duration::from_secs(30))
+}
+
+/// Fingerprint of a campaign's identity: configuration plus program
+/// list. A journal written under a different fingerprint is refused on
+/// resume rather than silently mixed.
+pub fn campaign_fingerprint(owl: &OwlConfig, programs: &[String]) -> String {
+    let ident = format!("{owl:?}|{programs:?}");
+    format!("{:016x}", fnv1a64(ident.as_bytes()))
+}
+
+/// Terminal status of one program within a campaign.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProgramOutcome {
+    /// Ran to completion; the journaled summary.
+    Finished(ProgramSummary),
+    /// Exhausted its retry budget (or could not start); the journaled
+    /// error.
+    Quarantined(PipelineError),
+    /// No terminal record yet (the campaign was interrupted before
+    /// reaching it).
+    Pending,
+}
+
+/// One program's row in the consolidated summary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProgramStatus {
+    /// Program name.
+    pub program: String,
+    /// Campaign attempts spent (0 while pending).
+    pub attempts: u64,
+    /// Terminal status.
+    pub outcome: ProgramOutcome,
+}
+
+/// The consolidated campaign summary, reconstructed purely from
+/// journal records.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignSummary {
+    /// Per-program status in campaign order.
+    pub programs: Vec<ProgramStatus>,
+    /// Total journal records the summary was built from.
+    pub records: u64,
+    /// `ReportVerified` units recorded.
+    pub reports_verified: u64,
+    /// `FindingAnalyzed` units recorded.
+    pub findings_analyzed: u64,
+    /// `Quarantined` units recorded.
+    pub units_quarantined: u64,
+}
+
+impl CampaignSummary {
+    /// Rebuilds the summary from a journal's record stream. Only
+    /// journal data is consulted — no live pipeline state — which is
+    /// what makes a resumed campaign's summary byte-identical to an
+    /// uninterrupted run's.
+    pub fn from_records(records: &[JournalRecord]) -> Self {
+        let mut programs: Vec<ProgramStatus> = Vec::new();
+        let mut reports_verified = 0u64;
+        let mut findings_analyzed = 0u64;
+        let mut units_quarantined = 0u64;
+        for rec in records {
+            match rec {
+                JournalRecord::CampaignStarted { programs: ps, .. } => {
+                    for p in ps {
+                        programs.push(ProgramStatus {
+                            program: p.clone(),
+                            attempts: 0,
+                            outcome: ProgramOutcome::Pending,
+                        });
+                    }
+                }
+                JournalRecord::ReportVerified { .. } => reports_verified += 1,
+                JournalRecord::FindingAnalyzed { .. } => findings_analyzed += 1,
+                JournalRecord::Quarantined { .. } => units_quarantined += 1,
+                JournalRecord::ProgramFinished {
+                    program,
+                    attempts,
+                    summary,
+                } => {
+                    set_status(
+                        &mut programs,
+                        program,
+                        *attempts,
+                        ProgramOutcome::Finished(summary.clone()),
+                    );
+                }
+                JournalRecord::ProgramQuarantined {
+                    program,
+                    attempts,
+                    error,
+                } => {
+                    set_status(
+                        &mut programs,
+                        program,
+                        *attempts,
+                        ProgramOutcome::Quarantined(error.clone()),
+                    );
+                }
+            }
+        }
+        CampaignSummary {
+            programs,
+            records: records.len() as u64,
+            reports_verified,
+            findings_analyzed,
+            units_quarantined,
+        }
+    }
+
+    /// Programs with a [`ProgramOutcome::Finished`] record.
+    pub fn finished(&self) -> usize {
+        self.programs
+            .iter()
+            .filter(|p| matches!(p.outcome, ProgramOutcome::Finished(_)))
+            .count()
+    }
+
+    /// Programs quarantined at the campaign level.
+    pub fn quarantined(&self) -> usize {
+        self.programs
+            .iter()
+            .filter(|p| matches!(p.outcome, ProgramOutcome::Quarantined(_)))
+            .count()
+    }
+
+    /// Programs with no terminal record.
+    pub fn pending(&self) -> usize {
+        self.programs
+            .iter()
+            .filter(|p| p.outcome == ProgramOutcome::Pending)
+            .count()
+    }
+
+    /// Vulnerable findings across every finished program.
+    pub fn total_vulnerable(&self) -> usize {
+        self.programs
+            .iter()
+            .filter_map(|p| match &p.outcome {
+                ProgramOutcome::Finished(s) => Some(s.vulnerable),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Renders the deterministic plain-text summary — the artifact the
+    /// crash-recovery tests compare byte-for-byte between interrupted
+    /// and uninterrupted campaigns. Contains no wall-clock data.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "== campaign summary ==");
+        let _ = writeln!(
+            out,
+            "programs: {} finished, {} quarantined, {} pending",
+            self.finished(),
+            self.quarantined(),
+            self.pending()
+        );
+        for p in &self.programs {
+            match &p.outcome {
+                ProgramOutcome::Finished(s) => {
+                    let _ = writeln!(
+                        out,
+                        "{} [{} attempt(s)]: {} raw -> {} annotated -> {} verified \
+                         ({} eliminated), {} vulnerable, {} adhoc sync(s), \
+                         {} fault(s) injected, {} unit(s) quarantined",
+                        p.program,
+                        p.attempts,
+                        s.raw_reports,
+                        s.post_annotation_reports,
+                        s.remaining,
+                        s.verifier_eliminated,
+                        s.vulnerable,
+                        s.adhoc_syncs,
+                        s.injected_faults,
+                        s.quarantined
+                    );
+                    for f in &s.findings {
+                        let _ = write!(out, "  `{}`:", f.global);
+                        for h in &f.hints {
+                            let _ = write!(
+                                out,
+                                " {}/{}{}",
+                                h.class,
+                                h.dep,
+                                if h.reached { " REACHED" } else { "" }
+                            );
+                        }
+                        let _ = writeln!(out);
+                    }
+                }
+                ProgramOutcome::Quarantined(e) => {
+                    let _ = writeln!(
+                        out,
+                        "{} [{} attempt(s)]: QUARANTINED — {e}",
+                        p.program, p.attempts
+                    );
+                }
+                ProgramOutcome::Pending => {
+                    let _ = writeln!(out, "{} : pending", p.program);
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "units: {} report(s) verified, {} finding(s) analyzed, {} quarantined \
+             ({} journal record(s))",
+            self.reports_verified, self.findings_analyzed, self.units_quarantined, self.records
+        );
+        let _ = writeln!(out, "vulnerable findings: {}", self.total_vulnerable());
+        out
+    }
+
+    /// Machine-readable form (same encoders as the journal records).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "programs",
+                Json::Arr(
+                    self.programs
+                        .iter()
+                        .map(|p| {
+                            let (status, detail) = match &p.outcome {
+                                ProgramOutcome::Finished(s) => {
+                                    (Json::str("finished"), encode_summary(s))
+                                }
+                                ProgramOutcome::Quarantined(e) => {
+                                    (Json::str("quarantined"), encode_error(e))
+                                }
+                                ProgramOutcome::Pending => (Json::str("pending"), Json::Null),
+                            };
+                            Json::obj([
+                                ("program", Json::str(p.program.clone())),
+                                ("attempts", Json::UInt(p.attempts)),
+                                ("status", status),
+                                ("detail", detail),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("records", Json::UInt(self.records)),
+            ("reports_verified", Json::UInt(self.reports_verified)),
+            ("findings_analyzed", Json::UInt(self.findings_analyzed)),
+            ("units_quarantined", Json::UInt(self.units_quarantined)),
+            ("vulnerable", Json::UInt(self.total_vulnerable() as u64)),
+        ])
+    }
+}
+
+fn set_status(
+    programs: &mut Vec<ProgramStatus>,
+    name: &str,
+    attempts: u64,
+    outcome: ProgramOutcome,
+) {
+    match programs.iter_mut().find(|p| p.program == name) {
+        Some(p) => {
+            p.attempts = attempts;
+            p.outcome = outcome;
+        }
+        // Terminal record without a header row (header discarded by
+        // recovery): still surface the program.
+        None => programs.push(ProgramStatus {
+            program: name.to_string(),
+            attempts,
+            outcome,
+        }),
+    }
+}
+
+/// Reconstructs the journal-visible slice of a consolidated
+/// [`PipelineHealth`] from the record stream. Detection counters are
+/// not journaled (stages 1–2 re-execute deterministically), so only
+/// stages 3–5 and the recovery counters are populated.
+pub fn health_from_records(records: &[JournalRecord], recovery: &RecoveryReport) -> PipelineHealth {
+    let mut health = PipelineHealth {
+        journal_discarded_bytes: recovery.discarded_bytes,
+        journal_discarded_records: recovery.discarded_records,
+        ..PipelineHealth::default()
+    };
+    for rec in records {
+        match rec {
+            JournalRecord::ReportVerified {
+                attempts,
+                injected_faults,
+                ..
+            } => {
+                health.race_verify.attempts += attempts;
+                health.race_verify.retries += attempts.saturating_sub(1);
+                health.race_verify.injected_faults += injected_faults;
+            }
+            JournalRecord::FindingAnalyzed { vulns, .. } => {
+                health.vuln_analyze.attempts += 1;
+                for rv in vulns {
+                    health.vuln_verify.attempts += rv.attempts;
+                    health.vuln_verify.retries += rv.attempts.saturating_sub(1);
+                    health.vuln_verify.injected_faults += rv.injected_faults;
+                    if matches!(rv.verdict, VerifyOutcome::Aborted { .. }) {
+                        health.vuln_verify.quarantined += 1;
+                    }
+                }
+            }
+            JournalRecord::Quarantined {
+                error,
+                attempts,
+                injected_faults,
+                ..
+            } => {
+                let stage = match error {
+                    PipelineError::Panicked { stage, .. }
+                    | PipelineError::StageDeadline { stage }
+                    | PipelineError::VerifierAborted { stage, .. } => *stage,
+                    PipelineError::InvalidEntry { .. } => Stage::Detect,
+                };
+                let sh = match stage {
+                    Stage::Detect | Stage::AdhocSync => &mut health.detect,
+                    Stage::RaceVerify => &mut health.race_verify,
+                    Stage::VulnAnalyze => &mut health.vuln_analyze,
+                    Stage::VulnVerify => &mut health.vuln_verify,
+                };
+                sh.quarantined += 1;
+                sh.attempts += attempts;
+                sh.retries += attempts.saturating_sub(1);
+                sh.injected_faults += injected_faults;
+                if matches!(error, PipelineError::Panicked { .. }) {
+                    sh.panics += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    health
+}
+
+/// What a campaign run produced.
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome {
+    /// The consolidated summary, rebuilt from the journal.
+    pub summary: CampaignSummary,
+    /// What journal recovery found at open time.
+    pub recovery: RecoveryReport,
+    /// Journal-reconstructed consolidated health (includes the
+    /// recovery counters).
+    pub health: PipelineHealth,
+}
+
+/// Runs (or resumes) a campaign over `programs` against the journal at
+/// `journal_path`.
+///
+/// * A journal that already holds records is refused unless `resume`
+///   is set; a resumed journal must carry the same
+///   [`campaign_fingerprint`].
+/// * Programs with a terminal record are skipped entirely; a program
+///   interrupted mid-run resumes at its first un-journaled unit.
+/// * Each attempt runs under `catch_unwind`; failures retry up to
+///   [`CampaignConfig::max_attempts`] with [`backoff_delay`] between
+///   attempts, after which the program is quarantined into the journal
+///   and the campaign moves on.
+/// * [`JournalKilled`] panics are re-raised, never retried — they
+///   simulate the process being killed.
+pub fn run_campaign(
+    journal_path: &Path,
+    programs: &[CorpusProgram],
+    cfg: &CampaignConfig,
+    resume: bool,
+) -> Result<CampaignOutcome, JournalError> {
+    let names: Vec<String> = programs.iter().map(|p| p.name.to_string()).collect();
+    let fingerprint = campaign_fingerprint(&cfg.owl, &names);
+    let mut journal = Journal::open(journal_path)?;
+    if !resume && !journal.records().is_empty() {
+        return Err(JournalError::NotResumable {
+            path: journal_path.to_path_buf(),
+            records: journal.records().len() as u64,
+        });
+    }
+    // Arm the kill point before the first possible append so every
+    // journal write — the campaign header included — is a kill site.
+    journal.set_kill_after(cfg.kill_after_appends);
+    match journal.records().first() {
+        Some(JournalRecord::CampaignStarted {
+            fingerprint: recorded,
+            ..
+        }) => {
+            if *recorded != fingerprint {
+                return Err(JournalError::ConfigMismatch {
+                    recorded: recorded.clone(),
+                    current: fingerprint,
+                });
+            }
+        }
+        Some(_) => {
+            // A journal whose first record is not the campaign header
+            // was not written by a campaign — refuse it.
+            return Err(JournalError::ConfigMismatch {
+                recorded: "<no campaign header>".to_string(),
+                current: fingerprint,
+            });
+        }
+        None => {
+            journal.append(JournalRecord::CampaignStarted {
+                fingerprint,
+                programs: names.clone(),
+            })?;
+        }
+    }
+
+    for p in programs {
+        if journal.program_terminal(p.name).is_some() {
+            continue; // graceful resume: already finished or given up
+        }
+        let fault_failures = cfg
+            .faults
+            .iter()
+            .find(|f| f.program == p.name)
+            .map_or(0, |f| f.failures);
+        let mut attempt = 1u64;
+        loop {
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                if attempt <= fault_failures {
+                    panic!("injected campaign fault (attempt {attempt})");
+                }
+                let owl = Owl::new(&p.module, p.entry, cfg.owl.clone());
+                owl.run_with_journal(p.name, &p.workloads, &p.exploit_inputs, &mut journal)
+            }));
+            match run {
+                Ok(Ok(result)) => {
+                    if let Some(error) = result.error {
+                        // InvalidEntry is deterministic — retrying
+                        // cannot help, quarantine immediately.
+                        journal.append(JournalRecord::ProgramQuarantined {
+                            program: p.name.to_string(),
+                            attempts: attempt,
+                            error,
+                        })?;
+                    } else {
+                        journal.append(JournalRecord::ProgramFinished {
+                            program: p.name.to_string(),
+                            attempts: attempt,
+                            summary: ProgramSummary::from_result(&result),
+                        })?;
+                    }
+                    break;
+                }
+                Ok(Err(e)) => return Err(e), // journal I/O is fatal
+                Err(payload) => {
+                    if payload.is::<JournalKilled>() {
+                        // The simulated hard kill: propagate, exactly
+                        // like a real SIGKILL would end the process.
+                        resume_unwind(payload);
+                    }
+                    let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                        (*s).to_string()
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        "non-string panic payload".to_string()
+                    };
+                    if attempt >= cfg.max_attempts {
+                        journal.append(JournalRecord::ProgramQuarantined {
+                            program: p.name.to_string(),
+                            attempts: attempt,
+                            error: PipelineError::Panicked {
+                                stage: Stage::Detect,
+                                message,
+                            },
+                        })?;
+                        break;
+                    }
+                    std::thread::sleep(backoff_delay(
+                        cfg.backoff_base,
+                        attempt,
+                        cfg.backoff_seed,
+                    ));
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    let summary = CampaignSummary::from_records(journal.records());
+    let recovery = journal.recovery().clone();
+    let health = health_from_records(journal.records(), &recovery);
+    Ok(CampaignOutcome {
+        summary,
+        recovery,
+        health,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_monotone_in_expectation() {
+        let base = Duration::from_millis(10);
+        let a = backoff_delay(base, 1, 42);
+        let b = backoff_delay(base, 1, 42);
+        assert_eq!(a, b, "pure function");
+        assert!(a >= base && a <= base * 3 / 2, "{a:?}");
+        let later = backoff_delay(base, 4, 42);
+        assert!(later >= base * 8, "exponential growth: {later:?}");
+        assert!(
+            backoff_delay(Duration::from_secs(20), 10, 1) <= Duration::from_secs(30),
+            "capped"
+        );
+    }
+
+    #[test]
+    fn fingerprint_tracks_config_and_programs() {
+        let names = vec!["A".to_string(), "B".to_string()];
+        let f1 = campaign_fingerprint(&OwlConfig::quick(), &names);
+        let f2 = campaign_fingerprint(&OwlConfig::quick(), &names);
+        assert_eq!(f1, f2);
+        let f3 = campaign_fingerprint(&OwlConfig::default(), &names);
+        assert_ne!(f1, f3, "config changes the fingerprint");
+        let f4 = campaign_fingerprint(&OwlConfig::quick(), &names[..1]);
+        assert_ne!(f1, f4, "program list changes the fingerprint");
+    }
+
+    #[test]
+    fn summary_from_empty_records_is_empty() {
+        let s = CampaignSummary::from_records(&[]);
+        assert_eq!(s.finished(), 0);
+        assert_eq!(s.pending(), 0);
+        assert_eq!(s.records, 0);
+        assert!(s.render().contains("0 finished"));
+    }
+}

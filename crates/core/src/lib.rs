@@ -44,13 +44,23 @@
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod campaign;
 mod config;
 mod eval;
+pub mod journal;
+pub mod json;
 mod pipeline;
 
 pub use audit::{AlertKind, AuditAlert, AuditOutcome, PathAuditor};
+pub use campaign::{
+    backoff_delay, campaign_fingerprint, run_campaign, CampaignConfig, CampaignFault,
+    CampaignOutcome, CampaignSummary, ProgramOutcome, ProgramStatus,
+};
 pub use config::OwlConfig;
 pub use eval::{evaluate_program, AttackOutcome, ProgramEvaluation};
+pub use journal::{
+    Journal, JournalError, JournalKilled, JournalRecord, ProgramSummary, RecoveryReport,
+};
 pub use pipeline::{
     Finding, Owl, PipelineError, PipelineHealth, PipelineResult, PipelineStats, Quarantined,
     Stage, StageHealth,

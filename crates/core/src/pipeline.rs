@@ -29,6 +29,7 @@
 //! retries, injected faults, deadline hits, and panics per stage.
 
 use crate::config::OwlConfig;
+use crate::journal::{unit_key, Journal, JournalError, JournalRecord, RecordedVuln};
 use owl_ir::analysis::{CallGraph, PointsTo};
 use owl_ir::{FuncId, Module};
 use owl_race::{explore_with_deadline, ExplorerConfig, HbAnnotation, RaceReport};
@@ -37,6 +38,7 @@ use owl_verify::{
     AbortCause, RaceVerification, RaceVerifier, VerifyOutcome, VulnVerification, VulnVerifier,
 };
 use owl_vm::ProgramInput;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -223,6 +225,12 @@ pub struct PipelineHealth {
     /// Wall-clock spent solving the whole-module points-to analysis
     /// (done once per stage-4 entry, shared by every report).
     pub points_to_solve: Duration,
+    /// Bytes the run journal's open-time recovery truncated off a
+    /// torn or corrupt tail (zero when no journal was used or the
+    /// journal was clean).
+    pub journal_discarded_bytes: u64,
+    /// Records discarded by the run journal's open-time recovery.
+    pub journal_discarded_records: u64,
 }
 
 impl PipelineHealth {
@@ -401,13 +409,47 @@ impl<'m> Owl<'m> {
         let mut stats = PipelineStats::default();
         let mut health = PipelineHealth::default();
         let mut quarantined = Vec::new();
-        let deadline = self.config.stage_deadline;
         let default_workloads = [ProgramInput::empty()];
         let workloads: &[ProgramInput] = if workloads.is_empty() {
             &default_workloads
         } else {
             workloads
         };
+
+        let (annotations, reports) = self.detect_and_annotate(workloads, &mut stats, &mut health);
+        let findings = self.verify_and_analyze(
+            &reports,
+            workloads,
+            extra_inputs,
+            &mut stats,
+            &mut health,
+            &mut quarantined,
+        );
+
+        PipelineResult {
+            program: name.to_string(),
+            stats,
+            annotations,
+            findings,
+            quarantined,
+            health,
+            error: None,
+        }
+    }
+
+    /// Stages 1–2: raw detection, adhoc-synchronization annotation,
+    /// and the post-annotation re-run. Shared by [`Owl::run`] and
+    /// [`Owl::run_with_journal`]; fully deterministic for a fixed
+    /// configuration (seeded explorer, seeded fault plan), which is
+    /// what makes it safe to re-execute on resume instead of
+    /// journaling its reports.
+    fn detect_and_annotate(
+        &self,
+        workloads: &[ProgramInput],
+        stats: &mut PipelineStats,
+        health: &mut PipelineHealth,
+    ) -> (Vec<HbAnnotation>, Vec<RaceReport>) {
+        let deadline = self.config.stage_deadline;
 
         // Stage 1: raw detection.
         let t0 = Instant::now();
@@ -437,17 +479,349 @@ impl<'m> Owl<'m> {
         health.detect.injected_faults += reduced.injected_faults;
         health.detect.deadline_hits += reduced.deadline_hit as u64;
         stats.detect_time = t0.elapsed();
+        (annotations, reduced.reports)
+    }
 
-        let findings = self.verify_and_analyze(
-            &reduced.reports,
-            workloads,
-            extra_inputs,
-            &mut stats,
-            &mut health,
-            &mut quarantined,
-        );
+    /// Runs the full pipeline with checkpoint/resume against a run
+    /// journal.
+    ///
+    /// Stages 1–2 are seeded-deterministic and cheap relative to the
+    /// dynamic verifiers, so they re-execute on every call; stages 3–5
+    /// are journaled per unit. A unit whose record is already in the
+    /// journal is **replayed** — its recorded verdict and health
+    /// contribution are restored without executing anything — and a
+    /// unit computed live is appended (write + flush + fsync) the
+    /// moment it completes. Killing the process at any point therefore
+    /// loses at most the one unit that was in flight; a rerun with the
+    /// same journal picks up exactly where the record stream ends and
+    /// produces the same deterministic summary an uninterrupted run
+    /// would have.
+    ///
+    /// Journal recovery counters ([`Journal::recovery`]) are surfaced
+    /// in the result's [`PipelineHealth::journal_discarded_bytes`] and
+    /// [`PipelineHealth::journal_discarded_records`].
+    ///
+    /// Stages 1–2 honor [`OwlConfig::stage_deadline`] as usual, but
+    /// the journaled stages 3–5 deliberately do not: wall-clock cuts
+    /// are inherently non-deterministic and would break byte-identical
+    /// resume. Campaign runs bound stage work with the verifiers'
+    /// seeded step budgets instead.
+    pub fn run_with_journal(
+        &self,
+        name: &str,
+        workloads: &[ProgramInput],
+        extra_inputs: &[ProgramInput],
+        journal: &mut Journal,
+    ) -> Result<PipelineResult, JournalError> {
+        if let Err(e) = self.validate_entry() {
+            return Ok(PipelineResult::failed(name, e));
+        }
+        let mut stats = PipelineStats::default();
+        let mut health = PipelineHealth {
+            journal_discarded_bytes: journal.recovery().discarded_bytes,
+            journal_discarded_records: journal.recovery().discarded_records,
+            ..PipelineHealth::default()
+        };
+        let mut quarantined = Vec::new();
+        let default_workloads = [ProgramInput::empty()];
+        let workloads: &[ProgramInput] = if workloads.is_empty() {
+            &default_workloads
+        } else {
+            workloads
+        };
 
-        PipelineResult {
+        let (annotations, reports) = self.detect_and_annotate(workloads, &mut stats, &mut health);
+        let mut index = ResumeIndex::for_program(journal.records(), name);
+        let tv = Instant::now();
+
+        // Stage 3, journaled: replay recorded verdicts, verify the
+        // rest live and journal each verdict as it lands.
+        let primary = workloads[0].clone();
+        let race_verifier = RaceVerifier::new(self.module, self.config.race_verify.clone());
+        let mut verified: Vec<(RaceReport, RaceVerification)> = Vec::new();
+        for report in &reports {
+            let key = unit_key(report);
+            if let Some(replay) = index.next_verify(&key) {
+                match replay {
+                    VerifyReplay::Verdict {
+                        confirmed,
+                        attempts,
+                        injected_faults,
+                    } => {
+                        health.race_verify.attempts += attempts;
+                        health.race_verify.retries += attempts.saturating_sub(1);
+                        health.race_verify.injected_faults += injected_faults;
+                        if confirmed {
+                            verified.push((
+                                report.clone(),
+                                replayed_race_verification(attempts, injected_faults),
+                            ));
+                        } else {
+                            stats.verifier_eliminated += 1;
+                        }
+                    }
+                    VerifyReplay::Quarantined {
+                        error,
+                        attempts,
+                        injected_faults,
+                    } => {
+                        health.race_verify.attempts += attempts;
+                        health.race_verify.retries += attempts.saturating_sub(1);
+                        health.race_verify.injected_faults += injected_faults;
+                        apply_quarantine_health(&mut health.race_verify, &error);
+                        quarantined.push(Quarantined {
+                            race: report.clone(),
+                            error,
+                        });
+                    }
+                }
+                continue;
+            }
+            match catch_unwind(AssertUnwindSafe(|| {
+                race_verifier.verify(self.entry, &primary, report)
+            })) {
+                Ok(v) => {
+                    health.race_verify.attempts += v.attempts;
+                    health.race_verify.retries += v.attempts.saturating_sub(1);
+                    health.race_verify.injected_faults += v.injected_faults;
+                    match v.verdict {
+                        VerifyOutcome::Confirmed | VerifyOutcome::Unconfirmed => {
+                            let confirmed = v.verdict == VerifyOutcome::Confirmed;
+                            journal.append(JournalRecord::ReportVerified {
+                                program: name.to_string(),
+                                key,
+                                global: report.global_name.clone(),
+                                confirmed,
+                                attempts: v.attempts,
+                                injected_faults: v.injected_faults,
+                            })?;
+                            if confirmed {
+                                verified.push((report.clone(), v));
+                            } else {
+                                stats.verifier_eliminated += 1;
+                            }
+                        }
+                        VerifyOutcome::Aborted { cause, attempts } => {
+                            let error = PipelineError::VerifierAborted {
+                                stage: Stage::RaceVerify,
+                                cause,
+                                attempts,
+                            };
+                            journal.append(JournalRecord::Quarantined {
+                                program: name.to_string(),
+                                key: Some(key),
+                                global: report.global_name.clone(),
+                                error: error.clone(),
+                                attempts: v.attempts,
+                                injected_faults: v.injected_faults,
+                            })?;
+                            apply_quarantine_health(&mut health.race_verify, &error);
+                            quarantined.push(Quarantined {
+                                race: report.clone(),
+                                error,
+                            });
+                        }
+                    }
+                }
+                Err(payload) => {
+                    let error = PipelineError::Panicked {
+                        stage: Stage::RaceVerify,
+                        message: panic_message(payload),
+                    };
+                    journal.append(JournalRecord::Quarantined {
+                        program: name.to_string(),
+                        key: Some(key),
+                        global: report.global_name.clone(),
+                        error: error.clone(),
+                        attempts: 0,
+                        injected_faults: 0,
+                    })?;
+                    apply_quarantine_health(&mut health.race_verify, &error);
+                    quarantined.push(Quarantined {
+                        race: report.clone(),
+                        error,
+                    });
+                }
+            }
+        }
+        stats.remaining = verified.len();
+
+        // Stages 4–5, journaled per confirmed report: static analysis
+        // plus dynamic vulnerability verification form one unit, so a
+        // finding is either fully recorded or re-derived from scratch.
+        let needs_live = verified
+            .iter()
+            .any(|(race, _)| !index.has_analyze(&unit_key(race)));
+        let vuln_cfg = &self.config.vuln;
+        let mut analyzer = needs_live.then(|| {
+            let tp = Instant::now();
+            let points_to = vuln_cfg
+                .points_to
+                .then(|| Arc::new(PointsTo::new(self.module)));
+            health.points_to_solve += tp.elapsed();
+            let callgraph = vuln_cfg.summaries.then(|| {
+                Arc::new(match &points_to {
+                    Some(p) => CallGraph::with_points_to(self.module, p),
+                    None => CallGraph::new(self.module),
+                })
+            });
+            let cache = vuln_cfg.summaries.then(|| Arc::new(SummaryCache::new()));
+            VulnAnalyzer::with_shared(self.module, vuln_cfg.clone(), points_to, callgraph, cache)
+        });
+        let vuln_verifier = VulnVerifier::new(self.module, self.config.vuln_verify.clone());
+        let mut candidates: Vec<ProgramInput> = workloads.to_vec();
+        candidates.extend_from_slice(extra_inputs);
+        let mut findings = Vec::new();
+        for (race, verification) in verified {
+            let key = unit_key(&race);
+            if let Some(replay) = index.next_analyze(&key) {
+                match replay {
+                    AnalyzeReplay::Finding(vulns) => {
+                        health.vuln_analyze.attempts += 1;
+                        let mut reports = Vec::with_capacity(vulns.len());
+                        let mut verifications = Vec::with_capacity(vulns.len());
+                        for rv in vulns {
+                            health.vuln_verify.attempts += rv.attempts;
+                            health.vuln_verify.retries += rv.attempts.saturating_sub(1);
+                            health.vuln_verify.injected_faults += rv.injected_faults;
+                            if let VerifyOutcome::Aborted { cause, attempts } = rv.verdict {
+                                let error = PipelineError::VerifierAborted {
+                                    stage: Stage::VulnVerify,
+                                    cause,
+                                    attempts,
+                                };
+                                apply_quarantine_health(&mut health.vuln_verify, &error);
+                                quarantined.push(Quarantined {
+                                    race: race.clone(),
+                                    error,
+                                });
+                            }
+                            verifications.push(replayed_vuln_verification(&rv));
+                            reports.push(rv.report);
+                        }
+                        findings.push(Finding {
+                            race,
+                            verification,
+                            vulns: reports,
+                            vuln_verifications: verifications,
+                        });
+                    }
+                    AnalyzeReplay::Quarantined { error } => {
+                        health.vuln_analyze.attempts += 1;
+                        apply_quarantine_health(&mut health.vuln_analyze, &error);
+                        quarantined.push(Quarantined { race, error });
+                    }
+                }
+                continue;
+            }
+
+            // Live stage 4.
+            health.vuln_analyze.attempts += 1;
+            let analyzer = analyzer
+                .as_mut()
+                .expect("analyzer built whenever a live unit exists");
+            let read_info = race
+                .read_access()
+                .map(|read| (read.site, read.stack.to_vec()));
+            let vulns = match read_info {
+                Some((site, stack)) => {
+                    let ta = Instant::now();
+                    let analyzed =
+                        catch_unwind(AssertUnwindSafe(|| analyzer.analyze(site, &stack)));
+                    stats.analysis_time += ta.elapsed();
+                    match analyzed {
+                        Ok((reports, work)) => {
+                            stats.analysis_count += 1;
+                            stats.analysis_work.insts_visited += work.insts_visited;
+                            stats.analysis_work.funcs_entered += work.funcs_entered;
+                            reports
+                        }
+                        Err(payload) => {
+                            let error = PipelineError::Panicked {
+                                stage: Stage::VulnAnalyze,
+                                message: panic_message(payload),
+                            };
+                            journal.append(JournalRecord::Quarantined {
+                                program: name.to_string(),
+                                key: Some(key),
+                                global: race.global_name.clone(),
+                                error: error.clone(),
+                                attempts: 0,
+                                injected_faults: 0,
+                            })?;
+                            apply_quarantine_health(&mut health.vuln_analyze, &error);
+                            quarantined.push(Quarantined { race, error });
+                            continue;
+                        }
+                    }
+                }
+                None => Vec::new(),
+            };
+
+            // Live stage 5 over this finding's hints.
+            let mut recorded = Vec::with_capacity(vulns.len());
+            let mut verifications = Vec::with_capacity(vulns.len());
+            for vr in &vulns {
+                let v = match catch_unwind(AssertUnwindSafe(|| {
+                    vuln_verifier.verify(self.entry, &candidates, vr)
+                })) {
+                    Ok(v) => v,
+                    Err(payload) => {
+                        health.vuln_verify.panics += 1;
+                        health.vuln_verify.quarantined += 1;
+                        quarantined.push(Quarantined {
+                            race: race.clone(),
+                            error: PipelineError::Panicked {
+                                stage: Stage::VulnVerify,
+                                message: panic_message(payload),
+                            },
+                        });
+                        aborted_vuln_verification(AbortCause::Panicked, 0)
+                    }
+                };
+                health.vuln_verify.attempts += v.attempts;
+                health.vuln_verify.retries += v.attempts.saturating_sub(1);
+                health.vuln_verify.injected_faults += v.injected_faults;
+                if let VerifyOutcome::Aborted { cause, attempts } = v.verdict {
+                    if cause != AbortCause::Panicked {
+                        let error = PipelineError::VerifierAborted {
+                            stage: Stage::VulnVerify,
+                            cause,
+                            attempts,
+                        };
+                        apply_quarantine_health(&mut health.vuln_verify, &error);
+                        quarantined.push(Quarantined {
+                            race: race.clone(),
+                            error,
+                        });
+                    }
+                }
+                recorded.push(RecordedVuln {
+                    report: vr.clone(),
+                    reached: v.reached,
+                    verdict: v.verdict,
+                    attempts: v.attempts,
+                    injected_faults: v.injected_faults,
+                });
+                verifications.push(v);
+            }
+            journal.append(JournalRecord::FindingAnalyzed {
+                program: name.to_string(),
+                key,
+                global: race.global_name.clone(),
+                vulns: recorded,
+            })?;
+            findings.push(Finding {
+                race,
+                verification,
+                vulns,
+                vuln_verifications: verifications,
+            });
+        }
+        stats.vulnerable = findings.iter().filter(|f| !f.vulns.is_empty()).count();
+        stats.verify_time += tv.elapsed();
+
+        Ok(PipelineResult {
             program: name.to_string(),
             stats,
             annotations,
@@ -455,7 +829,7 @@ impl<'m> Owl<'m> {
             quarantined,
             health,
             error: None,
-        }
+        })
     }
 
     /// Runs the pipeline with an **atomicity-violation** front-end
@@ -989,6 +1363,165 @@ impl<'m> Owl<'m> {
                 }
             }
         }
+    }
+}
+
+/// A recorded stage-3 verdict, ready to replay instead of re-running
+/// the race verifier.
+enum VerifyReplay {
+    /// The verifier reached a verdict (confirmed or eliminated).
+    Verdict {
+        confirmed: bool,
+        attempts: u64,
+        injected_faults: u64,
+    },
+    /// The unit was quarantined.
+    Quarantined {
+        error: PipelineError,
+        attempts: u64,
+        injected_faults: u64,
+    },
+}
+
+/// A recorded stage-4/5 unit, ready to replay instead of re-running
+/// the analyzer and vulnerability verifier.
+enum AnalyzeReplay {
+    /// Analysis completed; each hint carries its stage-5 verification.
+    Finding(Vec<RecordedVuln>),
+    /// The unit was quarantined (stage-4 panic).
+    Quarantined { error: PipelineError },
+}
+
+/// Per-unit lookup of everything the journal already recorded for one
+/// program. Records for equal unit keys are consumed in journal order,
+/// which matches processing order because reports are handled in
+/// deterministic detector order on every run.
+struct ResumeIndex {
+    verify: HashMap<String, VecDeque<VerifyReplay>>,
+    analyze: HashMap<String, VecDeque<AnalyzeReplay>>,
+}
+
+impl ResumeIndex {
+    fn for_program(records: &[JournalRecord], program: &str) -> Self {
+        let mut verify: HashMap<String, VecDeque<VerifyReplay>> = HashMap::new();
+        let mut analyze: HashMap<String, VecDeque<AnalyzeReplay>> = HashMap::new();
+        for rec in records {
+            if rec.program() != Some(program) {
+                continue;
+            }
+            match rec {
+                JournalRecord::ReportVerified {
+                    key,
+                    confirmed,
+                    attempts,
+                    injected_faults,
+                    ..
+                } => {
+                    verify
+                        .entry(key.clone())
+                        .or_default()
+                        .push_back(VerifyReplay::Verdict {
+                            confirmed: *confirmed,
+                            attempts: *attempts,
+                            injected_faults: *injected_faults,
+                        });
+                }
+                JournalRecord::FindingAnalyzed { key, vulns, .. } => {
+                    analyze
+                        .entry(key.clone())
+                        .or_default()
+                        .push_back(AnalyzeReplay::Finding(vulns.clone()));
+                }
+                JournalRecord::Quarantined {
+                    key: Some(key),
+                    error,
+                    attempts,
+                    injected_faults,
+                    ..
+                } => match error {
+                    PipelineError::Panicked {
+                        stage: Stage::VulnAnalyze,
+                        ..
+                    } => {
+                        analyze
+                            .entry(key.clone())
+                            .or_default()
+                            .push_back(AnalyzeReplay::Quarantined {
+                                error: error.clone(),
+                            });
+                    }
+                    _ => {
+                        verify
+                            .entry(key.clone())
+                            .or_default()
+                            .push_back(VerifyReplay::Quarantined {
+                                error: error.clone(),
+                                attempts: *attempts,
+                                injected_faults: *injected_faults,
+                            });
+                    }
+                },
+                _ => {}
+            }
+        }
+        ResumeIndex { verify, analyze }
+    }
+
+    fn next_verify(&mut self, key: &str) -> Option<VerifyReplay> {
+        self.verify.get_mut(key)?.pop_front()
+    }
+
+    fn next_analyze(&mut self, key: &str) -> Option<AnalyzeReplay> {
+        self.analyze.get_mut(key)?.pop_front()
+    }
+
+    fn has_analyze(&self, key: &str) -> bool {
+        self.analyze.get(key).is_some_and(|q| !q.is_empty())
+    }
+}
+
+/// Folds a quarantine's secondary effects (panic/deadline counters plus
+/// the quarantine count itself) into a stage's health — identical for
+/// live and replayed units, which is what keeps resumed health totals
+/// equal to an uninterrupted run's.
+fn apply_quarantine_health(stage: &mut StageHealth, error: &PipelineError) {
+    stage.quarantined += 1;
+    match error {
+        PipelineError::Panicked { .. } => stage.panics += 1,
+        PipelineError::VerifierAborted {
+            cause: AbortCause::DeadlineExceeded,
+            ..
+        } => stage.deadline_hits += 1,
+        _ => {}
+    }
+}
+
+/// A stage-3 verification reconstructed from the journal. Dynamic
+/// evidence (hints, execution outcome) is not journaled, so only the
+/// deterministic slice survives a resume.
+fn replayed_race_verification(attempts: u64, injected_faults: u64) -> RaceVerification {
+    RaceVerification {
+        confirmed: true,
+        verdict: VerifyOutcome::Confirmed,
+        attempts,
+        hints: None,
+        outcome: None,
+        injected_faults,
+    }
+}
+
+/// A stage-5 verification reconstructed from the journal.
+fn replayed_vuln_verification(rv: &RecordedVuln) -> VulnVerification {
+    VulnVerification {
+        reached: rv.reached,
+        verdict: rv.verdict,
+        attempts: rv.attempts,
+        triggering_input: None,
+        branches_hit: Vec::new(),
+        diverged_branches: Vec::new(),
+        outcome: None,
+        triggered_violation: None,
+        injected_faults: rv.injected_faults,
     }
 }
 

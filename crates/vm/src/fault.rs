@@ -38,6 +38,10 @@ pub enum FaultKind {
     DroppedBreakpoint,
     /// The step budget was cut short of `max_steps`.
     StepExhaustion,
+    /// A hard kill fired right after a journal append — the
+    /// crash-recovery harness's simulated `SIGKILL` (injected by the
+    /// journal layer, never by the VM itself).
+    JournalKill,
 }
 
 impl std::fmt::Display for FaultKind {
@@ -48,6 +52,7 @@ impl std::fmt::Display for FaultKind {
             FaultKind::SchedDelay => "sched-delay",
             FaultKind::DroppedBreakpoint => "dropped-breakpoint",
             FaultKind::StepExhaustion => "step-exhaustion",
+            FaultKind::JournalKill => "journal-kill",
         };
         f.write_str(s)
     }

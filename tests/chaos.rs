@@ -128,6 +128,101 @@ fn zeroed_plan_is_bit_identical_to_no_fault_layer() {
 }
 
 #[test]
+fn quarantined_units_round_trip_through_the_journal() {
+    use owl::journal::JournalRecord;
+    use owl::{Journal, PipelineError, Stage};
+    use owl_verify::AbortCause;
+
+    // Starve the race verifier's step budget: every report aborts and
+    // is quarantined with a typed stage + cause + attempt count.
+    let p = owl_corpus::program("Libsafe").expect("corpus program exists");
+    let mut cfg = OwlConfig::quick();
+    cfg.race_verify.run_config.max_steps = 2;
+
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("owl-chaos-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+
+    let mut journal = Journal::open(&path).unwrap();
+    let live = Owl::new(&p.module, p.entry, cfg.clone())
+        .run_with_journal(p.name, &p.workloads, &p.exploit_inputs, &mut journal)
+        .expect("journal I/O is healthy");
+    drop(journal);
+    assert!(
+        !live.quarantined.is_empty(),
+        "a starved step budget must quarantine every report"
+    );
+    for q in &live.quarantined {
+        assert!(
+            matches!(
+                q.error,
+                PipelineError::VerifierAborted {
+                    stage: Stage::RaceVerify,
+                    cause: AbortCause::StepBudgetExhausted,
+                    ..
+                }
+            ),
+            "unexpected quarantine cause: {:?}",
+            q.error
+        );
+    }
+
+    // The journal holds one `Quarantined` record per unit, preserving
+    // the typed error (stage, cause, embedded attempt count) and the
+    // supervisor's own counters.
+    let reopened = Journal::open(&path).unwrap();
+    assert!(!reopened.recovery().recovered());
+    let recorded: Vec<_> = reopened
+        .records()
+        .iter()
+        .filter_map(|r| match r {
+            JournalRecord::Quarantined {
+                error,
+                attempts,
+                key,
+                ..
+            } => Some((error.clone(), *attempts, key.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(recorded.len(), live.quarantined.len());
+    for ((error, attempts, key), q) in recorded.iter().zip(&live.quarantined) {
+        assert_eq!(
+            error, &q.error,
+            "stage, cause, and attempt count survive the round-trip"
+        );
+        assert!(*attempts >= 1, "the verification attempt count is kept");
+        assert!(key.is_some(), "stage-3 quarantines keep their unit key");
+    }
+    drop(reopened);
+
+    // Resume replays every quarantine from the journal: identical
+    // errors and reports, zero re-appended records.
+    let mut journal = Journal::open(&path).unwrap();
+    let replayed = Owl::new(&p.module, p.entry, cfg)
+        .run_with_journal(p.name, &p.workloads, &p.exploit_inputs, &mut journal)
+        .expect("resume is clean");
+    assert_eq!(
+        journal.appends(),
+        0,
+        "a fully journaled program re-appends nothing on resume"
+    );
+    assert_eq!(replayed.quarantined.len(), live.quarantined.len());
+    for (a, b) in replayed.quarantined.iter().zip(&live.quarantined) {
+        assert_eq!(a.error, b.error);
+        assert_eq!(a.race.key(), b.race.key());
+    }
+    assert_eq!(
+        replayed.health.total_quarantined(),
+        live.health.total_quarantined()
+    );
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn same_fault_seed_reproduces_the_run() {
     let a = chaos_run("Libsafe", CHAOS_SEEDS[0]);
     let b = chaos_run("Libsafe", CHAOS_SEEDS[0]);

@@ -68,4 +68,70 @@ fn no_args_prints_usage() {
     assert!(!out.status.success());
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("usage:"), "{err}");
+    // The campaign command and the (once mangled) --fault-rate help
+    // line are documented.
+    assert!(err.contains("campaign"), "{err}");
+    assert!(err.contains("per-check injection probability"), "{err}");
+    assert!(err.contains("--resume"), "{err}");
+}
+
+#[test]
+fn run_json_emits_machine_readable_summary() {
+    let out = run_ok(&["run", "SSDB", "--quick", "--json"]);
+    let doc = owl::json::parse(&out).expect("valid JSON");
+    assert_eq!(doc.get("program").and_then(|j| j.as_str()), Some("SSDB"));
+    let summary = doc.get("summary").expect("summary object");
+    assert!(
+        summary.get("raw").and_then(|j| j.as_u64()).unwrap_or(0) > 0,
+        "{out}"
+    );
+    assert!(
+        summary.get("findings").and_then(|j| j.as_arr()).is_some(),
+        "{out}"
+    );
+    assert!(doc.get("health").is_some(), "{out}");
+    assert!(
+        doc.get("quarantined").and_then(|j| j.as_arr()).is_some(),
+        "{out}"
+    );
+}
+
+#[test]
+fn flag_missing_or_flaglike_value_is_rejected() {
+    for args in [
+        // the "value" is another flag
+        &["run", "SSDB", "--quick", "--fault-seed", "--json"][..],
+        // the value is missing entirely
+        &["run", "SSDB", "--fault-seed"][..],
+    ] {
+        let out = cli().args(args).output().expect("spawn");
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("requires a value"), "{args:?}: {err}");
+    }
+}
+
+#[test]
+fn campaign_runs_resumes_and_refuses_unresumed_reuse() {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("owl-cli-campaign-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let d = dir.to_str().expect("utf8 temp path");
+
+    let first = run_ok(&["campaign", d, "--quick"]);
+    assert!(first.contains("campaign summary"), "{first}");
+    assert!(first.contains("vulnerable findings:"), "{first}");
+    assert!(first.contains("Libsafe"), "{first}");
+
+    // A finished journal is not silently clobbered.
+    let reuse = cli().args(["campaign", d, "--quick"]).output().expect("spawn");
+    assert!(!reuse.status.success());
+    let err = String::from_utf8_lossy(&reuse.stderr);
+    assert!(err.contains("--resume"), "{err}");
+
+    // Resuming a finished campaign replays the journal byte-identically.
+    let resumed = run_ok(&["campaign", d, "--quick", "--resume"]);
+    assert_eq!(resumed, first, "pure replay renders identical output");
+
+    let _ = std::fs::remove_dir_all(dir);
 }
