@@ -3,7 +3,10 @@
 //! static analysis tool is critical because OWL aims to be scalable to
 //! large programs", §8.2) plus substrate throughput numbers.
 
+#[cfg(feature = "criterion")]
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+#[cfg(not(feature = "criterion"))]
+use owl_bench::harness::{criterion_group, criterion_main, BatchSize, Criterion};
 use owl::{Owl, OwlConfig};
 use owl_race::{explore, ExplorerConfig, HbConfig, HbDetector};
 use owl_static::{AdhocSyncDetector, VulnAnalyzer, VulnConfig};

@@ -19,6 +19,8 @@
 //! so the `tables` bench, the integration tests, and EXPERIMENTS.md all
 //! consume the same numbers.
 
+pub mod harness;
+
 use owl::{OwlConfig, ProgramEvaluation};
 use owl_static::hints;
 use std::fmt::Write as _;

@@ -37,7 +37,9 @@ fn usage() -> ExitCode {
          --max-attempts <n>        per-program retry budget (default 3)\n  \
          --backoff-ms <n>          base retry backoff in milliseconds (default 100)\n  \
          --backoff-seed <n>        seed for the backoff jitter\n  \
-         --kill-after <n>          crash-test hook: die after the Nth journal append\n\
+         --kill-after <n>          crash-test hook: die after the Nth journal append\n  \
+         --workers <n>             worker threads running programs in parallel\n                            (default 1; the summary is identical for any count)\n  \
+         --metrics <dir>           write per-stage metrics: <dir>/spans.jsonl and\n                            <dir>/BENCH_campaign.json\n\
          static-analysis options (run/hints/audit/campaign):\n  \
          --no-points-to            disable memory-aware corruption propagation\n  \
          --no-summaries            disable memoized function summaries and the\n                            whole-program caller walk"
@@ -360,12 +362,29 @@ fn main() -> ExitCode {
                 if let Some(n) = parse_flag::<u64>(&args, "--kill-after")? {
                     ccfg.kill_after_appends = Some(n);
                 }
+                if let Some(n) = parse_flag::<usize>(&args, "--workers")? {
+                    if n == 0 {
+                        return Err("--workers must be at least 1".to_string());
+                    }
+                    ccfg.workers = n;
+                }
                 Ok(())
             })();
             if let Err(msg) = campaign_flags {
                 eprintln!("{msg}");
                 return ExitCode::from(2);
             }
+            let metrics_dir = match flag_value(&args, "--metrics") {
+                Ok(v) => v.map(std::path::PathBuf::from),
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::from(2);
+                }
+            };
+            let recorder = metrics_dir
+                .as_ref()
+                .map(|_| std::sync::Arc::new(owl::MetricsRecorder::new()));
+            ccfg.metrics = recorder.clone();
             let resume = args.iter().any(|a| a == "--resume");
             let dir = std::path::Path::new(dir);
             if let Err(e) = std::fs::create_dir_all(dir) {
@@ -381,6 +400,19 @@ fn main() -> ExitCode {
                             "journal recovered: discarded {} byte(s) in {} record(s) from a corrupt tail",
                             outcome.recovery.discarded_bytes, outcome.recovery.discarded_records
                         );
+                    }
+                    if let (Some(m), Some(out)) = (&recorder, &metrics_dir) {
+                        match m.write_files(out, ccfg.workers, programs.len()) {
+                            Ok((spans, summary)) => eprintln!(
+                                "metrics: wrote {} and {}",
+                                spans.display(),
+                                summary.display()
+                            ),
+                            Err(e) => {
+                                eprintln!("cannot write metrics to {}: {e}", out.display());
+                                return ExitCode::FAILURE;
+                            }
+                        }
                     }
                     if args.iter().any(|a| a == "--json") {
                         println!("{}", outcome.summary.to_json().to_json_string());

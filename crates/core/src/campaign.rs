@@ -24,15 +24,19 @@
 use crate::config::OwlConfig;
 use crate::journal::{
     encode_error, encode_summary, Journal, JournalError, JournalKilled, JournalRecord,
-    ProgramSummary, RecoveryReport, fnv1a64,
+    ProgramSummary, RecoveryReport, SharedJournal, fnv1a64,
 };
 use crate::json::Json;
-use crate::pipeline::{Owl, PipelineError, PipelineHealth, Stage};
+use crate::metrics::MetricsRecorder;
+use crate::pipeline::{Owl, PipelineError, PipelineHealth, PipelineResult, Stage};
 use owl_corpus::CorpusProgram;
 use owl_verify::VerifyOutcome;
+use std::any::Any;
+use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// A config-level fault: force the named program's first `failures`
 /// attempts to panic before any stage runs. Exercises the retry,
@@ -62,6 +66,14 @@ pub struct CampaignConfig {
     pub kill_after_appends: Option<u64>,
     /// Injected campaign-level faults.
     pub faults: Vec<CampaignFault>,
+    /// Worker threads executing programs concurrently (≥ 1; 0 is
+    /// treated as 1). Excluded from the campaign fingerprint: the
+    /// consolidated summary is byte-identical for any worker count, so
+    /// a journal may be resumed under a different one.
+    pub workers: usize,
+    /// Optional shared metrics recorder; every worker reports stage
+    /// spans, queue waits, and counters into it.
+    pub metrics: Option<Arc<MetricsRecorder>>,
 }
 
 impl CampaignConfig {
@@ -75,6 +87,8 @@ impl CampaignConfig {
             backoff_seed: 0,
             kill_after_appends: None,
             faults: Vec::new(),
+            workers: 1,
+            metrics: None,
         }
     }
 }
@@ -90,10 +104,21 @@ impl Default for CampaignConfig {
 /// the attempt number with seeded jitter in `[0, exp/2]`, capped at
 /// 30 s. Pure — equal inputs give equal delays, so retry schedules
 /// are reproducible.
-pub fn backoff_delay(base: Duration, attempt: u64, seed: u64) -> Duration {
+///
+/// The jitter draw mixes in the *program name*, not just the seed and
+/// attempt: with only `(seed, attempt)` every program retrying at the
+/// same attempt number would get an identical delay and a concurrent
+/// campaign would release the whole cohort at the same instant — a
+/// synchronized retry stampede. Distinct programs now spread across
+/// the jitter window while each one's schedule stays reproducible.
+pub fn backoff_delay(base: Duration, program: &str, attempt: u64, seed: u64) -> Duration {
     let exp = base.saturating_mul(1u32 << attempt.saturating_sub(1).min(16) as u32);
     let exp_ns = exp.as_nanos().min(u64::MAX as u128) as u64;
-    let draw = fnv1a64(&[seed.to_le_bytes(), attempt.to_le_bytes()].concat());
+    let mut key = Vec::with_capacity(16 + program.len());
+    key.extend_from_slice(&seed.to_le_bytes());
+    key.extend_from_slice(&attempt.to_le_bytes());
+    key.extend_from_slice(program.as_bytes());
+    let draw = fnv1a64(&key);
     let jitter_ns = if exp_ns == 0 { 0 } else { draw % (exp_ns / 2 + 1) };
     (exp + Duration::from_nanos(jitter_ns)).min(Duration::from_secs(30))
 }
@@ -443,6 +468,347 @@ pub struct CampaignOutcome {
     pub health: PipelineHealth,
 }
 
+/// One schedulable unit of campaign work: run program
+/// `programs[idx]` at `attempt`, no earlier than `due`.
+///
+/// Ordered for a `BinaryHeap` so the *earliest* due entry is at the
+/// top, with the enqueue sequence number as tiebreak — equal deadlines
+/// (the initial seeding) pop in campaign order.
+struct QueueEntry {
+    due: Instant,
+    seq: u64,
+    idx: usize,
+    attempt: u64,
+}
+
+impl PartialEq for QueueEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+
+impl Eq for QueueEntry {}
+
+impl PartialOrd for QueueEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueueEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest due
+        // (then lowest seq) on top.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The deadline queue plus the bookkeeping workers need to decide
+/// whether the campaign is drained: an empty heap only means "done"
+/// once no worker is still running an attempt that might re-enqueue.
+struct Scoreboard {
+    heap: BinaryHeap<QueueEntry>,
+    /// Workers currently executing an attempt.
+    active: usize,
+    /// Set on a fatal journal error or a journal kill: every worker
+    /// stops pulling work.
+    aborted: bool,
+    next_seq: u64,
+}
+
+/// Everything the scoped workers share.
+struct WorkerShared<'a> {
+    programs: &'a [CorpusProgram],
+    cfg: &'a CampaignConfig,
+    journal: SharedJournal,
+    queue: Mutex<Scoreboard>,
+    /// Signaled whenever the queue or the abort flag changes; idle
+    /// workers park here (bounded by the head entry's deadline) instead
+    /// of sleeping inline.
+    idle: Condvar,
+    /// First fatal journal error, if any.
+    fatal: Mutex<Option<JournalError>>,
+    /// First captured [`JournalKilled`] panic payload, if any.
+    /// `std::thread::scope` would swallow the payload on join, so the
+    /// worker stores it here and `run_campaign` re-raises it after the
+    /// pool drains.
+    killed: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+fn lock_queue<'a>(shared: &'a WorkerShared<'_>) -> MutexGuard<'a, Scoreboard> {
+    shared
+        .queue
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What one supervised attempt decided.
+enum AttemptStep {
+    /// A terminal record (finished or quarantined) was journaled.
+    Terminal,
+    /// The attempt failed with retry budget left: re-enqueue at `due`.
+    Retry { due: Instant },
+    /// Journal I/O failed — abort the campaign.
+    Fatal(JournalError),
+    /// The journal's kill point fired — abort and re-raise the payload.
+    Killed(Box<dyn Any + Send>),
+}
+
+/// Worker body: pull the next *due* entry off the deadline queue, run
+/// one supervised attempt, push the outcome back. A worker facing a
+/// not-yet-due head parks on the condvar until that deadline (waking
+/// early if the queue changes) — no thread ever sleeps while a
+/// runnable program is queued, and a backoff window blocks only the
+/// one program serving it.
+fn worker_loop(shared: &WorkerShared<'_>, worker_id: usize) {
+    loop {
+        let mut q = lock_queue(shared);
+        let entry = loop {
+            if q.aborted {
+                return;
+            }
+            match q.heap.peek().map(|e| e.due) {
+                Some(due) => {
+                    let now = Instant::now();
+                    if due <= now {
+                        let e = q.heap.pop().expect("peeked entry exists");
+                        q.active += 1;
+                        break e;
+                    }
+                    // The head (earliest deadline in the heap) is not
+                    // due: nothing is runnable. Park until it is, or
+                    // until a re-enqueue/abort notifies us.
+                    let (guard, _timeout) = shared
+                        .idle
+                        .wait_timeout(q, due - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    q = guard;
+                }
+                None => {
+                    if q.active == 0 {
+                        // Drained: wake any parked peers so they can
+                        // see it and exit too.
+                        drop(q);
+                        shared.idle.notify_all();
+                        return;
+                    }
+                    // A running attempt may still re-enqueue.
+                    q = shared
+                        .idle
+                        .wait(q)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+        };
+        drop(q);
+
+        if let Some(m) = &shared.cfg.metrics {
+            let waited = Instant::now().saturating_duration_since(entry.due);
+            m.span(
+                "queue-wait",
+                shared.programs[entry.idx].name,
+                worker_id,
+                entry.attempt,
+                entry.due,
+                waited,
+            );
+        }
+        let step = run_attempt(shared, entry.idx, entry.attempt, worker_id);
+
+        let mut q = lock_queue(shared);
+        q.active -= 1;
+        let stop = match step {
+            AttemptStep::Terminal => false,
+            AttemptStep::Retry { due } => {
+                let seq = q.next_seq;
+                q.next_seq += 1;
+                q.heap.push(QueueEntry {
+                    due,
+                    seq,
+                    idx: entry.idx,
+                    attempt: entry.attempt + 1,
+                });
+                false
+            }
+            AttemptStep::Fatal(e) => {
+                let mut slot = shared.fatal.lock().unwrap_or_else(PoisonError::into_inner);
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+                q.aborted = true;
+                true
+            }
+            AttemptStep::Killed(payload) => {
+                let mut slot = shared
+                    .killed
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                q.aborted = true;
+                true
+            }
+        };
+        drop(q);
+        shared.idle.notify_all();
+        if stop {
+            return;
+        }
+    }
+}
+
+/// Runs one supervised attempt of `programs[idx]` end to end,
+/// including its terminal journal append, entirely under
+/// `catch_unwind` — so a [`JournalKilled`] fired by *any* append
+/// (units or terminals) is captured and surfaced as
+/// [`AttemptStep::Killed`] instead of tearing down the scope.
+fn run_attempt(
+    shared: &WorkerShared<'_>,
+    idx: usize,
+    attempt: u64,
+    worker_id: usize,
+) -> AttemptStep {
+    let p = &shared.programs[idx];
+    let cfg = shared.cfg;
+    let fault_failures = cfg
+        .faults
+        .iter()
+        .find(|f| f.program == p.name)
+        .map_or(0, |f| f.failures);
+    let started = Instant::now();
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        if attempt <= fault_failures {
+            panic!("injected campaign fault (attempt {attempt})");
+        }
+        let owl = Owl::new(&p.module, p.entry, cfg.owl.clone());
+        let mut sink = shared.journal.clone();
+        let result = owl.run_with_journal(p.name, &p.workloads, &p.exploit_inputs, &mut sink)?;
+        if let Some(m) = &cfg.metrics {
+            record_attempt_metrics(m, p.name, worker_id, attempt, started, &result);
+        }
+        if let Some(error) = result.error {
+            // InvalidEntry is deterministic — retrying cannot help,
+            // quarantine immediately.
+            sink.append(JournalRecord::ProgramQuarantined {
+                program: p.name.to_string(),
+                attempts: attempt,
+                error,
+            })?;
+        } else {
+            sink.append(JournalRecord::ProgramFinished {
+                program: p.name.to_string(),
+                attempts: attempt,
+                summary: ProgramSummary::from_result(&result),
+            })?;
+        }
+        Ok::<(), JournalError>(())
+    }));
+    match run {
+        Ok(Ok(())) => AttemptStep::Terminal,
+        Ok(Err(e)) => AttemptStep::Fatal(e), // journal I/O is fatal
+        Err(payload) if payload.is::<JournalKilled>() => {
+            // The simulated hard kill: never retried; re-raised by
+            // `run_campaign` once the pool stops, exactly like a real
+            // SIGKILL would end the process.
+            AttemptStep::Killed(payload)
+        }
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            if attempt >= cfg.max_attempts {
+                // Out of budget: quarantine into the journal. The
+                // append is itself a kill site, so supervise it too.
+                let append = catch_unwind(AssertUnwindSafe(|| {
+                    shared.journal.append(JournalRecord::ProgramQuarantined {
+                        program: p.name.to_string(),
+                        attempts: attempt,
+                        error: PipelineError::Panicked {
+                            stage: Stage::Detect,
+                            message,
+                        },
+                    })
+                }));
+                match append {
+                    Ok(Ok(())) => {
+                        if let Some(m) = &cfg.metrics {
+                            m.counter("programs_quarantined", 1);
+                        }
+                        AttemptStep::Terminal
+                    }
+                    Ok(Err(e)) => AttemptStep::Fatal(e),
+                    Err(kill) => AttemptStep::Killed(kill),
+                }
+            } else {
+                if let Some(m) = &cfg.metrics {
+                    m.counter("campaign_requeues", 1);
+                }
+                let delay =
+                    backoff_delay(cfg.backoff_base, p.name, attempt, cfg.backoff_seed);
+                AttemptStep::Retry {
+                    due: Instant::now() + delay,
+                }
+            }
+        }
+    }
+}
+
+/// Folds one successful pipeline run's stage timings and health
+/// counters into the campaign's metrics recorder.
+fn record_attempt_metrics(
+    m: &MetricsRecorder,
+    program: &str,
+    worker: usize,
+    attempt: u64,
+    started: Instant,
+    result: &PipelineResult,
+) {
+    let s = &result.stats;
+    m.span("detect", program, worker, attempt, started, s.detect_time);
+    m.span(
+        "race-verify",
+        program,
+        worker,
+        attempt,
+        started,
+        s.race_verify_time,
+    );
+    m.span(
+        "vuln-analyze",
+        program,
+        worker,
+        attempt,
+        started,
+        s.analysis_time,
+    );
+    m.span(
+        "vuln-verify",
+        program,
+        worker,
+        attempt,
+        started,
+        s.vuln_verify_time,
+    );
+    m.span("program", program, worker, attempt, started, started.elapsed());
+    let h = &result.health;
+    m.counter(
+        "verify_retries",
+        h.race_verify.retries + h.vuln_verify.retries,
+    );
+    m.counter("injected_faults", h.total_injected_faults());
+    m.counter("summary_cache_hits", h.summary_cache_hits);
+    m.counter("summary_cache_misses", h.summary_cache_misses);
+    m.counter("units_quarantined", h.total_quarantined());
+}
+
 /// Runs (or resumes) a campaign over `programs` against the journal at
 /// `journal_path`.
 ///
@@ -451,10 +817,17 @@ pub struct CampaignOutcome {
 ///   [`campaign_fingerprint`].
 /// * Programs with a terminal record are skipped entirely; a program
 ///   interrupted mid-run resumes at its first un-journaled unit.
-/// * Each attempt runs under `catch_unwind`; failures retry up to
-///   [`CampaignConfig::max_attempts`] with [`backoff_delay`] between
-///   attempts, after which the program is quarantined into the journal
-///   and the campaign moves on.
+/// * Pending programs execute on a pool of
+///   [`CampaignConfig::workers`] scoped threads pulling from a shared
+///   deadline queue; all journal writes go through one serialized
+///   [`SharedJournal`] writer. Because the summary is rebuilt purely
+///   from journal records keyed on `(program, unit)`, it is
+///   byte-identical for every worker count and interleaving.
+/// * Each attempt runs under `catch_unwind`; failures re-enqueue the
+///   program with a [`backoff_delay`] *deadline* (no thread sleeps
+///   while runnable work is queued) up to
+///   [`CampaignConfig::max_attempts`], after which the program is
+///   quarantined into the journal and the campaign moves on.
 /// * [`JournalKilled`] panics are re-raised, never retried — they
 ///   simulate the process being killed.
 pub fn run_campaign(
@@ -503,82 +876,77 @@ pub fn run_campaign(
         }
     }
 
-    for p in programs {
-        if journal.program_terminal(p.name).is_some() {
-            continue; // graceful resume: already finished or given up
+    // Seed the deadline queue with every pending program, all due
+    // immediately, in campaign order (the seq tiebreak preserves it),
+    // then hand the journal to the serialized shared writer.
+    let pending: Vec<usize> = programs
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| journal.program_terminal(p.name).is_none())
+        .map(|(i, _)| i)
+        .collect();
+    let journal = SharedJournal::new(journal);
+
+    if !pending.is_empty() {
+        let workers = cfg.workers.max(1).min(pending.len());
+        let now = Instant::now();
+        let mut heap = BinaryHeap::with_capacity(pending.len());
+        for (order, &idx) in pending.iter().enumerate() {
+            heap.push(QueueEntry {
+                due: now,
+                seq: order as u64,
+                idx,
+                attempt: 1,
+            });
         }
-        let fault_failures = cfg
-            .faults
-            .iter()
-            .find(|f| f.program == p.name)
-            .map_or(0, |f| f.failures);
-        let mut attempt = 1u64;
-        loop {
-            let run = catch_unwind(AssertUnwindSafe(|| {
-                if attempt <= fault_failures {
-                    panic!("injected campaign fault (attempt {attempt})");
-                }
-                let owl = Owl::new(&p.module, p.entry, cfg.owl.clone());
-                owl.run_with_journal(p.name, &p.workloads, &p.exploit_inputs, &mut journal)
-            }));
-            match run {
-                Ok(Ok(result)) => {
-                    if let Some(error) = result.error {
-                        // InvalidEntry is deterministic — retrying
-                        // cannot help, quarantine immediately.
-                        journal.append(JournalRecord::ProgramQuarantined {
-                            program: p.name.to_string(),
-                            attempts: attempt,
-                            error,
-                        })?;
-                    } else {
-                        journal.append(JournalRecord::ProgramFinished {
-                            program: p.name.to_string(),
-                            attempts: attempt,
-                            summary: ProgramSummary::from_result(&result),
-                        })?;
-                    }
-                    break;
-                }
-                Ok(Err(e)) => return Err(e), // journal I/O is fatal
-                Err(payload) => {
-                    if payload.is::<JournalKilled>() {
-                        // The simulated hard kill: propagate, exactly
-                        // like a real SIGKILL would end the process.
-                        resume_unwind(payload);
-                    }
-                    let message = if let Some(s) = payload.downcast_ref::<&str>() {
-                        (*s).to_string()
-                    } else if let Some(s) = payload.downcast_ref::<String>() {
-                        s.clone()
-                    } else {
-                        "non-string panic payload".to_string()
-                    };
-                    if attempt >= cfg.max_attempts {
-                        journal.append(JournalRecord::ProgramQuarantined {
-                            program: p.name.to_string(),
-                            attempts: attempt,
-                            error: PipelineError::Panicked {
-                                stage: Stage::Detect,
-                                message,
-                            },
-                        })?;
-                        break;
-                    }
-                    std::thread::sleep(backoff_delay(
-                        cfg.backoff_base,
-                        attempt,
-                        cfg.backoff_seed,
-                    ));
-                    attempt += 1;
-                }
+        let shared = WorkerShared {
+            programs,
+            cfg,
+            journal: journal.clone(),
+            queue: Mutex::new(Scoreboard {
+                heap,
+                active: 0,
+                aborted: false,
+                next_seq: pending.len() as u64,
+            }),
+            idle: Condvar::new(),
+            fatal: Mutex::new(None),
+            killed: Mutex::new(None),
+        };
+        std::thread::scope(|scope| {
+            for worker_id in 0..workers {
+                let shared = &shared;
+                scope.spawn(move || worker_loop(shared, worker_id));
             }
+        });
+        let killed_payload = shared
+            .killed
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        let fatal = shared
+            .fatal
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(payload) = killed_payload {
+            // The simulated hard kill, re-raised with its original
+            // payload so supervisors (and the crash tests) can
+            // downcast it exactly as before.
+            resume_unwind(payload);
+        }
+        if let Some(e) = fatal {
+            return Err(e);
         }
     }
 
-    let summary = CampaignSummary::from_records(journal.records());
-    let recovery = journal.recovery().clone();
-    let health = health_from_records(journal.records(), &recovery);
+    let records = journal.records();
+    let recovery = journal.recovery();
+    let summary = CampaignSummary::from_records(&records);
+    let health = health_from_records(&records, &recovery);
+    if let Some(m) = &cfg.metrics {
+        m.counter("journal_appends", journal.appends());
+    }
     Ok(CampaignOutcome {
         summary,
         recovery,
@@ -593,16 +961,33 @@ mod tests {
     #[test]
     fn backoff_is_deterministic_and_monotone_in_expectation() {
         let base = Duration::from_millis(10);
-        let a = backoff_delay(base, 1, 42);
-        let b = backoff_delay(base, 1, 42);
+        let a = backoff_delay(base, "Libsafe", 1, 42);
+        let b = backoff_delay(base, "Libsafe", 1, 42);
         assert_eq!(a, b, "pure function");
         assert!(a >= base && a <= base * 3 / 2, "{a:?}");
-        let later = backoff_delay(base, 4, 42);
+        let later = backoff_delay(base, "Libsafe", 4, 42);
         assert!(later >= base * 8, "exponential growth: {later:?}");
         assert!(
-            backoff_delay(Duration::from_secs(20), 10, 1) <= Duration::from_secs(30),
+            backoff_delay(Duration::from_secs(20), "Libsafe", 10, 1) <= Duration::from_secs(30),
             "capped"
         );
+    }
+
+    #[test]
+    fn backoff_jitter_differs_per_program() {
+        // Same seed + attempt must not put two programs on the same
+        // retry instant (the stampede bug): the program name feeds the
+        // jitter draw.
+        let base = Duration::from_secs(10);
+        let delays: Vec<Duration> = ["Apache", "Libsafe", "Memcached", "SSDB"]
+            .iter()
+            .map(|p| backoff_delay(base, p, 2, 7))
+            .collect();
+        for (i, a) in delays.iter().enumerate() {
+            for b in &delays[i + 1..] {
+                assert_ne!(a, b, "distinct programs share a retry instant");
+            }
+        }
     }
 
     #[test]

@@ -868,6 +868,7 @@ pub struct Journal {
     recovery: RecoveryReport,
     appends: u64,
     kill_after: Option<u64>,
+    killed: bool,
 }
 
 impl Journal {
@@ -930,6 +931,7 @@ impl Journal {
             recovery,
             appends: 0,
             kill_after: None,
+            killed: false,
         })
     }
 
@@ -962,7 +964,20 @@ impl Journal {
 
     /// Durably appends one record: write, flush, fsync — the record is
     /// on disk before this returns.
+    ///
+    /// Once the armed kill point has fired, the journal is dead: any
+    /// later append panics with [`JournalKilled`] *before* touching the
+    /// file, so concurrent workers racing past a kill cannot write a
+    /// single byte beyond the `n`-th record. That is what keeps "kill
+    /// after n appends" meaning *exactly n records on disk* even under
+    /// a multi-worker campaign.
     pub fn append(&mut self, rec: JournalRecord) -> Result<(), JournalError> {
+        if self.killed {
+            std::panic::panic_any(JournalKilled {
+                appends: self.appends,
+                kind: FaultKind::JournalKill,
+            });
+        }
         let mut line = format_line(&rec);
         line.push('\n');
         self.file.write_all(line.as_bytes())?;
@@ -971,6 +986,7 @@ impl Journal {
         self.records.push(rec);
         self.appends += 1;
         if self.kill_after == Some(self.appends) {
+            self.killed = true;
             std::panic::panic_any(JournalKilled {
                 appends: self.appends,
                 kind: FaultKind::JournalKill,
@@ -987,6 +1003,112 @@ impl Journal {
             | JournalRecord::ProgramQuarantined { program: p, .. } => p == program,
             _ => false,
         })
+    }
+}
+
+/// Where the pipeline checkpoints completed units. `Journal` is the
+/// single-owner implementation; [`SharedJournal`] serializes the same
+/// operations across campaign workers.
+///
+/// `program_records` returns an owned snapshot rather than borrowing
+/// the record stream because a shared sink's records live behind a
+/// lock that cannot be held across a whole pipeline run.
+pub trait JournalSink {
+    /// Durably appends one record (write, flush, fsync), same contract
+    /// as [`Journal::append`] — including the armed kill point.
+    fn append_record(&mut self, rec: JournalRecord) -> Result<(), JournalError>;
+
+    /// Snapshot of the records already journaled for `program`, in
+    /// file order.
+    fn program_records(&self, program: &str) -> Vec<JournalRecord>;
+
+    /// What open-time recovery found.
+    fn recovery_report(&self) -> RecoveryReport;
+}
+
+impl JournalSink for Journal {
+    fn append_record(&mut self, rec: JournalRecord) -> Result<(), JournalError> {
+        self.append(rec)
+    }
+
+    fn program_records(&self, program: &str) -> Vec<JournalRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.program() == Some(program))
+            .cloned()
+            .collect()
+    }
+
+    fn recovery_report(&self) -> RecoveryReport {
+        self.recovery.clone()
+    }
+}
+
+/// A [`Journal`] behind `Arc<Mutex<_>>`: the serialized writer the
+/// parallel campaign hands to every worker. Appends take the lock for
+/// the full write+fsync, so records never interleave mid-line and the
+/// on-disk order is exactly the lock-acquisition order.
+///
+/// Locking is poison-tolerant: an armed kill point panics *while
+/// holding the lock* (that is the point — it simulates dying mid-run),
+/// and the surviving workers must still be able to observe the killed
+/// flag rather than deadlock or spuriously panic on `PoisonError`.
+#[derive(Clone, Debug)]
+pub struct SharedJournal {
+    inner: std::sync::Arc<std::sync::Mutex<Journal>>,
+}
+
+impl SharedJournal {
+    /// Wraps an opened, validated journal for shared use.
+    pub fn new(journal: Journal) -> Self {
+        SharedJournal {
+            inner: std::sync::Arc::new(std::sync::Mutex::new(journal)),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Journal> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Serialized [`Journal::append`].
+    pub fn append(&self, rec: JournalRecord) -> Result<(), JournalError> {
+        self.lock().append(rec)
+    }
+
+    /// Snapshot of every record, in file order.
+    pub fn records(&self) -> Vec<JournalRecord> {
+        self.lock().records().to_vec()
+    }
+
+    /// What open-time recovery found.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.lock().recovery().clone()
+    }
+
+    /// Appends completed through this shared handle.
+    pub fn appends(&self) -> u64 {
+        self.lock().appends()
+    }
+}
+
+impl JournalSink for SharedJournal {
+    fn append_record(&mut self, rec: JournalRecord) -> Result<(), JournalError> {
+        self.append(rec)
+    }
+
+    fn program_records(&self, program: &str) -> Vec<JournalRecord> {
+        self.lock()
+            .records()
+            .iter()
+            .filter(|r| r.program() == Some(program))
+            .cloned()
+            .collect()
+    }
+
+    fn recovery_report(&self) -> RecoveryReport {
+        self.recovery()
     }
 }
 

@@ -49,6 +49,12 @@ impl Json {
         )
     }
 
+    /// Builds an object from `(key, value)` pairs with owned keys —
+    /// for objects keyed by runtime data (stage names, counter names).
+    pub fn obj_owned(pairs: impl IntoIterator<Item = (String, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().collect())
+    }
+
     /// Builds a string value.
     pub fn str(s: impl Into<String>) -> Json {
         Json::Str(s.into())

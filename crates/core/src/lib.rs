@@ -49,6 +49,7 @@ mod config;
 mod eval;
 pub mod journal;
 pub mod json;
+pub mod metrics;
 mod pipeline;
 
 pub use audit::{AlertKind, AuditAlert, AuditOutcome, PathAuditor};
@@ -59,8 +60,10 @@ pub use campaign::{
 pub use config::OwlConfig;
 pub use eval::{evaluate_program, AttackOutcome, ProgramEvaluation};
 pub use journal::{
-    Journal, JournalError, JournalKilled, JournalRecord, ProgramSummary, RecoveryReport,
+    Journal, JournalError, JournalKilled, JournalRecord, JournalSink, ProgramSummary,
+    RecoveryReport, SharedJournal,
 };
+pub use metrics::{Histogram, MetricsRecorder, SpanRecord};
 pub use pipeline::{
     Finding, Owl, PipelineError, PipelineHealth, PipelineResult, PipelineStats, Quarantined,
     Stage, StageHealth,

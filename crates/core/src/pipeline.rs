@@ -29,7 +29,7 @@
 //! retries, injected faults, deadline hits, and panics per stage.
 
 use crate::config::OwlConfig;
-use crate::journal::{unit_key, Journal, JournalError, JournalRecord, RecordedVuln};
+use crate::journal::{unit_key, JournalError, JournalRecord, JournalSink, RecordedVuln};
 use owl_ir::analysis::{CallGraph, PointsTo};
 use owl_ir::{FuncId, Module};
 use owl_race::{explore_with_deadline, ExplorerConfig, HbAnnotation, RaceReport};
@@ -72,6 +72,11 @@ pub struct PipelineStats {
     pub detect_time: Duration,
     /// Wall-clock spent in dynamic verification (races + vulns).
     pub verify_time: Duration,
+    /// Wall-clock spent in stage 3 (dynamic race verification) alone.
+    pub race_verify_time: Duration,
+    /// Wall-clock spent in stage 5 (dynamic vulnerability
+    /// verification) alone.
+    pub vuln_verify_time: Duration,
 }
 
 impl PipelineStats {
@@ -497,7 +502,8 @@ impl<'m> Owl<'m> {
     /// produces the same deterministic summary an uninterrupted run
     /// would have.
     ///
-    /// Journal recovery counters ([`Journal::recovery`]) are surfaced
+    /// Journal recovery counters ([`JournalSink::recovery_report`])
+    /// are surfaced
     /// in the result's [`PipelineHealth::journal_discarded_bytes`] and
     /// [`PipelineHealth::journal_discarded_records`].
     ///
@@ -506,20 +512,21 @@ impl<'m> Owl<'m> {
     /// are inherently non-deterministic and would break byte-identical
     /// resume. Campaign runs bound stage work with the verifiers'
     /// seeded step budgets instead.
-    pub fn run_with_journal(
+    pub fn run_with_journal<J: JournalSink>(
         &self,
         name: &str,
         workloads: &[ProgramInput],
         extra_inputs: &[ProgramInput],
-        journal: &mut Journal,
+        journal: &mut J,
     ) -> Result<PipelineResult, JournalError> {
         if let Err(e) = self.validate_entry() {
             return Ok(PipelineResult::failed(name, e));
         }
+        let recovery = journal.recovery_report();
         let mut stats = PipelineStats::default();
         let mut health = PipelineHealth {
-            journal_discarded_bytes: journal.recovery().discarded_bytes,
-            journal_discarded_records: journal.recovery().discarded_records,
+            journal_discarded_bytes: recovery.discarded_bytes,
+            journal_discarded_records: recovery.discarded_records,
             ..PipelineHealth::default()
         };
         let mut quarantined = Vec::new();
@@ -531,8 +538,10 @@ impl<'m> Owl<'m> {
         };
 
         let (annotations, reports) = self.detect_and_annotate(workloads, &mut stats, &mut health);
-        let mut index = ResumeIndex::for_program(journal.records(), name);
+        let program_records = journal.program_records(name);
+        let mut index = ResumeIndex::for_program(&program_records, name);
         let tv = Instant::now();
+        let t3 = Instant::now();
 
         // Stage 3, journaled: replay recorded verdicts, verify the
         // rest live and journal each verdict as it lands.
@@ -587,7 +596,7 @@ impl<'m> Owl<'m> {
                     match v.verdict {
                         VerifyOutcome::Confirmed | VerifyOutcome::Unconfirmed => {
                             let confirmed = v.verdict == VerifyOutcome::Confirmed;
-                            journal.append(JournalRecord::ReportVerified {
+                            journal.append_record(JournalRecord::ReportVerified {
                                 program: name.to_string(),
                                 key,
                                 global: report.global_name.clone(),
@@ -607,7 +616,7 @@ impl<'m> Owl<'m> {
                                 cause,
                                 attempts,
                             };
-                            journal.append(JournalRecord::Quarantined {
+                            journal.append_record(JournalRecord::Quarantined {
                                 program: name.to_string(),
                                 key: Some(key),
                                 global: report.global_name.clone(),
@@ -628,7 +637,7 @@ impl<'m> Owl<'m> {
                         stage: Stage::RaceVerify,
                         message: panic_message(payload),
                     };
-                    journal.append(JournalRecord::Quarantined {
+                    journal.append_record(JournalRecord::Quarantined {
                         program: name.to_string(),
                         key: Some(key),
                         global: report.global_name.clone(),
@@ -645,6 +654,7 @@ impl<'m> Owl<'m> {
             }
         }
         stats.remaining = verified.len();
+        stats.race_verify_time += t3.elapsed();
 
         // Stages 4–5, journaled per confirmed report: static analysis
         // plus dynamic vulnerability verification form one unit, so a
@@ -741,7 +751,7 @@ impl<'m> Owl<'m> {
                                 stage: Stage::VulnAnalyze,
                                 message: panic_message(payload),
                             };
-                            journal.append(JournalRecord::Quarantined {
+                            journal.append_record(JournalRecord::Quarantined {
                                 program: name.to_string(),
                                 key: Some(key),
                                 global: race.global_name.clone(),
@@ -759,6 +769,7 @@ impl<'m> Owl<'m> {
             };
 
             // Live stage 5 over this finding's hints.
+            let t5 = Instant::now();
             let mut recorded = Vec::with_capacity(vulns.len());
             let mut verifications = Vec::with_capacity(vulns.len());
             for vr in &vulns {
@@ -805,7 +816,8 @@ impl<'m> Owl<'m> {
                 });
                 verifications.push(v);
             }
-            journal.append(JournalRecord::FindingAnalyzed {
+            stats.vuln_verify_time += t5.elapsed();
+            journal.append_record(JournalRecord::FindingAnalyzed {
                 program: name.to_string(),
                 key,
                 global: race.global_name.clone(),
@@ -885,6 +897,7 @@ impl<'m> Owl<'m> {
         // instead re-executes and confirms the unserializable
         // interleaving re-manifests.
         let tv = Instant::now();
+        let t3 = Instant::now();
         let stage_start = Instant::now();
         let mut stage_expired = false;
         let primary = workloads[0].clone();
@@ -965,12 +978,14 @@ impl<'m> Owl<'m> {
             }
         }
         stats.remaining = verified.len();
+        stats.race_verify_time += t3.elapsed();
         let mut findings =
             self.analyze_findings(verified, &mut stats, &mut health, &mut quarantined);
         self.verify_vuln_sites(
             &mut findings,
             workloads,
             extra_inputs,
+            &mut stats,
             &mut health,
             &mut quarantined,
         );
@@ -1006,6 +1021,7 @@ impl<'m> Owl<'m> {
         let tv = Instant::now();
 
         // Stage 3: dynamic race verification (primary workload).
+        let t3 = Instant::now();
         let stage_start = Instant::now();
         let mut stage_expired = false;
         let mut processed = 0u64;
@@ -1069,8 +1085,9 @@ impl<'m> Owl<'m> {
             }
         }
         stats.remaining = verified.len();
+        stats.race_verify_time += t3.elapsed();
         let mut findings = self.analyze_findings(verified, stats, health, quarantined);
-        self.verify_vuln_sites(&mut findings, workloads, extra_inputs, health, quarantined);
+        self.verify_vuln_sites(&mut findings, workloads, extra_inputs, stats, health, quarantined);
         stats.verify_time += tv.elapsed();
         findings
     }
@@ -1294,9 +1311,11 @@ impl<'m> Owl<'m> {
         findings: &mut [Finding],
         workloads: &[ProgramInput],
         extra_inputs: &[ProgramInput],
+        stats: &mut PipelineStats,
         health: &mut PipelineHealth,
         quarantined: &mut Vec<Quarantined>,
     ) {
+        let t5 = Instant::now();
         let stage_start = Instant::now();
         let mut stage_expired = false;
         let mut processed = 0u64;
@@ -1363,6 +1382,7 @@ impl<'m> Owl<'m> {
                 }
             }
         }
+        stats.vuln_verify_time += t5.elapsed();
     }
 }
 

@@ -135,3 +135,51 @@ fn campaign_runs_resumes_and_refuses_unresumed_reuse() {
 
     let _ = std::fs::remove_dir_all(dir);
 }
+
+#[test]
+fn campaign_workers_and_metrics_flags() {
+    let mut base = std::env::temp_dir();
+    base.push(format!("owl-cli-workers-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("scratch dir");
+    let serial_dir = base.join("serial");
+    let pool_dir = base.join("pool");
+    let metrics_dir = base.join("metrics");
+
+    let serial = run_ok(&["campaign", serial_dir.to_str().unwrap(), "--quick", "--workers", "1"]);
+    let pooled = run_ok(&[
+        "campaign",
+        pool_dir.to_str().unwrap(),
+        "--quick",
+        "--workers",
+        "4",
+        "--metrics",
+        metrics_dir.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        pooled, serial,
+        "--workers 4 must print the byte-identical summary of --workers 1"
+    );
+
+    // The metrics artifacts exist and are valid, machine-readable JSON.
+    let summary_raw = std::fs::read_to_string(metrics_dir.join("BENCH_campaign.json"))
+        .expect("BENCH_campaign.json written");
+    let summary = owl::json::parse(summary_raw.trim()).expect("valid perf summary");
+    assert_eq!(summary.get("bench").and_then(|j| j.as_str()), Some("campaign"));
+    assert_eq!(summary.get("workers").and_then(|j| j.as_u64()), Some(4));
+    assert!(summary.get("stages").is_some(), "{summary_raw}");
+    let spans = std::fs::read_to_string(metrics_dir.join("spans.jsonl")).expect("spans.jsonl");
+    assert!(!spans.trim().is_empty(), "span stream must not be empty");
+    for line in spans.lines() {
+        owl::json::parse(line).expect("every span line is valid JSON");
+    }
+
+    // Zero workers is meaningless and rejected up front.
+    let zero = cli()
+        .args(["campaign", base.join("zero").to_str().unwrap(), "--quick", "--workers", "0"])
+        .output()
+        .expect("spawn");
+    assert!(!zero.status.success(), "--workers 0 must be rejected");
+
+    let _ = std::fs::remove_dir_all(base);
+}

@@ -114,42 +114,56 @@ fn every_kill_point_resumes_byte_identically_across_seeds() {
             "mini-corpus must journal a meaningful record stream, got {total}"
         );
 
-        for kill in 1..=total {
-            let dir = scratch_dir(&format!("kill-{seed}-{kill}"));
-            let path = dir.join("journal.jsonl");
-            let mut killed_cfg = cfg.clone();
-            killed_cfg.kill_after_appends = Some(kill);
-            let payload =
-                catch_unwind(AssertUnwindSafe(|| {
-                    run_campaign(&path, &programs, &killed_cfg, false)
-                }))
-                .expect_err("the armed kill point must fire");
-            assert!(
-                payload.downcast_ref::<JournalKilled>().is_some(),
-                "seed {seed} kill {kill}: unexpected panic payload"
-            );
+        // Sweep every kill point serially AND with the full pool (the
+        // mini-corpus has two programs, so 2 workers is maximal
+        // parallelism): the killed-flag journal guarantees exactly `k`
+        // records survive even when workers race past the kill, and
+        // the record-keyed merge keeps the resumed summary
+        // byte-identical to the single-worker baseline.
+        for workers in [1usize, 2] {
+            for kill in 1..=total {
+                let dir = scratch_dir(&format!("kill-{seed}-{workers}w-{kill}"));
+                let path = dir.join("journal.jsonl");
+                let mut killed_cfg = cfg.clone();
+                killed_cfg.kill_after_appends = Some(kill);
+                killed_cfg.workers = workers;
+                let payload =
+                    catch_unwind(AssertUnwindSafe(|| {
+                        run_campaign(&path, &programs, &killed_cfg, false)
+                    }))
+                    .expect_err("the armed kill point must fire");
+                assert!(
+                    payload.downcast_ref::<JournalKilled>().is_some(),
+                    "seed {seed} workers {workers} kill {kill}: unexpected panic payload"
+                );
 
-            // Durability: exactly the records appended before the kill
-            // survive — the fsync'd tail is never torn by the panic.
-            assert_eq!(
-                journal_len(&path),
-                kill,
-                "seed {seed} kill {kill}: record count after crash"
-            );
+                // Durability: exactly the records appended before the
+                // kill survive — the fsync'd tail is never torn by the
+                // panic, and no concurrent worker writes past it.
+                assert_eq!(
+                    journal_len(&path),
+                    kill,
+                    "seed {seed} workers {workers} kill {kill}: record count after crash"
+                );
 
-            // Resume with the kill point disarmed.
-            let resumed =
-                run_campaign(&path, &programs, &cfg, true).expect("resumed campaign completes");
-            assert_eq!(
-                resumed.summary.records, total,
-                "seed {seed} kill {kill}: zero re-executed units means zero duplicate records"
-            );
-            assert_eq!(
-                resumed.summary.render(),
-                expected,
-                "seed {seed} kill {kill}: resumed summary must be byte-identical"
-            );
-            let _ = std::fs::remove_dir_all(dir);
+                // Resume with the kill point disarmed, same pool size.
+                let mut resume_cfg = cfg.clone();
+                resume_cfg.workers = workers;
+                let resumed = run_campaign(&path, &programs, &resume_cfg, true)
+                    .expect("resumed campaign completes");
+                assert_eq!(
+                    resumed.summary.records, total,
+                    "seed {seed} workers {workers} kill {kill}: zero re-executed units \
+                     means zero duplicate records"
+                );
+                assert_eq!(
+                    resumed.summary.render(),
+                    expected,
+                    "seed {seed} workers {workers} kill {kill}: resumed summary must be \
+                     byte-identical"
+                );
+                let _ = std::fs::remove_dir_all(dir);
+            }
         }
         let _ = std::fs::remove_dir_all(base);
     }

@@ -1,0 +1,166 @@
+//! Parallel campaign determinism and scheduling-fairness harness.
+//!
+//! The worker pool must be an *implementation detail*: running the full
+//! corpus under `--workers 1`, `2`, and `4` has to produce consolidated
+//! summaries that are byte-identical — same render, same JSON — because
+//! the summary is folded from journal records keyed on `(program,
+//! unit)`, never from thread arrival order.
+//!
+//! The second harness pins the serial-runner bugfix: a program waiting
+//! out its retry backoff is *re-enqueued with a due time*, so the
+//! worker moves on to runnable programs instead of sleeping on the
+//! spot. Metrics spans give us the observable ordering.
+
+use owl::{
+    run_campaign, CampaignConfig, CampaignFault, MetricsRecorder, OwlConfig, ProgramOutcome,
+};
+use std::path::PathBuf;
+use std::sync::{Arc, Once};
+use std::time::Duration;
+
+/// Silence the default panic hook for the campaign faults this harness
+/// injects on purpose; real panics still print.
+fn quiet_intentional_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let intentional = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|s| s.starts_with("injected campaign fault"));
+            if !intentional {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("owl-parallel-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).expect("scratch dir");
+    p
+}
+
+#[test]
+fn worker_counts_produce_byte_identical_summaries() {
+    let programs = owl_corpus::all_programs();
+    let mut renders = Vec::new();
+    let mut jsons = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let dir = scratch_dir(&format!("det-{workers}w"));
+        let mut cfg = CampaignConfig::new(OwlConfig::quick());
+        cfg.workers = workers;
+        let outcome = run_campaign(&dir.join("journal.jsonl"), &programs, &cfg, false)
+            .expect("campaign completes");
+        assert_eq!(
+            outcome.summary.finished(),
+            programs.len(),
+            "workers {workers}: every corpus program finishes"
+        );
+        renders.push(outcome.summary.render());
+        jsons.push(outcome.summary.to_json().to_json_string());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    assert_eq!(
+        renders[0], renders[1],
+        "workers 1 vs 2: summary must be byte-identical"
+    );
+    assert_eq!(
+        renders[0], renders[2],
+        "workers 1 vs 4: summary must be byte-identical"
+    );
+    assert_eq!(jsons[0], jsons[1], "workers 1 vs 2: JSON must match");
+    assert_eq!(jsons[0], jsons[2], "workers 1 vs 4: JSON must match");
+}
+
+/// A worker holding the only thread must not sleep out a backoff while
+/// another program is runnable. Libsafe fails its first attempt and is
+/// re-enqueued with a due time far in the future; the single worker has
+/// to run SSDB to completion *before* coming back for Libsafe's retry.
+/// (The old runner slept inline, finishing Libsafe first — this span
+/// ordering is exactly what the bugfix changes.)
+#[test]
+fn backoff_does_not_block_runnable_programs() {
+    quiet_intentional_panics();
+    let programs = vec![
+        owl_corpus::program("Libsafe").expect("Libsafe is in the corpus"),
+        owl_corpus::program("SSDB").expect("SSDB is in the corpus"),
+    ];
+    let recorder = Arc::new(MetricsRecorder::new());
+    let mut cfg = CampaignConfig::new(OwlConfig::quick());
+    cfg.workers = 1;
+    cfg.backoff_base = Duration::from_millis(400);
+    cfg.faults = vec![CampaignFault {
+        program: "Libsafe".to_string(),
+        failures: 1,
+    }];
+    cfg.metrics = Some(recorder.clone());
+
+    let dir = scratch_dir("backoff");
+    let outcome = run_campaign(&dir.join("journal.jsonl"), &programs, &cfg, false)
+        .expect("campaign completes");
+
+    assert_eq!(outcome.summary.finished(), 2);
+    let libsafe = &outcome.summary.programs[0];
+    assert_eq!(libsafe.program, "Libsafe");
+    assert_eq!(libsafe.attempts, 2, "one injected failure + one retry");
+    assert!(matches!(libsafe.outcome, ProgramOutcome::Finished(_)));
+
+    // Spans are appended in completion order under the recorder's lock.
+    // A successful attempt emits exactly one "program" span, so the
+    // ordering of those spans is the ordering of program completions.
+    let spans = recorder.spans();
+    let ssdb_done = spans
+        .iter()
+        .position(|s| s.name == "program" && s.program == "SSDB")
+        .expect("SSDB records a program span");
+    let libsafe_done = spans
+        .iter()
+        .position(|s| s.name == "program" && s.program == "Libsafe" && s.attempt == 2)
+        .expect("Libsafe's successful retry records a program span");
+    assert!(
+        ssdb_done < libsafe_done,
+        "SSDB must complete before Libsafe's backed-off retry \
+         (worker slept inline instead of re-enqueueing)"
+    );
+
+    // The retry went through the deadline queue, visibly.
+    assert!(
+        recorder.counter_value("campaign_requeues") >= 1,
+        "the injected failure must be counted as a requeue"
+    );
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.name == "queue-wait" && s.program == "Libsafe" && s.attempt == 2),
+        "the backed-off retry must record its queue wait"
+    );
+    // Per-stage observability covers every pipeline stage.
+    for stage in ["detect", "race-verify", "vuln-analyze", "vuln-verify"] {
+        assert!(
+            spans.iter().any(|s| s.name == stage),
+            "missing {stage} span"
+        );
+    }
+
+    // The JSONL export and the perf summary both round-trip through the
+    // strict parser.
+    for line in recorder.spans_jsonl().lines() {
+        owl::json::parse(line).expect("span line is valid JSON");
+    }
+    let summary = recorder.summary(cfg.workers, programs.len());
+    assert_eq!(summary.get("workers").and_then(|j| j.as_u64()), Some(1));
+    assert_eq!(summary.get("programs").and_then(|j| j.as_u64()), Some(2));
+    let stages = summary.get("stages").expect("stage histograms");
+    assert!(
+        stages.get("program").is_some(),
+        "program stage histogram present: {}",
+        summary.to_json_string()
+    );
+    owl::json::parse(&summary.to_json_string()).expect("summary is valid JSON");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
