@@ -1,0 +1,168 @@
+//! Stage-1 detector throughput: the epoch fast path against the
+//! vector-clock reference backend, and schedule-exploration scaling
+//! across worker counts.
+//!
+//! The replay benches time *detection alone*: a multithreaded trace is
+//! captured once through `VecSink`, then streamed into fresh detectors
+//! so the VM's interpretation cost is excluded from the timed window.
+//! Alongside the per-iteration timings this target emits derived
+//! metrics (`events_per_sec_*`, `epoch_speedup`, `epoch_fast_path_rate`,
+//! `explore_wall_us_workers_*`) into `BENCH_detect.json`.
+
+#[cfg(feature = "criterion")]
+use criterion::{criterion_group, criterion_main, Criterion};
+#[cfg(not(feature = "criterion"))]
+use owl_bench::harness::{criterion_group, criterion_main, Criterion};
+use owl::json::Json;
+use owl_bench::harness::metric;
+use owl_ir::{FuncId, ModuleBuilder, Module, Type};
+use owl_race::{explore, ExplorerConfig, HbBackend, HbConfig, HbDetector};
+use owl_vm::{ProgramInput, RandomScheduler, RunConfig, TraceEvent, VecSink, Vm};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// A realistically-synchronized workload: `threads` straight-line
+/// threads spending most accesses on thread-private state (totally
+/// ordered — FastTrack's fast path), periodically taking a lock for
+/// shared counters, and finishing with a few unlocked accesses to one
+/// shared global so the trace still carries genuine races. This is
+/// the access mix the epoch representation is built for: the
+/// reference backend snapshots a full vector clock per remembered
+/// access even when everything is ordered.
+fn workload_module(threads: usize, per_thread: usize) -> (Module, FuncId) {
+    let mut mb = ModuleBuilder::new("detect-bench");
+    let private: Vec<_> = (0..threads)
+        .map(|t| mb.global(format!("local{t}"), 1, Type::I64))
+        .collect();
+    let shared: Vec<_> = (0..4)
+        .map(|i| mb.global(format!("shared{i}"), 1, Type::I64))
+        .collect();
+    let racy = mb.global("racy", 1, Type::I64);
+    let mutex = mb.global("m", 1, Type::I64);
+    let fns: Vec<FuncId> = (0..threads)
+        .map(|i| mb.declare_func(format!("t{i}"), 1))
+        .collect();
+    for (t, f) in fns.iter().enumerate() {
+        let mut b = mb.build_func(*f);
+        for k in 0..per_thread {
+            if k % 128 == 0 {
+                let la = b.global_addr(mutex);
+                let sa = b.global_addr(shared[(t + k) % shared.len()]);
+                b.lock(la);
+                b.load(sa, Type::I64);
+                b.store(sa, k as i64);
+                b.unlock(la);
+            } else {
+                let pa = b.global_addr(private[t]);
+                if k % 2 == 0 {
+                    b.load(pa, Type::I64);
+                } else {
+                    b.store(pa, k as i64);
+                }
+            }
+        }
+        // The racy tail: unlocked shared accesses, a handful of sites.
+        let ra = b.global_addr(racy);
+        b.store(ra, t as i64);
+        b.load(ra, Type::I64);
+        b.ret(None);
+    }
+    let main = mb.declare_func("main", 0);
+    {
+        let mut b = mb.build_func(main);
+        let tids: Vec<_> = fns.iter().map(|&f| b.thread_create(f, 0)).collect();
+        for t in tids {
+            b.thread_join(t);
+        }
+        b.ret(None);
+    }
+    (mb.finish(), main)
+}
+
+fn capture_trace(module: &Module, entry: FuncId) -> Vec<TraceEvent> {
+    let mut sink = VecSink::default();
+    let mut sched = RandomScheduler::new(11);
+    let vm = Vm::new(module, entry, ProgramInput::empty(), RunConfig::default());
+    let _ = vm.run(&mut sched, &mut sink);
+    sink.events
+}
+
+fn replay(events: &[TraceEvent], backend: HbBackend) -> HbDetector {
+    let mut det = HbDetector::new(HbConfig {
+        backend,
+        ..HbConfig::default()
+    });
+    for ev in events {
+        use owl_vm::TraceSink as _;
+        det.on_event(ev);
+    }
+    det
+}
+
+/// Mean seconds per replay over `reps` repetitions (one untimed
+/// warmup) — a finer-grained number than the harness's 3-iteration
+/// loop, used for the derived throughput metrics.
+fn mean_replay_secs(events: &[TraceEvent], backend: HbBackend) -> f64 {
+    black_box(replay(events, backend));
+    let reps = 10u32;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        black_box(replay(events, backend));
+    }
+    t0.elapsed().as_secs_f64() / f64::from(reps)
+}
+
+fn bench_detector_replay(c: &mut Criterion) {
+    let (m, entry) = workload_module(32, 1024);
+    let events = capture_trace(&m, entry);
+    metric("trace_events", Json::UInt(events.len() as u64));
+
+    // Both backends must agree before we time anything.
+    let reference = replay(&events, HbBackend::Reference).finish(&m);
+    let epoch = replay(&events, HbBackend::Epoch).finish(&m);
+    assert_eq!(epoch, reference, "backends diverge on the bench trace");
+    metric("trace_reports", Json::UInt(reference.len() as u64));
+
+    let mut group = c.benchmark_group("detect");
+    group.bench_function("replay_reference", |b| {
+        b.iter(|| replay(&events, HbBackend::Reference))
+    });
+    group.bench_function("replay_epoch", |b| b.iter(|| replay(&events, HbBackend::Epoch)));
+    group.finish();
+
+    let ref_secs = mean_replay_secs(&events, HbBackend::Reference);
+    let epoch_secs = mean_replay_secs(&events, HbBackend::Epoch);
+    let throughput = |secs: f64| (events.len() as f64 / secs) as u64;
+    metric("events_per_sec_reference", Json::UInt(throughput(ref_secs)));
+    metric("events_per_sec_epoch", Json::UInt(throughput(epoch_secs)));
+    metric("epoch_speedup", Json::Float(ref_secs / epoch_secs));
+    let stats = replay(&events, HbBackend::Epoch)
+        .epoch_stats()
+        .expect("epoch backend exposes stats");
+    metric("epoch_fast_path_rate", Json::Float(stats.fast_path_rate()));
+}
+
+fn bench_explore_scaling(c: &mut Criterion) {
+    let p = owl_corpus::program("MySQL").expect("corpus program");
+    let mut group = c.benchmark_group("explore");
+    for workers in [1usize, 2, 4] {
+        let cfg = ExplorerConfig {
+            runs_per_input: 8,
+            workers,
+            ..ExplorerConfig::default()
+        };
+        group.bench_function(&format!("mysql_workers_{workers}"), |b| {
+            b.iter(|| explore(&p.module, p.entry, &p.workloads, &cfg))
+        });
+        let t0 = Instant::now();
+        black_box(explore(&p.module, p.entry, &p.workloads, &cfg));
+        metric(
+            &format!("explore_wall_us_workers_{workers}"),
+            Json::UInt(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detector_replay, bench_explore_scaling);
+criterion_main!(benches);

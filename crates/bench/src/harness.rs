@@ -40,6 +40,19 @@ pub struct BenchResult {
 }
 
 static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+static METRICS: Mutex<Vec<(String, Json)>> = Mutex::new(Vec::new());
+
+/// Records a free-form named metric (throughput, hit rate, speedup…)
+/// to embed in the `BENCH_<target>.json` summary under `"metrics"`.
+/// Bench targets can call this under either harness — this module is
+/// compiled regardless of the `criterion` feature.
+pub fn metric(name: &str, value: Json) {
+    eprintln!("bench metric {name}: {}", value.to_json_string());
+    METRICS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push((name.to_string(), value));
+}
 
 /// Prevents the optimizer from discarding `v`.
 pub fn black_box<T>(v: T) -> T {
@@ -176,9 +189,13 @@ pub fn results_json(target: &str) -> Json {
     let results = RESULTS
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let metrics = METRICS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     Json::obj([
         ("bench", Json::str(target)),
         ("harness", Json::str("fallback")),
+        ("metrics", Json::obj_owned(metrics.iter().cloned())),
         (
             "benches",
             Json::Arr(
@@ -269,8 +286,15 @@ mod tests {
         let mut group = c.benchmark_group("grp");
         group.sample_size(10).bench_function("inner", |b| b.iter(|| 1));
         group.finish();
+        metric("self_test_events_per_sec", Json::UInt(42));
 
         let doc = results_json("selftest");
+        assert_eq!(
+            doc.get("metrics")
+                .and_then(|m| m.get("self_test_events_per_sec"))
+                .and_then(|j| j.as_u64()),
+            Some(42)
+        );
         assert_eq!(doc.get("harness").and_then(|j| j.as_str()), Some("fallback"));
         let benches = doc.get("benches").and_then(|j| j.as_arr()).expect("array");
         let names: Vec<&str> = benches

@@ -32,6 +32,9 @@ fn usage() -> ExitCode {
          --fault-rate <p>          per-check injection probability\n                            (default 0.01 when --fault-seed is given)\n  \
          --stage-deadline-ms <n>   wall-clock budget per pipeline stage\n  \
          --max-verify-attempts <n> attempt budget for both dynamic verifiers\n\
+         detector options (run/hints/audit/campaign):\n  \
+         --explore-workers <n>     threads exploring schedules in the detection\n                            stage (default 1; reports are identical for any\n                            count and excluded from the campaign fingerprint)\n  \
+         --hb-backend <b>          happens-before shadow memory: `epoch` (fast\n                            path, default) or `reference` (full vector\n                            clocks, the oracle)\n\
          campaign options:\n  \
          --resume                  continue a journal instead of refusing it\n  \
          --max-attempts <n>        per-program retry budget (default 3)\n  \
@@ -99,6 +102,23 @@ fn config(args: &[String]) -> Result<OwlConfig, String> {
             return Err("--max-verify-attempts must be at least 1".to_string());
         }
         cfg = cfg.with_max_verify_attempts(n);
+    }
+    if let Some(n) = parse_flag::<usize>(args, "--explore-workers")? {
+        if n == 0 {
+            return Err("--explore-workers must be at least 1".to_string());
+        }
+        cfg.detect.workers = n;
+    }
+    if let Some(raw) = flag_value(args, "--hb-backend")? {
+        cfg.detect.hb_backend = match raw {
+            "epoch" => owl_race::HbBackend::Epoch,
+            "reference" => owl_race::HbBackend::Reference,
+            other => {
+                return Err(format!(
+                    "--hb-backend must be `epoch` or `reference`, got `{other}`"
+                ));
+            }
+        };
     }
     if args.iter().any(|a| a == "--no-points-to") {
         cfg.vuln.points_to = false;

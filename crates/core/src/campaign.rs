@@ -127,6 +127,12 @@ pub fn backoff_delay(base: Duration, program: &str, attempt: u64, seed: u64) -> 
 /// list. A journal written under a different fingerprint is refused on
 /// resume rather than silently mixed.
 pub fn campaign_fingerprint(owl: &OwlConfig, programs: &[String]) -> String {
+    // The explorer worker count only changes scheduling, never results
+    // (the merge is deterministic), so a journal may be resumed under a
+    // different --explore-workers: normalize it out, the same rule as
+    // [`CampaignConfig::workers`].
+    let mut owl = owl.clone();
+    owl.detect.workers = 1;
     let ident = format!("{owl:?}|{programs:?}");
     format!("{:016x}", fnv1a64(ident.as_bytes()))
 }
@@ -774,6 +780,22 @@ fn record_attempt_metrics(
     let s = &result.stats;
     m.span("detect", program, worker, attempt, started, s.detect_time);
     m.span(
+        "race-detect",
+        program,
+        worker,
+        attempt,
+        started,
+        s.race_detect_time,
+    );
+    m.span(
+        "static-analysis",
+        program,
+        worker,
+        attempt,
+        started,
+        s.static_analysis_time,
+    );
+    m.span(
         "race-verify",
         program,
         worker,
@@ -807,6 +829,8 @@ fn record_attempt_metrics(
     m.counter("summary_cache_hits", h.summary_cache_hits);
     m.counter("summary_cache_misses", h.summary_cache_misses);
     m.counter("units_quarantined", h.total_quarantined());
+    m.counter("detector_suppressed", h.detector_suppressed);
+    m.counter("detector_reports_dropped", h.detector_reports_dropped);
 }
 
 /// Runs (or resumes) a campaign over `programs` against the journal at
@@ -1000,6 +1024,26 @@ mod tests {
         assert_ne!(f1, f3, "config changes the fingerprint");
         let f4 = campaign_fingerprint(&OwlConfig::quick(), &names[..1]);
         assert_ne!(f1, f4, "program list changes the fingerprint");
+
+        // Like CampaignConfig::workers, the explorer worker count is a
+        // scheduling knob with deterministic output: a journal written
+        // at one pool size must resume under another.
+        let mut pooled = OwlConfig::quick();
+        pooled.detect.workers = 8;
+        assert_eq!(
+            f1,
+            campaign_fingerprint(&pooled, &names),
+            "--explore-workers is excluded from the fingerprint"
+        );
+
+        // The detector backend is part of the configuration proper.
+        let mut reference = OwlConfig::quick();
+        reference.detect.hb_backend = owl_race::HbBackend::Reference;
+        assert_ne!(
+            f1,
+            campaign_fingerprint(&reference, &names),
+            "--hb-backend changes the fingerprint"
+        );
     }
 
     #[test]

@@ -34,6 +34,8 @@ impl Default for OwlConfig {
                 expected_steps: 4_000,
                 run_config: RunConfig::default(),
                 annotations: Vec::new(),
+                workers: 1,
+                hb_backend: owl_race::HbBackend::default(),
             },
             race_verify: RaceVerifyConfig {
                 max_schedules: 8,

@@ -683,6 +683,11 @@ pub fn encode_health(h: &crate::PipelineHealth) -> Json {
             "journal_discarded_records",
             Json::UInt(h.journal_discarded_records),
         ),
+        ("detector_suppressed", Json::UInt(h.detector_suppressed)),
+        (
+            "detector_reports_dropped",
+            Json::UInt(h.detector_reports_dropped),
+        ),
     ])
 }
 

@@ -70,6 +70,13 @@ pub struct PipelineStats {
     pub analysis_work: VulnStats,
     /// Wall-clock spent in detection (both runs).
     pub detect_time: Duration,
+    /// Wall-clock spent purely in dynamic race detection (stage 1's
+    /// raw sweep plus stage 2's post-annotation re-run) — the explorer
+    /// share of [`PipelineStats::detect_time`].
+    pub race_detect_time: Duration,
+    /// Wall-clock spent in stage 2's static adhoc-synchronization
+    /// identification.
+    pub static_analysis_time: Duration,
     /// Wall-clock spent in dynamic verification (races + vulns).
     pub verify_time: Duration,
     /// Wall-clock spent in stage 3 (dynamic race verification) alone.
@@ -236,6 +243,14 @@ pub struct PipelineHealth {
     pub journal_discarded_bytes: u64,
     /// Records discarded by the run journal's open-time recovery.
     pub journal_discarded_records: u64,
+    /// Race observations the detector suppressed because they matched
+    /// an adhoc-synchronization annotation, summed over both detection
+    /// sweeps. (Live runs only — not journaled.)
+    pub detector_suppressed: u64,
+    /// Observations of new site pairs the detector dropped because the
+    /// report cap was full. Non-zero means the raw report set is
+    /// truncated. (Live runs only — not journaled.)
+    pub detector_reports_dropped: u64,
 }
 
 impl PipelineHealth {
@@ -460,29 +475,43 @@ impl<'m> Owl<'m> {
         let t0 = Instant::now();
         let raw =
             explore_with_deadline(self.module, self.entry, workloads, &self.config.detect, deadline);
+        let raw_detect = t0.elapsed();
         stats.raw_reports = raw.reports.len();
         health.detect.attempts += raw.runs;
         health.detect.injected_faults += raw.injected_faults;
         health.detect.deadline_hits += raw.deadline_hit as u64;
 
         // Stage 2: adhoc-synchronization hints + annotate + re-detect.
+        let t_static = Instant::now();
         let adhoc = AdhocSyncDetector::new(self.module);
         let annotations: Vec<HbAnnotation> = adhoc
             .detect(&raw.reports)
             .into_iter()
             .map(|(_, a)| a)
             .collect();
+        stats.static_analysis_time = t_static.elapsed();
         stats.adhoc_syncs = annotations.len();
         let annotated_cfg = ExplorerConfig {
             annotations: annotations.clone(),
             ..self.config.detect.clone()
         };
+        let t_rerun = Instant::now();
         let reduced =
             explore_with_deadline(self.module, self.entry, workloads, &annotated_cfg, deadline);
+        stats.race_detect_time = raw_detect + t_rerun.elapsed();
         stats.post_annotation_reports = reduced.reports.len();
         health.detect.attempts += reduced.runs;
         health.detect.injected_faults += reduced.injected_faults;
         health.detect.deadline_hits += reduced.deadline_hit as u64;
+        health.detector_suppressed += (raw.suppressed + reduced.suppressed) as u64;
+        let dropped = raw.reports_dropped + reduced.reports_dropped;
+        health.detector_reports_dropped += dropped as u64;
+        if dropped > 0 {
+            eprintln!(
+                "detect: report cap truncated {dropped} race observation(s); \
+                 raise HbConfig::max_reports to keep them"
+            );
+        }
         stats.detect_time = t0.elapsed();
         (annotations, reduced.reports)
     }
@@ -890,6 +919,9 @@ impl<'m> Owl<'m> {
         stats.raw_reports = atomicity_reports.len();
         stats.post_annotation_reports = atomicity_reports.len();
         stats.detect_time = t0.elapsed();
+        // The atomicity front-end has no static-annotation stage: all
+        // of detection is dynamic.
+        stats.race_detect_time = stats.detect_time;
 
         // Stage 3 (atomicity flavour): the racing-moment check does not
         // apply — both accesses may be individually lock-protected, so

@@ -7,12 +7,30 @@
 //! deduplicated race reports, and keeps per-run statistics. The same
 //! machinery doubles as the "repeated native executions" driver used in
 //! the paper's triggerability study (Table 4's ≤ 20 re-executions).
+//!
+//! Every `(input, seed)` unit runs in its own VM with its own
+//! detector, so the sweep fans out over [`ExplorerConfig::workers`]
+//! scoped threads. Determinism is preserved by construction:
+//!
+//! * units are claimed in sweep order under a lock, and every claimed
+//!   unit runs to completion, so the completed units always form a
+//!   contiguous prefix of the sweep (even when a deadline cuts it
+//!   short);
+//! * per-unit outputs are merged *in unit order* — reports dedup by
+//!   normalized site pair keeping the first unit's report (adopting
+//!   the first available read hint among later duplicates), counters
+//!   are summed, and the merged set gets a final stable sort by site
+//!   pair.
+//!
+//! Any worker count therefore yields byte-identical results; workers
+//! only change wall-clock time.
 
-use crate::hb::{HbAnnotation, HbConfig, HbDetector};
+use crate::hb::{HbAnnotation, HbBackend, HbConfig, HbDetector};
 use crate::report::RaceReport;
 use owl_ir::{FuncId, InstRef, Module};
 use owl_vm::{ExecOutcome, PctScheduler, ProgramInput, RandomScheduler, RunConfig, Scheduler, Vm};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// How the explorer produces schedules.
@@ -44,6 +62,11 @@ pub struct ExplorerConfig {
     pub run_config: RunConfig,
     /// Adhoc-sync annotations to honour during detection.
     pub annotations: Vec<HbAnnotation>,
+    /// Worker threads for the seed sweep (0 is treated as 1). Results
+    /// are byte-identical for any count; see the module docs.
+    pub workers: usize,
+    /// Shadow-memory backend for the per-unit detectors.
+    pub hb_backend: HbBackend,
 }
 
 impl Default for ExplorerConfig {
@@ -55,6 +78,8 @@ impl Default for ExplorerConfig {
             expected_steps: 2_000,
             run_config: RunConfig::default(),
             annotations: Vec::new(),
+            workers: 1,
+            hb_backend: HbBackend::default(),
         }
     }
 }
@@ -68,6 +93,10 @@ pub struct ExploreResult {
     pub runs: u64,
     /// Race observations suppressed by annotations, summed over runs.
     pub suppressed: usize,
+    /// Observations of new site pairs dropped by the per-run
+    /// [`HbConfig::max_reports`] cap, summed over runs. Non-zero means
+    /// the aggregated report set is truncated.
+    pub reports_dropped: usize,
     /// Outcome of every execution (violations, outputs, schedules).
     pub outcomes: Vec<ExecOutcome>,
     /// Total faults the VM's fault plan injected across all runs.
@@ -92,8 +121,9 @@ impl ExploreResult {
     }
 }
 
-/// Runs the exploration: for every input, `runs_per_input` executions
-/// under fresh schedulers, all feeding one deduplicating detector.
+/// Runs the exploration: for every input, `runs_per_input` executions,
+/// each under a fresh scheduler and a fresh detector, merged
+/// deterministically (see the module docs).
 pub fn explore(
     module: &Module,
     entry: FuncId,
@@ -103,9 +133,53 @@ pub fn explore(
     explore_with_deadline(module, entry, inputs, cfg, None)
 }
 
+/// One `(input, seed)` execution's raw output, pre-merge.
+struct UnitOutput {
+    reports: Vec<RaceReport>,
+    suppressed: usize,
+    reports_dropped: usize,
+    outcome: ExecOutcome,
+}
+
+fn run_unit(
+    module: &Module,
+    entry: FuncId,
+    input: &ProgramInput,
+    seed: u64,
+    cfg: &ExplorerConfig,
+) -> UnitOutput {
+    let mut detector = HbDetector::new(HbConfig {
+        annotations: cfg.annotations.clone(),
+        backend: cfg.hb_backend,
+        ..HbConfig::default()
+    });
+    let mut sched: Box<dyn Scheduler> = match cfg.strategy {
+        ExploreStrategy::Random => Box::new(RandomScheduler::new(seed)),
+        ExploreStrategy::Pct { depth } => {
+            Box::new(PctScheduler::new(seed, depth, cfg.expected_steps))
+        }
+    };
+    let vm = Vm::new(module, entry, input.clone(), cfg.run_config.clone());
+    let outcome = vm.run(sched.as_mut(), &mut detector);
+    UnitOutput {
+        suppressed: detector.suppressed(),
+        reports_dropped: detector.reports_dropped(),
+        reports: detector.finish(module),
+        outcome,
+    }
+}
+
+/// Claim state for the sweep: units are handed out strictly in order,
+/// so completed units always form a contiguous prefix of the sweep.
+struct Claim {
+    next: usize,
+    deadline_hit: bool,
+}
+
 /// [`explore`] under a wall-clock budget: the seed sweep stops early
-/// (with `deadline_hit` set) once `deadline` has elapsed. Reports
-/// found before the cut-off are still aggregated and deduplicated.
+/// (with `deadline_hit` set) once `deadline` has elapsed. The first
+/// unit always runs; reports found before the cut-off are still
+/// aggregated and deduplicated.
 pub fn explore_with_deadline(
     module: &Module,
     entry: FuncId,
@@ -114,48 +188,104 @@ pub fn explore_with_deadline(
     deadline: Option<Duration>,
 ) -> ExploreResult {
     let start = Instant::now();
-    let mut detector = HbDetector::new(HbConfig {
-        annotations: cfg.annotations.clone(),
-        ..HbConfig::default()
-    });
-    let mut outcomes = Vec::new();
-    let mut runs = 0;
-    let mut injected_faults = 0u64;
-    let mut deadline_hit = false;
     let default_input = [ProgramInput::empty()];
     let inputs: &[ProgramInput] = if inputs.is_empty() {
         &default_input
     } else {
         inputs
     };
-    'sweep: for input in inputs {
-        for k in 0..cfg.runs_per_input {
-            if let Some(d) = deadline {
-                if runs > 0 && start.elapsed() >= d {
-                    deadline_hit = true;
-                    break 'sweep;
+    // The sweep, flattened in deterministic unit order.
+    let units: Vec<(usize, u64)> = (0..inputs.len())
+        .flat_map(|i| (0..cfg.runs_per_input).map(move |k| (i, k)))
+        .collect();
+    let claim = Mutex::new(Claim {
+        next: 0,
+        deadline_hit: false,
+    });
+    let slots: Vec<Mutex<Option<UnitOutput>>> = units.iter().map(|_| Mutex::new(None)).collect();
+    let worker = || {
+        loop {
+            let i = {
+                let mut c = claim.lock().unwrap_or_else(PoisonError::into_inner);
+                if c.next >= units.len() {
+                    break;
+                }
+                if let Some(d) = deadline {
+                    if c.next > 0 && start.elapsed() >= d {
+                        c.deadline_hit = true;
+                        break;
+                    }
+                }
+                let i = c.next;
+                c.next += 1;
+                i
+            };
+            let (input_idx, k) = units[i];
+            let out = run_unit(module, entry, &inputs[input_idx], cfg.base_seed + k, cfg);
+            *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+        }
+    };
+    let workers = cfg.workers.max(1).min(units.len().max(1));
+    if workers <= 1 {
+        worker();
+    } else {
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(worker);
+            }
+        });
+    }
+
+    // Deterministic merge, in unit order. Claims are a prefix, so the
+    // first empty slot ends the completed range.
+    let mut reports: Vec<RaceReport> = Vec::new();
+    let mut by_key: HashMap<(InstRef, InstRef), usize> = HashMap::new();
+    let mut outcomes = Vec::new();
+    let mut runs = 0u64;
+    let mut suppressed = 0usize;
+    let mut reports_dropped = 0usize;
+    let mut injected_faults = 0u64;
+    for slot in slots {
+        let Some(unit) = slot.into_inner().unwrap_or_else(PoisonError::into_inner) else {
+            break;
+        };
+        runs += 1;
+        suppressed += unit.suppressed;
+        reports_dropped += unit.reports_dropped;
+        injected_faults += unit.outcome.injected_faults.len() as u64;
+        outcomes.push(unit.outcome);
+        for r in unit.reports {
+            match by_key.entry(r.key()) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(reports.len());
+                    reports.push(r);
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    // Keep the first unit's report, but adopt a read
+                    // hint from a later duplicate if it has one and
+                    // the kept report does not.
+                    let kept = &mut reports[*e.get()];
+                    if kept.read_hint.is_none() {
+                        kept.read_hint = r.read_hint;
+                    }
                 }
             }
-            let seed = cfg.base_seed + k;
-            let mut sched: Box<dyn Scheduler> = match cfg.strategy {
-                ExploreStrategy::Random => Box::new(RandomScheduler::new(seed)),
-                ExploreStrategy::Pct { depth } => {
-                    Box::new(PctScheduler::new(seed, depth, cfg.expected_steps))
-                }
-            };
-            let vm = Vm::new(module, entry, input.clone(), cfg.run_config.clone());
-            let outcome = vm.run(sched.as_mut(), &mut detector);
-            injected_faults += outcome.injected_faults.len() as u64;
-            outcomes.push(outcome);
-            runs += 1;
         }
     }
-    let suppressed = detector.suppressed();
-    let reports = detector.finish(module);
+    // Reports stay in discovery order (unit order, then within-unit
+    // detection order) — the order is already deterministic for any
+    // worker count because units merge by index, and downstream
+    // consumers treat the first report on a global as the
+    // representative one.
+    let deadline_hit = claim
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner)
+        .deadline_hit;
     ExploreResult {
         reports,
         runs,
         suppressed,
+        reports_dropped,
         outcomes,
         injected_faults,
         deadline_hit,

@@ -16,13 +16,36 @@
 //!   detector records the first subsequent read of the corrupted
 //!   address, because Algorithm 1 needs a corrupted load (and its call
 //!   stack) to start from.
+//!
+//! The detector runs on one of two interchangeable shadow-memory
+//! backends ([`HbBackend`]): the FastTrack-style epoch fast path (the
+//! `epoch` module, the default) or the original full-vector-clock
+//! implementation, kept as a differential-testing oracle. Both emit
+//! identical report streams.
 
+use crate::epoch::{EpochShadow, EpochStats};
 use crate::report::{Access, RaceReport};
 use crate::vc::VectorClock;
 use owl_ir::{InstRef, Module, Type};
 use owl_vm::{EventKind, ThreadId, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Which shadow-memory representation the detector runs on. Both
+/// backends implement the same happens-before relation and emit
+/// identical report streams (site pairs, watchlist read hints,
+/// suppression counts); they differ only in cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum HbBackend {
+    /// FastTrack-style epochs (see [`EpochStats`]): O(1)
+    /// same-epoch/ordered fast paths, adaptive read-history promotion,
+    /// open-addressed shadow table, interned call stacks. The default.
+    #[default]
+    Epoch,
+    /// Full vector-clock histories in a `BTreeMap` — the original
+    /// implementation, kept as the differential-testing oracle.
+    Reference,
+}
 
 /// One annotated adhoc synchronization: the flag-setting write and the
 /// busy-wait read it releases.
@@ -37,10 +60,14 @@ pub struct HbAnnotation {
 /// Detector configuration.
 #[derive(Clone, Debug)]
 pub struct HbConfig {
-    /// Hard cap on distinct reports kept.
+    /// Hard cap on distinct reports kept. Observations of *new* site
+    /// pairs past the cap are counted in
+    /// [`HbDetector::reports_dropped`].
     pub max_reports: usize,
     /// Adhoc-synchronization annotations to honour.
     pub annotations: Vec<HbAnnotation>,
+    /// Shadow-memory backend.
+    pub backend: HbBackend,
 }
 
 impl Default for HbConfig {
@@ -48,6 +75,7 @@ impl Default for HbConfig {
         HbConfig {
             max_reports: 100_000,
             annotations: Vec::new(),
+            backend: HbBackend::default(),
         }
     }
 }
@@ -56,6 +84,16 @@ impl Default for HbConfig {
 struct Shadow {
     last_write: Option<(VectorClock, Access)>,
     reads: Vec<(VectorClock, Access)>,
+}
+
+/// Backend-selected shadow state.
+#[derive(Clone, Debug)]
+enum ShadowState {
+    Reference(BTreeMap<u64, Shadow>),
+    // Boxed: the open-addressed table header plus caches dwarf the
+    // reference variant's single map pointer, and there is exactly one
+    // `ShadowState` per detector, so the indirection is free.
+    Epoch(Box<EpochShadow>),
 }
 
 /// Online happens-before race detector; implement as a [`TraceSink`]
@@ -67,7 +105,7 @@ pub struct HbDetector {
     lock_clocks: HashMap<u64, VectorClock>,
     atomic_clocks: HashMap<u64, VectorClock>,
     ann_clocks: HashMap<u64, VectorClock>,
-    shadow: BTreeMap<u64, Shadow>,
+    shadow: ShadowState,
     reported: HashSet<(InstRef, InstRef)>,
     reports: Vec<RaceReport>,
     /// Report indices awaiting a post-race read of the key address.
@@ -76,6 +114,7 @@ pub struct HbDetector {
     ann_read_sites: HashSet<InstRef>,
     ann_pairs: HashSet<(InstRef, InstRef)>,
     suppressed: usize,
+    reports_dropped: usize,
 }
 
 impl HbDetector {
@@ -88,13 +127,17 @@ impl HbDetector {
             .iter()
             .map(|a| normalize(a.write_site, a.read_site))
             .collect();
+        let shadow = match cfg.backend {
+            HbBackend::Reference => ShadowState::Reference(BTreeMap::new()),
+            HbBackend::Epoch => ShadowState::Epoch(Box::default()),
+        };
         HbDetector {
             cfg,
             clocks: vec![initial_clock(ThreadId::MAIN)],
             lock_clocks: HashMap::new(),
             atomic_clocks: HashMap::new(),
             ann_clocks: HashMap::new(),
-            shadow: BTreeMap::new(),
+            shadow,
             reported: HashSet::new(),
             reports: Vec::new(),
             pending_hint: HashMap::new(),
@@ -102,6 +145,7 @@ impl HbDetector {
             ann_read_sites,
             ann_pairs,
             suppressed: 0,
+            reports_dropped: 0,
         }
     }
 
@@ -128,6 +172,21 @@ impl HbDetector {
         self.suppressed
     }
 
+    /// Observations of *new* site pairs that were dropped because the
+    /// [`HbConfig::max_reports`] cap was already full. Non-zero means
+    /// the report set is truncated.
+    pub fn reports_dropped(&self) -> usize {
+        self.reports_dropped
+    }
+
+    /// Fast-path counters, when running on the epoch backend.
+    pub fn epoch_stats(&self) -> Option<EpochStats> {
+        match &self.shadow {
+            ShadowState::Epoch(s) => Some(s.stats()),
+            ShadowState::Reference(_) => None,
+        }
+    }
+
     fn clock_mut(&mut self, t: ThreadId) -> &mut VectorClock {
         while self.clocks.len() <= t.index() {
             let t2 = ThreadId(self.clocks.len() as u32);
@@ -142,7 +201,11 @@ impl HbDetector {
             self.suppressed += 1;
             return;
         }
-        if self.reported.contains(&key) || self.reports.len() >= self.cfg.max_reports {
+        if self.reported.contains(&key) {
+            return;
+        }
+        if self.reports.len() >= self.cfg.max_reports {
+            self.reports_dropped += 1;
             return;
         }
         self.reported.insert(key);
@@ -161,7 +224,42 @@ impl HbDetector {
         }
     }
 
+    /// Serves pending write-write read hints for `addr` with this
+    /// read. Shared preamble of both backends' read paths.
+    fn serve_pending_hints(&mut self, addr: u64, access: &Access) {
+        if self.pending_hint.is_empty() {
+            return;
+        }
+        if let Some(idxs) = self.pending_hint.remove(&addr) {
+            for i in idxs {
+                if self.reports[i].read_hint.is_none() {
+                    self.reports[i].read_hint = Some(access.clone());
+                }
+            }
+        }
+    }
+
     fn on_read(&mut self, ev: &TraceEvent, addr: u64, value: i64, ty: Type) {
+        match self.shadow {
+            ShadowState::Reference(_) => self.on_read_reference(ev, addr, value, ty),
+            ShadowState::Epoch(_) => self.on_read_epoch(ev, addr, value, ty),
+        }
+    }
+
+    fn on_write(&mut self, ev: &TraceEvent, addr: u64, value: i64) {
+        match self.shadow {
+            ShadowState::Reference(_) => self.on_write_reference(ev, addr, value),
+            ShadowState::Epoch(_) => self.on_write_epoch(ev, addr, value),
+        }
+        // Annotated release.
+        if self.ann_write_sites.contains(&ev.site) {
+            let tc = self.clock_mut(ev.tid).clone();
+            self.ann_clocks.entry(addr).or_default().join(&tc);
+            self.clock_mut(ev.tid).tick(ev.tid);
+        }
+    }
+
+    fn on_read_reference(&mut self, ev: &TraceEvent, addr: u64, value: i64, ty: Type) {
         let access = Access {
             tid: ev.tid,
             site: ev.site,
@@ -170,14 +268,7 @@ impl HbDetector {
             value,
             ty,
         };
-        // Serve pending write-write read hints.
-        if let Some(idxs) = self.pending_hint.remove(&addr) {
-            for i in idxs {
-                if self.reports[i].read_hint.is_none() {
-                    self.reports[i].read_hint = Some(access.clone());
-                }
-            }
-        }
+        self.serve_pending_hints(addr, &access);
         // Annotated acquire.
         if self.ann_read_sites.contains(&ev.site) {
             if let Some(rc) = self.ann_clocks.get(&addr).cloned() {
@@ -185,7 +276,10 @@ impl HbDetector {
             }
         }
         let clock = self.clock_mut(ev.tid).clone();
-        let shadow = self.shadow.entry(addr).or_default();
+        let ShadowState::Reference(map) = &mut self.shadow else {
+            unreachable!("reference read on epoch shadow");
+        };
+        let shadow = map.entry(addr).or_default();
         let racy_write = match &shadow.last_write {
             Some((wc, wacc)) if wacc.tid != ev.tid && !wc.le(&clock) => Some(wacc.clone()),
             _ => None,
@@ -198,7 +292,7 @@ impl HbDetector {
         }
     }
 
-    fn on_write(&mut self, ev: &TraceEvent, addr: u64, value: i64) {
+    fn on_write_reference(&mut self, ev: &TraceEvent, addr: u64, value: i64) {
         let access = Access {
             tid: ev.tid,
             site: ev.site,
@@ -208,7 +302,10 @@ impl HbDetector {
             ty: Type::I64,
         };
         let clock = self.clock_mut(ev.tid).clone();
-        let shadow = self.shadow.entry(addr).or_default();
+        let ShadowState::Reference(map) = &mut self.shadow else {
+            unreachable!("reference write on epoch shadow");
+        };
+        let shadow = map.entry(addr).or_default();
         let mut conflicts: Vec<Access> = Vec::new();
         if let Some((wc, wacc)) = &shadow.last_write {
             if wacc.tid != ev.tid && !wc.le(&clock) {
@@ -225,11 +322,83 @@ impl HbDetector {
         for c in conflicts {
             self.record(addr, &c, &access);
         }
-        // Annotated release.
-        if self.ann_write_sites.contains(&ev.site) {
-            let tc = self.clock_mut(ev.tid).clone();
-            self.ann_clocks.entry(addr).or_default().join(&tc);
-            self.clock_mut(ev.tid).tick(ev.tid);
+    }
+
+    /// Epoch-backend read: identical observable behavior to
+    /// [`HbDetector::on_read_reference`] (hint service, acquire join,
+    /// racy-write check, read-history update, report order) but no
+    /// clock clone and no `Access` construction on the conflict-free
+    /// fast path.
+    fn on_read_epoch(&mut self, ev: &TraceEvent, addr: u64, value: i64, ty: Type) {
+        if !self.pending_hint.is_empty() && self.pending_hint.contains_key(&addr) {
+            let access = Access {
+                tid: ev.tid,
+                site: ev.site,
+                stack: ev.stack.clone(),
+                is_write: false,
+                value,
+                ty,
+            };
+            self.serve_pending_hints(addr, &access);
+        }
+        // Annotated acquire.
+        if !self.ann_read_sites.is_empty() && self.ann_read_sites.contains(&ev.site) {
+            if let Some(rc) = self.ann_clocks.get(&addr).cloned() {
+                self.clock_mut(ev.tid).join(&rc);
+            }
+        }
+        self.clock_mut(ev.tid); // grow the clock table if needed
+        let clock = &self.clocks[ev.tid.index()];
+        let ShadowState::Epoch(shadow) = &mut self.shadow else {
+            unreachable!("epoch read on reference shadow");
+        };
+        let racy_write = shadow.read(addr, ev.tid, clock, ev.site, &ev.stack, value, ty);
+        if let Some(w) = racy_write {
+            let ShadowState::Epoch(shadow) = &self.shadow else {
+                unreachable!("epoch read on reference shadow");
+            };
+            let prior = shadow.materialize(&w);
+            let access = Access {
+                tid: ev.tid,
+                site: ev.site,
+                stack: ev.stack.clone(),
+                is_write: false,
+                value,
+                ty,
+            };
+            self.record(addr, &prior, &access);
+        }
+    }
+
+    /// Epoch-backend write: same conflict set and emission order as
+    /// [`HbDetector::on_write_reference`] (prior write first, then
+    /// racy reads in insertion order), with the annotated release
+    /// handled by the shared [`HbDetector::on_write`] tail.
+    fn on_write_epoch(&mut self, ev: &TraceEvent, addr: u64, value: i64) {
+        self.clock_mut(ev.tid); // grow the clock table if needed
+        let clock = &self.clocks[ev.tid.index()];
+        let ShadowState::Epoch(shadow) = &mut self.shadow else {
+            unreachable!("epoch write on reference shadow");
+        };
+        shadow.write(addr, ev.tid, clock, ev.site, &ev.stack, value);
+        let n = shadow.conflict_count();
+        if n == 0 {
+            return;
+        }
+        let access = Access {
+            tid: ev.tid,
+            site: ev.site,
+            stack: ev.stack.clone(),
+            is_write: true,
+            value,
+            ty: Type::I64,
+        };
+        for i in 0..n {
+            let ShadowState::Epoch(shadow) = &self.shadow else {
+                unreachable!("epoch write on reference shadow");
+            };
+            let prior = shadow.conflict_access(i);
+            self.record(addr, &prior, &access);
         }
     }
 }
@@ -586,6 +755,129 @@ mod tests {
             let _ = vm.run(&mut sched, &mut det);
         }
         assert_eq!(det.reports().len(), 1);
+    }
+
+    /// Drives one module through both backends and asserts identical
+    /// observable results.
+    fn assert_backends_agree(m: &Module, entry: owl_ir::FuncId, cfg: &HbConfig) {
+        let mut out = Vec::new();
+        for backend in [HbBackend::Epoch, HbBackend::Reference] {
+            let mut det = HbDetector::new(HbConfig {
+                backend,
+                ..cfg.clone()
+            });
+            let mut sched = RoundRobin::new(2);
+            let vm = Vm::new(m, entry, ProgramInput::empty(), Default::default());
+            let _ = vm.run(&mut sched, &mut det);
+            out.push((det.suppressed(), det.reports_dropped(), det.finish(m)));
+        }
+        assert_eq!(out[0], out[1], "epoch and reference must agree");
+    }
+
+    #[test]
+    fn epoch_backend_matches_reference_on_unit_modules() {
+        let (m, main) = racy_module();
+        assert_backends_agree(&m, main, &HbConfig::default());
+        let (m, main) = locked_module();
+        assert_backends_agree(&m, main, &HbConfig::default());
+    }
+
+    #[test]
+    fn same_epoch_reread_stays_on_fast_path() {
+        // One thread reads the same global repeatedly: every re-read
+        // replaces the previous read epoch in O(1) — no promotion.
+        let mut mb = ModuleBuilder::new("reread");
+        let g = mb.global("x", 1, Type::I64);
+        let main = mb.declare_func("main", 0);
+        {
+            let mut b = mb.build_func(main);
+            let a = b.global_addr(g);
+            b.store(a, 1);
+            for _ in 0..4 {
+                b.load(a, Type::I64);
+            }
+            b.ret(None);
+        }
+        let m = mb.finish();
+        let main_id = m.func_by_name("main").unwrap();
+        let mut det = HbDetector::unannotated();
+        let mut sched = RoundRobin::new(1);
+        let vm = Vm::new(&m, main_id, ProgramInput::empty(), Default::default());
+        let _ = vm.run(&mut sched, &mut det);
+        let stats = det.epoch_stats().expect("epoch backend is the default");
+        assert_eq!(stats.read_promotions, 0, "{stats:?}");
+        assert_eq!(stats.read_fast, stats.reads, "{stats:?}");
+        assert!(det.reports().is_empty());
+    }
+
+    /// Two forked readers + a post-join write: the concurrent reads
+    /// force one promotion, the ordering write demotes the history
+    /// back, and nothing races.
+    fn promote_demote_module() -> (Module, owl_ir::FuncId) {
+        let mut mb = ModuleBuilder::new("promote");
+        let g = mb.global("x", 1, Type::I64);
+        let reader = mb.declare_func("reader", 1);
+        let main = mb.declare_func("main", 0);
+        {
+            let mut b = mb.build_func(reader);
+            let a = b.global_addr(g);
+            b.load(a, Type::I64);
+            b.ret(None);
+        }
+        {
+            let mut b = mb.build_func(main);
+            let t1 = b.thread_create(reader, 0);
+            let t2 = b.thread_create(reader, 0);
+            b.thread_join(t1);
+            b.thread_join(t2);
+            let a = b.global_addr(g);
+            b.store(a, 1);
+            b.ret(None);
+        }
+        let m = mb.finish();
+        let main_id = m.func_by_name("main").unwrap();
+        (m, main_id)
+    }
+
+    #[test]
+    fn concurrent_reads_promote_and_ordering_write_demotes() {
+        let (m, main_id) = promote_demote_module();
+        let mut det = HbDetector::unannotated();
+        let mut sched = RoundRobin::new(3);
+        let vm = Vm::new(&m, main_id, ProgramInput::empty(), Default::default());
+        let _ = vm.run(&mut sched, &mut det);
+        let stats = det.epoch_stats().expect("epoch backend is the default");
+        assert!(stats.read_promotions >= 1, "{stats:?}");
+        assert!(stats.read_demotions >= 1, "{stats:?}");
+        assert!(
+            det.reports().is_empty(),
+            "join orders the write: {:?}",
+            det.reports()
+        );
+        assert_backends_agree(&m, main_id, &HbConfig::default());
+    }
+
+    #[test]
+    fn report_cap_counts_dropped_observations() {
+        // Cap of zero: the racy pair is observed but cannot be kept.
+        let (m, main) = racy_module();
+        let mut det = HbDetector::new(HbConfig {
+            max_reports: 0,
+            ..HbConfig::default()
+        });
+        let mut sched = RoundRobin::new(2);
+        let vm = Vm::new(&m, main, ProgramInput::empty(), Default::default());
+        let _ = vm.run(&mut sched, &mut det);
+        assert!(det.reports().is_empty());
+        assert!(det.reports_dropped() >= 1, "{}", det.reports_dropped());
+        assert_backends_agree(
+            &m,
+            main,
+            &HbConfig {
+                max_reports: 0,
+                ..HbConfig::default()
+            },
+        );
     }
 
     #[test]

@@ -11,11 +11,17 @@
 //! the same surface over [`owl_vm`] traces:
 //!
 //! * [`HbDetector`] — vector-clock happens-before detection (TSan's
-//!   theory), with [`HbAnnotation`] support and read hints;
+//!   theory), with [`HbAnnotation`] support and read hints. It runs on
+//!   FastTrack-style epoch shadow cells by default; the original full
+//!   vector-clock backend is selectable as a differential oracle via
+//!   [`HbBackend`];
 //! * [`LocksetDetector`] — an Eraser-style baseline used by the
 //!   benches to put the report flood in context;
 //! * [`explore`] — a PCT/random schedule-exploration driver (SKI's
 //!   regime), aggregating deduplicated [`RaceReport`]s across seeds.
+//!   The seed sweep fans out over [`ExplorerConfig::workers`] threads
+//!   with a deterministic merge: any worker count yields byte-identical
+//!   results.
 //!
 //! ## Example
 //!
@@ -52,6 +58,7 @@
 #![forbid(unsafe_code)]
 
 mod atomicity;
+mod epoch;
 mod explorer;
 mod hb;
 mod lockset;
@@ -59,11 +66,12 @@ mod report;
 mod vc;
 
 pub use atomicity::{AtomicityDetector, AtomicityPattern, AtomicityReport};
+pub use epoch::EpochStats;
 pub use explorer::{
     executions_until, explore, explore_with_deadline, site_pairs, ExploreResult, ExploreStrategy,
     ExplorerConfig,
 };
-pub use hb::{global_name_for_addr, HbAnnotation, HbConfig, HbDetector};
+pub use hb::{global_name_for_addr, HbAnnotation, HbBackend, HbConfig, HbDetector};
 pub use lockset::LocksetDetector;
 pub use report::{Access, RaceReport};
 pub use vc::VectorClock;

@@ -2,8 +2,11 @@
 //!
 //! The happens-before detector tracks one clock per thread plus release
 //! clocks per mutex/atomic cell — the same theory ThreadSanitizer
-//! implements (with epochs as an optimization we do not need at corpus
-//! scale).
+//! implements. Full clocks back the reference backend; the default
+//! detector path stores FastTrack-style `(thread, clock)` epochs per
+//! shadow cell instead (see the `epoch` module and
+//! [`crate::EpochStats`]) and only consults whole vectors at
+//! synchronization points.
 
 use owl_vm::ThreadId;
 use serde::{Deserialize, Serialize};

@@ -20,7 +20,7 @@
 //!   same property).
 
 use owl_ir::{FuncId, ModuleBuilder, Type};
-use owl_race::HbDetector;
+use owl_race::{HbAnnotation, HbBackend, HbConfig, HbDetector};
 use owl_vm::{
     EventKind, ProgramInput, RandomScheduler, RunConfig, ThreadId, TraceEvent, VecSink, Vm,
 };
@@ -237,6 +237,50 @@ proptest! {
                 reported_addrs.contains(a),
                 "missed racy address {a:#x}; reports: {reports:?}"
             );
+        }
+    }
+
+    /// The epoch fast path is a drop-in replacement, not an
+    /// approximation: on the same trace it must produce the identical
+    /// report stream, suppression count, and cap-drop count as the
+    /// vector-clock reference backend — with and without adhoc-sync
+    /// annotations in play.
+    #[test]
+    fn epoch_backend_matches_reference(threads in program_strategy(), seed in 0u64..64) {
+        let (m, main) = build(&threads);
+        let mut sink = VecSink::default();
+        let mut sched = RandomScheduler::new(seed);
+        let vm = Vm::new(&m, main, ProgramInput::empty(), RunConfig::default());
+        let _ = vm.run(&mut sched, &mut sink);
+
+        let analyze = |backend: HbBackend, annotations: Vec<HbAnnotation>| {
+            let mut det = HbDetector::new(HbConfig {
+                backend,
+                annotations,
+                ..HbConfig::default()
+            });
+            for ev in &sink.events {
+                use owl_vm::TraceSink as _;
+                det.on_event(ev);
+            }
+            let counts = (det.suppressed(), det.reports_dropped());
+            (det.finish(&m), counts)
+        };
+
+        let (ref_reports, ref_counts) = analyze(HbBackend::Reference, Vec::new());
+        let (epoch_reports, epoch_counts) = analyze(HbBackend::Epoch, Vec::new());
+        prop_assert_eq!(&epoch_reports, &ref_reports);
+        prop_assert_eq!(epoch_counts, ref_counts);
+
+        // Annotate the first discovered pair as adhoc sync and re-run:
+        // the suppression path must agree as exactly as detection did.
+        if let Some(r) = ref_reports.first() {
+            let key = r.key();
+            let ann = vec![HbAnnotation { write_site: key.0, read_site: key.1 }];
+            let (ref_reports, ref_counts) = analyze(HbBackend::Reference, ann.clone());
+            let (epoch_reports, epoch_counts) = analyze(HbBackend::Epoch, ann);
+            prop_assert_eq!(&epoch_reports, &ref_reports);
+            prop_assert_eq!(epoch_counts, ref_counts);
         }
     }
 }

@@ -173,6 +173,9 @@ fn campaign_workers_and_metrics_flags() {
     for line in spans.lines() {
         owl::json::parse(line).expect("every span line is valid JSON");
     }
+    for span in ["race-detect", "static-analysis"] {
+        assert!(spans.contains(span), "missing {span} span in:\n{spans}");
+    }
 
     // Zero workers is meaningless and rejected up front.
     let zero = cli()
@@ -182,4 +185,52 @@ fn campaign_workers_and_metrics_flags() {
     assert!(!zero.status.success(), "--workers 0 must be rejected");
 
     let _ = std::fs::remove_dir_all(base);
+}
+
+#[test]
+fn explore_workers_and_hb_backend_flags() {
+    // The epoch backend at any worker count finds exactly what the
+    // reference backend finds serially. The run command prints
+    // wall-clock durations, so compare the findings lines, not the
+    // whole output.
+    let reference = run_ok(&[
+        "run", "SSDB", "--quick", "--hb-backend", "reference", "--explore-workers", "1",
+    ]);
+    let epoch = run_ok(&[
+        "run", "SSDB", "--quick", "--hb-backend", "epoch", "--explore-workers", "4",
+    ]);
+    let key_line = |out: &str| {
+        out.lines()
+            .find(|l| l.starts_with("reports:"))
+            .map(str::to_string)
+            .unwrap_or_else(|| panic!("no reports line in:\n{out}"))
+    };
+    assert_eq!(key_line(&epoch), key_line(&reference));
+    assert!(epoch.contains("finding on `db`"), "{epoch}");
+    assert!(reference.contains("finding on `db`"), "{reference}");
+
+    // Bad values are rejected up front with a useful message.
+    let zero = cli()
+        .args(["run", "SSDB", "--quick", "--explore-workers", "0"])
+        .output()
+        .expect("spawn");
+    assert!(!zero.status.success(), "--explore-workers 0 must be rejected");
+    let err = String::from_utf8_lossy(&zero.stderr);
+    assert!(err.contains("at least 1"), "{err}");
+
+    let bogus = cli()
+        .args(["run", "SSDB", "--quick", "--hb-backend", "bogus"])
+        .output()
+        .expect("spawn");
+    assert!(!bogus.status.success(), "--hb-backend bogus must be rejected");
+    let err = String::from_utf8_lossy(&bogus.stderr);
+    assert!(err.contains("`epoch` or `reference`"), "{err}");
+
+    let missing = cli()
+        .args(["run", "SSDB", "--quick", "--hb-backend"])
+        .output()
+        .expect("spawn");
+    assert!(!missing.status.success());
+    let err = String::from_utf8_lossy(&missing.stderr);
+    assert!(err.contains("requires a value"), "{err}");
 }

@@ -1,0 +1,88 @@
+//! Differential testing of the detector backends across the corpus.
+//!
+//! The epoch fast path is only allowed to be *fast* — never different.
+//! For every corpus program it must produce exactly the reference
+//! (vector-clock) backend's results: the identical deduplicated report
+//! set, suppression counts, and cap-drop counts. Parallel exploration
+//! must likewise be indistinguishable from serial exploration at any
+//! worker count.
+
+use owl_race::{explore, ExploreResult, ExplorerConfig, HbAnnotation, HbBackend};
+
+fn sweep(
+    p: &owl_corpus::CorpusProgram,
+    backend: HbBackend,
+    workers: usize,
+    annotations: Vec<HbAnnotation>,
+) -> ExploreResult {
+    let cfg = ExplorerConfig {
+        runs_per_input: 4,
+        workers,
+        hb_backend: backend,
+        annotations,
+        ..ExplorerConfig::default()
+    };
+    explore(&p.module, p.entry, &p.workloads, &cfg)
+}
+
+#[test]
+fn epoch_backend_matches_reference_across_corpus() {
+    for p in owl_corpus::all_programs() {
+        let reference = sweep(&p, HbBackend::Reference, 1, Vec::new());
+        for workers in [1usize, 2, 4] {
+            let epoch = sweep(&p, HbBackend::Epoch, workers, Vec::new());
+            assert_eq!(
+                epoch.reports, reference.reports,
+                "{} (workers={workers}): epoch reports diverge",
+                p.name
+            );
+            assert_eq!(epoch.suppressed, reference.suppressed, "{}", p.name);
+            assert_eq!(epoch.reports_dropped, reference.reports_dropped, "{}", p.name);
+            assert_eq!(epoch.runs, reference.runs, "{}", p.name);
+        }
+
+        // Annotating every discovered pair as adhoc sync must drive
+        // both backends down the same suppression path.
+        let annotations: Vec<HbAnnotation> = reference
+            .reports
+            .iter()
+            .map(|r| {
+                let (write_site, read_site) = r.key();
+                HbAnnotation {
+                    write_site,
+                    read_site,
+                }
+            })
+            .collect();
+        if annotations.is_empty() {
+            continue;
+        }
+        let ref_ann = sweep(&p, HbBackend::Reference, 1, annotations.clone());
+        let epoch_ann = sweep(&p, HbBackend::Epoch, 4, annotations);
+        assert_eq!(epoch_ann.reports, ref_ann.reports, "{} annotated", p.name);
+        assert_eq!(epoch_ann.suppressed, ref_ann.suppressed, "{} annotated", p.name);
+        assert_eq!(
+            epoch_ann.reports_dropped, ref_ann.reports_dropped,
+            "{} annotated",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn parallel_exploration_matches_serial_for_both_backends() {
+    for p in owl_corpus::all_programs() {
+        for backend in [HbBackend::Reference, HbBackend::Epoch] {
+            let serial = sweep(&p, backend, 1, Vec::new());
+            let pooled = sweep(&p, backend, 4, Vec::new());
+            assert_eq!(
+                pooled.reports, serial.reports,
+                "{} ({backend:?}): workers=4 diverges from serial",
+                p.name
+            );
+            assert_eq!(pooled.suppressed, serial.suppressed, "{}", p.name);
+            assert_eq!(pooled.reports_dropped, serial.reports_dropped, "{}", p.name);
+            assert_eq!(pooled.runs, serial.runs, "{}", p.name);
+        }
+    }
+}
