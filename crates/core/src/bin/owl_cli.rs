@@ -8,15 +8,35 @@
 //! owl-cli campaign <dir> [--resume]    # crash-safe sweep of the whole corpus
 //! owl-cli audit <program> [--quick]    # §7.2 path auditing demo
 //! owl-cli hints <program> [--quick]    # Figure-4/5 hints for every finding
+//! owl-cli serve <dir>                  # resident analysis daemon (DESIGN.md §13)
+//! owl-cli submit <socket> <program>    # submit to a running daemon
+//! owl-cli status <socket>              # daemon counters as JSON
+//! owl-cli shutdown <socket>            # graceful drain, wait for `bye`
 //! ```
+//!
+//! Exit codes: `0` success, `1` failure, `2` usage error, and — for
+//! `submit` — the typed daemon outcomes `3` admission-rejected,
+//! `4` deadline-exceeded, `5` quarantined.
 
 use owl::journal::{encode_error, encode_health, encode_summary};
 use owl::json::Json;
+use owl::serve::{
+    encode_request, parse_response, serve, FailureKind, Request, Response, ServeConfig,
+};
 use owl::{run_campaign, CampaignConfig, Owl, OwlConfig, PathAuditor, ProgramSummary};
 use owl_static::hints;
 use owl_vm::{FaultPlan, RandomScheduler};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
 use std::process::ExitCode;
 use std::time::Duration;
+
+/// Typed `submit` exit code for an admission-rejected request.
+const EXIT_REJECTED: u8 = 3;
+/// Typed `submit` exit code for a deadline-exceeded request.
+const EXIT_DEADLINE: u8 = 4;
+/// Typed `submit` exit code for a quarantined request.
+const EXIT_QUARANTINED: u8 = 5;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -26,7 +46,11 @@ fn usage() -> ExitCode {
          run <program> [--quick] [--atomicity] [--json]\n                            run the pipeline and print findings\n  \
          campaign <dir> [--quick] [--resume] [--json]\n                            run the whole corpus with a durable journal in <dir>\n  \
          hints <program> [--quick] print Figure-4/5 hints for every finding\n  \
-         audit <program> [--quick] demo §7.2 path auditing\n\
+         audit <program> [--quick] demo §7.2 path auditing\n  \
+         serve <dir> [--socket <path>] [--workers <n>] [--queue <n>]\n       [--max-inflight-bytes <n>] [--kill-after <n>]\n                            resident daemon: store + metrics in <dir>,\n                            line-JSON protocol on <dir>/owl.sock\n  \
+         submit <socket> <program> [--quick] [--deadline-ms <n>] [--json]\n                            submit one program; exits 0 result, 3 rejected,\n                            4 deadline-exceeded, 5 quarantined\n  \
+         status <socket>           print daemon counters as JSON\n  \
+         shutdown <socket>         graceful drain; exits 0 on `bye`\n\
          robustness options (run/hints/audit/campaign):\n  \
          --fault-seed <n>          seed for deterministic fault injection\n  \
          --fault-rate <p>          per-check injection probability\n                            (default 0.01 when --fault-seed is given)\n  \
@@ -435,7 +459,35 @@ fn main() -> ExitCode {
                         }
                     }
                     if args.iter().any(|a| a == "--json") {
-                        println!("{}", outcome.summary.to_json().to_json_string());
+                        // Surface what recovery discarded and the
+                        // robustness counters next to the summary, so
+                        // operators see torn-tail repairs and
+                        // quarantines without scraping stderr.
+                        let mut doc = outcome.summary.to_json();
+                        if let Json::Obj(pairs) = &mut doc {
+                            pairs.push((
+                                "recovery".to_string(),
+                                Json::obj([
+                                    (
+                                        "journal_discarded_bytes",
+                                        Json::UInt(outcome.recovery.discarded_bytes),
+                                    ),
+                                    (
+                                        "journal_discarded_records",
+                                        Json::UInt(outcome.recovery.discarded_records),
+                                    ),
+                                    (
+                                        "valid_records",
+                                        Json::UInt(outcome.summary.records),
+                                    ),
+                                ]),
+                            ));
+                            pairs.push((
+                                "health".to_string(),
+                                encode_health(&outcome.health),
+                            ));
+                        }
+                        println!("{}", doc.to_json_string());
                     } else {
                         print!("{}", outcome.summary.render());
                     }
@@ -447,6 +499,253 @@ fn main() -> ExitCode {
                 }
             }
         }
+        "serve" => {
+            let Some(dir) = args.get(1) else {
+                return usage();
+            };
+            if dir.starts_with("--") {
+                return usage();
+            }
+            let owl = match config(&args) {
+                Ok(cfg) => cfg,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return ExitCode::from(2);
+                }
+            };
+            let mut scfg = ServeConfig::new(dir);
+            scfg.owl = owl;
+            // The daemon always records metrics: BENCH_serve.json and
+            // spans.jsonl land in <dir> at shutdown.
+            scfg.metrics = Some(std::sync::Arc::new(owl::MetricsRecorder::new()));
+            let serve_flags = (|| -> Result<(), String> {
+                if let Some(p) = flag_value(&args, "--socket")? {
+                    scfg.socket = std::path::PathBuf::from(p);
+                }
+                if let Some(n) = parse_flag::<usize>(&args, "--workers")? {
+                    if n == 0 {
+                        return Err("--workers must be at least 1".to_string());
+                    }
+                    scfg.workers = n;
+                }
+                if let Some(n) = parse_flag::<usize>(&args, "--queue")? {
+                    if n == 0 {
+                        return Err("--queue must be at least 1".to_string());
+                    }
+                    scfg.queue_capacity = n;
+                }
+                if let Some(n) = parse_flag::<u64>(&args, "--max-inflight-bytes")? {
+                    scfg.max_inflight_bytes = n;
+                }
+                if let Some(ms) = parse_flag::<u64>(&args, "--default-deadline-ms")? {
+                    scfg.default_deadline = Duration::from_millis(ms);
+                }
+                if let Some(n) = parse_flag::<u64>(&args, "--kill-after")? {
+                    scfg.kill_after_appends = Some(n);
+                }
+                Ok(())
+            })();
+            if let Err(msg) = serve_flags {
+                eprintln!("{msg}");
+                return ExitCode::from(2);
+            }
+            eprintln!("owl serve: listening on {}", scfg.socket.display());
+            match serve(scfg) {
+                Ok(report) => {
+                    eprintln!(
+                        "owl serve: drained — {} executed, {} cache hit(s), {} shed, {} stored",
+                        report.executed,
+                        report.cache_hits,
+                        report.admission.total_shed(),
+                        report.stored
+                    );
+                    if report.recovery.recovered() {
+                        eprintln!(
+                            "owl serve: store recovered — discarded {} byte(s) in {} record(s)",
+                            report.recovery.discarded_bytes, report.recovery.discarded_records
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("owl serve failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "submit" => {
+            let (Some(socket), Some(program)) = (args.get(1), args.get(2)) else {
+                return usage();
+            };
+            let req = Request::Submit {
+                program: program.clone(),
+                quick: args.iter().any(|a| a == "--quick"),
+                deadline_ms: match parse_flag::<u64>(&args, "--deadline-ms") {
+                    Ok(v) => v,
+                    Err(msg) => {
+                        eprintln!("{msg}");
+                        return ExitCode::from(2);
+                    }
+                },
+                sleep_ms: match parse_flag::<u64>(&args, "--sleep-ms") {
+                    Ok(v) => v.unwrap_or(0),
+                    Err(msg) => {
+                        eprintln!("{msg}");
+                        return ExitCode::from(2);
+                    }
+                },
+                inject_panic: args.iter().any(|a| a == "--inject-panic"),
+            };
+            let json = args.iter().any(|a| a == "--json");
+            client_roundtrip(socket, &req, |resp| match resp {
+                Response::Accepted { id } => {
+                    eprintln!("accepted as request {id}");
+                    None
+                }
+                Response::Result {
+                    program,
+                    cached,
+                    summary,
+                    ..
+                } => {
+                    if json {
+                        let out = Json::obj([
+                            ("program", Json::str(program.clone())),
+                            ("cached", Json::Bool(*cached)),
+                            ("summary", encode_summary(summary)),
+                        ]);
+                        println!("{}", out.to_json_string());
+                    } else {
+                        println!(
+                            "{program}{}: {} raw -> {} verified, {} vulnerable",
+                            if *cached { " (cached)" } else { "" },
+                            summary.raw_reports,
+                            summary.remaining,
+                            summary.vulnerable
+                        );
+                    }
+                    Some(ExitCode::SUCCESS)
+                }
+                Response::Rejected { reason } => {
+                    eprintln!("rejected: {reason}");
+                    Some(ExitCode::from(EXIT_REJECTED))
+                }
+                Response::Failed { kind, message, .. } => {
+                    eprintln!("failed ({}): {message}", kind.as_str());
+                    Some(ExitCode::from(match kind {
+                        FailureKind::DeadlineExceeded => EXIT_DEADLINE,
+                        FailureKind::Quarantined => EXIT_QUARANTINED,
+                    }))
+                }
+                Response::Error { message } => {
+                    eprintln!("daemon error: {message}");
+                    Some(ExitCode::FAILURE)
+                }
+                Response::Status(_) | Response::Bye => {
+                    eprintln!("unexpected response");
+                    Some(ExitCode::FAILURE)
+                }
+            })
+        }
+        "status" => {
+            let Some(socket) = args.get(1) else {
+                return usage();
+            };
+            client_roundtrip(socket, &Request::Status, |resp| match resp {
+                Response::Status(s) => {
+                    let out = Json::obj([
+                        ("queue_depth", Json::UInt(s.queue_depth)),
+                        ("active", Json::UInt(s.active)),
+                        ("inflight_bytes", Json::UInt(s.inflight_bytes)),
+                        ("draining", Json::Bool(s.draining)),
+                        ("executed", Json::UInt(s.executed)),
+                        ("cache_hits", Json::UInt(s.cache_hits)),
+                        ("shed_queue_full", Json::UInt(s.shed_queue_full)),
+                        ("shed_too_large", Json::UInt(s.shed_too_large)),
+                        ("shed_draining", Json::UInt(s.shed_draining)),
+                        ("stored", Json::UInt(s.stored)),
+                        (
+                            "recovery_discarded_bytes",
+                            Json::UInt(s.recovery_discarded_bytes),
+                        ),
+                        (
+                            "recovery_discarded_records",
+                            Json::UInt(s.recovery_discarded_records),
+                        ),
+                    ]);
+                    println!("{}", out.to_json_string());
+                    Some(ExitCode::SUCCESS)
+                }
+                _ => {
+                    eprintln!("unexpected response");
+                    Some(ExitCode::FAILURE)
+                }
+            })
+        }
+        "shutdown" => {
+            let Some(socket) = args.get(1) else {
+                return usage();
+            };
+            client_roundtrip(socket, &Request::Shutdown, |resp| match resp {
+                Response::Bye => {
+                    eprintln!("daemon drained");
+                    Some(ExitCode::SUCCESS)
+                }
+                _ => {
+                    eprintln!("unexpected response");
+                    Some(ExitCode::FAILURE)
+                }
+            })
+        }
         _ => usage(),
+    }
+}
+
+/// Sends one request to a daemon socket and feeds response lines to
+/// `on_resp` until it produces an exit code (EOF before that is a
+/// failure — the daemon died with the request in flight).
+fn client_roundtrip(
+    socket: &str,
+    req: &Request,
+    mut on_resp: impl FnMut(&Response) -> Option<ExitCode>,
+) -> ExitCode {
+    let mut stream = match UnixStream::connect(socket) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot connect to {socket}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut line = encode_request(req);
+    line.push('\n');
+    if let Err(e) = stream.write_all(line.as_bytes()) {
+        eprintln!("cannot write to {socket}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut reader = BufReader::new(stream);
+    let mut buf = String::new();
+    loop {
+        buf.clear();
+        match reader.read_line(&mut buf) {
+            Ok(0) => {
+                eprintln!("daemon closed the connection (request lost)");
+                return ExitCode::FAILURE;
+            }
+            Ok(_) => match parse_response(&buf) {
+                Ok(resp) => {
+                    if let Some(code) = on_resp(&resp) {
+                        return code;
+                    }
+                }
+                Err(msg) => {
+                    eprintln!("unparseable response: {msg}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(e) => {
+                eprintln!("read error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
 }

@@ -29,13 +29,13 @@ use crate::journal::{
 use crate::json::Json;
 use crate::metrics::MetricsRecorder;
 use crate::pipeline::{Owl, PipelineError, PipelineHealth, PipelineResult, Stage};
+use crate::queue::{DeadlineQueue, Pop};
 use owl_corpus::CorpusProgram;
 use owl_verify::VerifyOutcome;
 use std::any::Any;
-use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// A config-level fault: force the named program's first `failures`
@@ -225,6 +225,8 @@ impl CampaignSummary {
                         ProgramOutcome::Quarantined(error.clone()),
                     );
                 }
+                // Serve-store records are not campaign state.
+                JournalRecord::ResultCached { .. } => {}
             }
         }
         CampaignSummary {
@@ -475,54 +477,11 @@ pub struct CampaignOutcome {
 }
 
 /// One schedulable unit of campaign work: run program
-/// `programs[idx]` at `attempt`, no earlier than `due`.
-///
-/// Ordered for a `BinaryHeap` so the *earliest* due entry is at the
-/// top, with the enqueue sequence number as tiebreak — equal deadlines
-/// (the initial seeding) pop in campaign order.
-struct QueueEntry {
-    due: Instant,
-    seq: u64,
+/// `programs[idx]` at `attempt` (the due instant lives in the
+/// [`DeadlineQueue`] entry).
+struct Task {
     idx: usize,
     attempt: u64,
-}
-
-impl PartialEq for QueueEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.due == other.due && self.seq == other.seq
-    }
-}
-
-impl Eq for QueueEntry {}
-
-impl PartialOrd for QueueEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for QueueEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest due
-        // (then lowest seq) on top.
-        other
-            .due
-            .cmp(&self.due)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-/// The deadline queue plus the bookkeeping workers need to decide
-/// whether the campaign is drained: an empty heap only means "done"
-/// once no worker is still running an attempt that might re-enqueue.
-struct Scoreboard {
-    heap: BinaryHeap<QueueEntry>,
-    /// Workers currently executing an attempt.
-    active: usize,
-    /// Set on a fatal journal error or a journal kill: every worker
-    /// stops pulling work.
-    aborted: bool,
-    next_seq: u64,
 }
 
 /// Everything the scoped workers share.
@@ -530,11 +489,10 @@ struct WorkerShared<'a> {
     programs: &'a [CorpusProgram],
     cfg: &'a CampaignConfig,
     journal: SharedJournal,
-    queue: Mutex<Scoreboard>,
-    /// Signaled whenever the queue or the abort flag changes; idle
-    /// workers park here (bounded by the head entry's deadline) instead
-    /// of sleeping inline.
-    idle: Condvar,
+    /// The shared deadline queue ([`crate::queue`]): earliest due entry
+    /// first, enqueue order as tiebreak — equal deadlines (the initial
+    /// seeding) pop in campaign order.
+    queue: DeadlineQueue<Task>,
     /// First fatal journal error, if any.
     fatal: Mutex<Option<JournalError>>,
     /// First captured [`JournalKilled`] panic payload, if any.
@@ -542,13 +500,6 @@ struct WorkerShared<'a> {
     /// worker stores it here and `run_campaign` re-raises it after the
     /// pool drains.
     killed: Mutex<Option<Box<dyn Any + Send>>>,
-}
-
-fn lock_queue<'a>(shared: &'a WorkerShared<'_>) -> MutexGuard<'a, Scoreboard> {
-    shared
-        .queue
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
 }
 
 /// What one supervised attempt decided.
@@ -564,79 +515,42 @@ enum AttemptStep {
 }
 
 /// Worker body: pull the next *due* entry off the deadline queue, run
-/// one supervised attempt, push the outcome back. A worker facing a
-/// not-yet-due head parks on the condvar until that deadline (waking
-/// early if the queue changes) — no thread ever sleeps while a
-/// runnable program is queued, and a backoff window blocks only the
-/// one program serving it.
+/// one supervised attempt, push the outcome back. The queue parks a
+/// worker facing a not-yet-due head until that deadline — no thread
+/// ever sleeps while a runnable program is queued, and a backoff
+/// window blocks only the one program serving it.
 fn worker_loop(shared: &WorkerShared<'_>, worker_id: usize) {
     loop {
-        let mut q = lock_queue(shared);
-        let entry = loop {
-            if q.aborted {
-                return;
-            }
-            match q.heap.peek().map(|e| e.due) {
-                Some(due) => {
-                    let now = Instant::now();
-                    if due <= now {
-                        let e = q.heap.pop().expect("peeked entry exists");
-                        q.active += 1;
-                        break e;
-                    }
-                    // The head (earliest deadline in the heap) is not
-                    // due: nothing is runnable. Park until it is, or
-                    // until a re-enqueue/abort notifies us.
-                    let (guard, _timeout) = shared
-                        .idle
-                        .wait_timeout(q, due - now)
-                        .unwrap_or_else(PoisonError::into_inner);
-                    q = guard;
-                }
-                None => {
-                    if q.active == 0 {
-                        // Drained: wake any parked peers so they can
-                        // see it and exit too.
-                        drop(q);
-                        shared.idle.notify_all();
-                        return;
-                    }
-                    // A running attempt may still re-enqueue.
-                    q = shared
-                        .idle
-                        .wait(q)
-                        .unwrap_or_else(PoisonError::into_inner);
-                }
-            }
+        let (task, due) = match shared.queue.pop() {
+            Pop::Item { item, due } => (item, due),
+            Pop::Drained | Pop::Aborted => return,
         };
-        drop(q);
 
         if let Some(m) = &shared.cfg.metrics {
-            let waited = Instant::now().saturating_duration_since(entry.due);
+            let waited = Instant::now().saturating_duration_since(due);
             m.span(
                 "queue-wait",
-                shared.programs[entry.idx].name,
+                shared.programs[task.idx].name,
                 worker_id,
-                entry.attempt,
-                entry.due,
+                task.attempt,
+                due,
                 waited,
             );
         }
-        let step = run_attempt(shared, entry.idx, entry.attempt, worker_id);
+        let step = run_attempt(shared, task.idx, task.attempt, worker_id);
 
-        let mut q = lock_queue(shared);
-        q.active -= 1;
         let stop = match step {
             AttemptStep::Terminal => false,
             AttemptStep::Retry { due } => {
-                let seq = q.next_seq;
-                q.next_seq += 1;
-                q.heap.push(QueueEntry {
+                // Push the retry *before* task_done so the queue never
+                // looks drained while the re-enqueue is pending.
+                shared.queue.push(
                     due,
-                    seq,
-                    idx: entry.idx,
-                    attempt: entry.attempt + 1,
-                });
+                    Task {
+                        idx: task.idx,
+                        attempt: task.attempt + 1,
+                    },
+                );
                 false
             }
             AttemptStep::Fatal(e) => {
@@ -644,7 +558,7 @@ fn worker_loop(shared: &WorkerShared<'_>, worker_id: usize) {
                 if slot.is_none() {
                     *slot = Some(e);
                 }
-                q.aborted = true;
+                shared.queue.abort();
                 true
             }
             AttemptStep::Killed(payload) => {
@@ -655,12 +569,11 @@ fn worker_loop(shared: &WorkerShared<'_>, worker_id: usize) {
                 if slot.is_none() {
                     *slot = Some(payload);
                 }
-                q.aborted = true;
+                shared.queue.abort();
                 true
             }
         };
-        drop(q);
-        shared.idle.notify_all();
+        shared.queue.task_done();
         if stop {
             return;
         }
@@ -768,8 +681,10 @@ fn run_attempt(
 }
 
 /// Folds one successful pipeline run's stage timings and health
-/// counters into the campaign's metrics recorder.
-fn record_attempt_metrics(
+/// counters into the campaign's metrics recorder. Also used by the
+/// `owl serve` workers — cached daemon responses skip this entirely,
+/// which is how the tests prove stages 1–5 were not re-executed.
+pub(crate) fn record_attempt_metrics(
     m: &MetricsRecorder,
     program: &str,
     worker: usize,
@@ -914,26 +829,19 @@ pub fn run_campaign(
     if !pending.is_empty() {
         let workers = cfg.workers.max(1).min(pending.len());
         let now = Instant::now();
-        let mut heap = BinaryHeap::with_capacity(pending.len());
-        for (order, &idx) in pending.iter().enumerate() {
-            heap.push(QueueEntry {
-                due: now,
-                seq: order as u64,
-                idx,
-                attempt: 1,
-            });
+        // Seed every pending program due immediately, in campaign
+        // order (the queue's seq tiebreak preserves it), then close:
+        // only worker retries may enqueue from here on.
+        let queue = DeadlineQueue::new();
+        for &idx in &pending {
+            queue.push(now, Task { idx, attempt: 1 });
         }
+        queue.close();
         let shared = WorkerShared {
             programs,
             cfg,
             journal: journal.clone(),
-            queue: Mutex::new(Scoreboard {
-                heap,
-                active: 0,
-                aborted: false,
-                next_seq: pending.len() as u64,
-            }),
-            idle: Condvar::new(),
+            queue,
             fatal: Mutex::new(None),
             killed: Mutex::new(None),
         };

@@ -328,6 +328,19 @@ pub enum JournalRecord {
         /// The last attempt's failure.
         error: PipelineError,
     },
+    /// A completed analysis result in the `owl serve` result store,
+    /// keyed by the `(program, config)` fingerprint. Duplicate
+    /// submissions are answered from this record without re-running
+    /// any pipeline stage.
+    ResultCached {
+        /// [`crate::campaign::campaign_fingerprint`] of the single
+        /// program plus its configuration.
+        fingerprint: String,
+        /// Program name.
+        program: String,
+        /// Deterministic result summary.
+        summary: ProgramSummary,
+    },
 }
 
 impl JournalRecord {
@@ -339,7 +352,8 @@ impl JournalRecord {
             | JournalRecord::FindingAnalyzed { program, .. }
             | JournalRecord::Quarantined { program, .. }
             | JournalRecord::ProgramFinished { program, .. }
-            | JournalRecord::ProgramQuarantined { program, .. } => Some(program),
+            | JournalRecord::ProgramQuarantined { program, .. }
+            | JournalRecord::ResultCached { program, .. } => Some(program),
         }
     }
 }
@@ -618,7 +632,9 @@ pub fn encode_summary(s: &ProgramSummary) -> Json {
     ])
 }
 
-fn decode_summary(v: &Json) -> Option<ProgramSummary> {
+/// Decodes a [`ProgramSummary`] produced by [`encode_summary`] (shared
+/// with the `owl serve` wire protocol).
+pub fn decode_summary(v: &Json) -> Option<ProgramSummary> {
     let findings = v
         .get("findings")?
         .as_arr()?
@@ -768,6 +784,16 @@ fn encode_record(rec: &JournalRecord) -> Json {
             ("attempts", Json::UInt(*attempts)),
             ("error", encode_error(error)),
         ]),
+        JournalRecord::ResultCached {
+            fingerprint,
+            program,
+            summary,
+        } => Json::obj([
+            ("t", Json::str("result-cached")),
+            ("fingerprint", Json::str(fingerprint.clone())),
+            ("program", Json::str(program.clone())),
+            ("summary", encode_summary(summary)),
+        ]),
     }
 }
 
@@ -819,6 +845,11 @@ fn decode_record(v: &Json) -> Option<JournalRecord> {
             program: program()?,
             attempts: v.get("attempts")?.as_u64()?,
             error: decode_error(v.get("error")?)?,
+        },
+        "result-cached" => JournalRecord::ResultCached {
+            fingerprint: v.get("fingerprint")?.as_str()?.to_string(),
+            program: program()?,
+            summary: decode_summary(v.get("summary")?)?,
         },
         _ => return None,
     })
@@ -1000,6 +1031,58 @@ impl Journal {
         Ok(())
     }
 
+    /// Durably appends a batch of records with **one** fsync — the
+    /// group-commit path. Every record still occupies its own
+    /// checksummed line (the on-disk format is identical to repeated
+    /// [`Journal::append`] calls), but the batch shares a single
+    /// `write + flush + sync_data`, so a committer paying one fsync
+    /// latency can persist every record queued behind it.
+    ///
+    /// The armed kill point keeps its exact semantics: if the `n`-th
+    /// append lands *inside* this batch, only the records up to and
+    /// including the `n`-th are written (each one whole), the prefix is
+    /// fsync'd, and the journal panics with [`JournalKilled`] — so
+    /// "kill after n appends" still means *exactly n records on disk*,
+    /// and a batch interrupted by the kill recovers to a clean
+    /// record boundary, never a torn line.
+    pub fn append_batch(&mut self, recs: Vec<JournalRecord>) -> Result<(), JournalError> {
+        if recs.is_empty() {
+            return Ok(());
+        }
+        if self.killed {
+            std::panic::panic_any(JournalKilled {
+                appends: self.appends,
+                kind: FaultKind::JournalKill,
+            });
+        }
+        // Does the armed kill point land inside this batch?
+        let kill_at = self
+            .kill_after
+            .and_then(|n| n.checked_sub(self.appends))
+            .filter(|&k| k >= 1 && k <= recs.len() as u64);
+        let write_n = kill_at.map_or(recs.len(), |k| k as usize);
+        let mut buf = String::new();
+        for rec in &recs[..write_n] {
+            buf.push_str(&format_line(rec));
+            buf.push('\n');
+        }
+        self.file.write_all(buf.as_bytes())?;
+        self.file.flush()?;
+        self.file.sync_data()?;
+        for rec in recs.into_iter().take(write_n) {
+            self.records.push(rec);
+        }
+        self.appends += write_n as u64;
+        if kill_at.is_some() {
+            self.killed = true;
+            std::panic::panic_any(JournalKilled {
+                appends: self.appends,
+                kind: FaultKind::JournalKill,
+            });
+        }
+        Ok(())
+    }
+
     /// The terminal record for `program` (finished or quarantined), if
     /// the campaign already completed it.
     pub fn program_terminal(&self, program: &str) -> Option<&JournalRecord> {
@@ -1023,6 +1106,16 @@ pub trait JournalSink {
     /// as [`Journal::append`] — including the armed kill point.
     fn append_record(&mut self, rec: JournalRecord) -> Result<(), JournalError>;
 
+    /// Durably appends a batch of records. The default implementation
+    /// falls back to per-record appends (one fsync each); sinks with a
+    /// real group-commit path override it.
+    fn append_batch_records(&mut self, recs: Vec<JournalRecord>) -> Result<(), JournalError> {
+        for rec in recs {
+            self.append_record(rec)?;
+        }
+        Ok(())
+    }
+
     /// Snapshot of the records already journaled for `program`, in
     /// file order.
     fn program_records(&self, program: &str) -> Vec<JournalRecord>;
@@ -1034,6 +1127,10 @@ pub trait JournalSink {
 impl JournalSink for Journal {
     fn append_record(&mut self, rec: JournalRecord) -> Result<(), JournalError> {
         self.append(rec)
+    }
+
+    fn append_batch_records(&mut self, recs: Vec<JournalRecord>) -> Result<(), JournalError> {
+        self.append_batch(recs)
     }
 
     fn program_records(&self, program: &str) -> Vec<JournalRecord> {
@@ -1082,6 +1179,12 @@ impl SharedJournal {
         self.lock().append(rec)
     }
 
+    /// Serialized [`Journal::append_batch`] — one fsync for the whole
+    /// batch.
+    pub fn append_batch(&self, recs: Vec<JournalRecord>) -> Result<(), JournalError> {
+        self.lock().append_batch(recs)
+    }
+
     /// Snapshot of every record, in file order.
     pub fn records(&self) -> Vec<JournalRecord> {
         self.lock().records().to_vec()
@@ -1101,6 +1204,10 @@ impl SharedJournal {
 impl JournalSink for SharedJournal {
     fn append_record(&mut self, rec: JournalRecord) -> Result<(), JournalError> {
         self.append(rec)
+    }
+
+    fn append_batch_records(&mut self, recs: Vec<JournalRecord>) -> Result<(), JournalError> {
+        self.append_batch(recs)
     }
 
     fn program_records(&self, program: &str) -> Vec<JournalRecord> {
@@ -1268,6 +1375,98 @@ mod tests {
         // Both appends are durably on disk — the "crash" lost nothing.
         let j2 = Journal::open(&path).unwrap();
         assert_eq!(j2.records().len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_batch_round_trips_and_matches_per_record_format() {
+        let batch_path = tmp_path("batch");
+        let single_path = tmp_path("single");
+        let recs = sample_records();
+        {
+            let mut j = Journal::open(&batch_path).unwrap();
+            j.append_batch(recs.clone()).unwrap();
+            assert_eq!(j.appends(), recs.len() as u64);
+        }
+        {
+            let mut j = Journal::open(&single_path).unwrap();
+            for r in &recs {
+                j.append(r.clone()).unwrap();
+            }
+        }
+        // Byte-identical to per-record appends: one line per record,
+        // same checksummed frame.
+        assert_eq!(
+            std::fs::read(&batch_path).unwrap(),
+            std::fs::read(&single_path).unwrap()
+        );
+        let j = Journal::open(&batch_path).unwrap();
+        assert_eq!(j.records(), recs.as_slice());
+        assert!(!j.recovery().recovered());
+        let _ = std::fs::remove_file(&batch_path);
+        let _ = std::fs::remove_file(&single_path);
+    }
+
+    #[test]
+    fn kill_point_mid_batch_leaves_exactly_n_records() {
+        let path = tmp_path("batch-kill");
+        let mut j = Journal::open(&path).unwrap();
+        j.set_kill_after(Some(3));
+        j.append(sample_records().remove(0)).unwrap();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            j.append_batch(sample_records()[1..].to_vec())
+        }))
+        .expect_err("kill point lands inside the batch");
+        let killed = err
+            .downcast_ref::<JournalKilled>()
+            .expect("payload is JournalKilled");
+        assert_eq!(killed.appends, 3);
+        // Exactly three whole records on disk — the batch was cut at
+        // the kill point on a clean record boundary.
+        let j2 = Journal::open(&path).unwrap();
+        assert_eq!(j2.records(), &sample_records()[..3]);
+        assert!(!j2.recovery().recovered(), "no torn line to repair");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_batch_tail_truncates_to_a_record_boundary() {
+        let path = tmp_path("batch-torn");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.append_batch(sample_records()).unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        // Simulate a crash that tore the final record of the batch.
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.records(), &sample_records()[..sample_records().len() - 1]);
+        assert_eq!(j.recovery().discarded_records, 1);
+        let repaired = std::fs::read(&path).unwrap();
+        assert!(full.starts_with(&repaired));
+        assert_eq!(*repaired.last().unwrap(), b'\n');
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn result_cached_record_round_trips() {
+        let path = tmp_path("result-cached");
+        let rec = JournalRecord::ResultCached {
+            fingerprint: "deadbeefdeadbeef".into(),
+            program: "Libsafe".into(),
+            summary: ProgramSummary {
+                raw_reports: 3,
+                remaining: 1,
+                vulnerable: 1,
+                ..ProgramSummary::default()
+            },
+        };
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.append(rec.clone()).unwrap();
+        }
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.records(), &[rec]);
         let _ = std::fs::remove_file(&path);
     }
 

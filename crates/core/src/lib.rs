@@ -51,6 +51,9 @@ pub mod journal;
 pub mod json;
 pub mod metrics;
 mod pipeline;
+pub mod queue;
+#[cfg(unix)]
+pub mod serve;
 
 pub use audit::{AlertKind, AuditAlert, AuditOutcome, PathAuditor};
 pub use campaign::{

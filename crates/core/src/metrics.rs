@@ -183,11 +183,21 @@ impl SpanRecord {
     }
 }
 
+/// Last-written value and high-water mark of a gauge.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GaugeValue {
+    /// Most recently recorded value.
+    pub last: u64,
+    /// Largest value ever recorded.
+    pub peak: u64,
+}
+
 #[derive(Debug, Default)]
 struct MetricsInner {
     spans: Vec<SpanRecord>,
     stages: BTreeMap<String, Histogram>,
     counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, GaugeValue>,
 }
 
 /// Thread-safe collector of spans, per-stage histograms, and counters
@@ -270,6 +280,22 @@ impl MetricsRecorder {
         self.lock().counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Sets a named gauge to `value`, tracking its high-water mark.
+    /// Gauges model instantaneous levels (queue depth, in-flight
+    /// bytes) that counters cannot: the daemon's watchdog samples them
+    /// periodically and the summary reports last + peak.
+    pub fn gauge(&self, name: &str, value: u64) {
+        let mut inner = self.lock();
+        let g = inner.gauges.entry(name.to_string()).or_default();
+        g.last = value;
+        g.peak = g.peak.max(value);
+    }
+
+    /// Snapshot of a named gauge (zeros when never touched).
+    pub fn gauge_value(&self, name: &str) -> GaugeValue {
+        self.lock().gauges.get(name).copied().unwrap_or_default()
+    }
+
     /// The span stream as JSONL — one canonical JSON object per line.
     pub fn spans_jsonl(&self) -> String {
         let inner = self.lock();
@@ -282,9 +308,9 @@ impl MetricsRecorder {
     }
 
     /// The machine-readable perf summary (the `BENCH_*.json` shape):
-    /// worker count, wall time, per-stage histogram digests, and every
-    /// counter.
-    pub fn summary(&self, workers: usize, programs: usize) -> Json {
+    /// worker count, wall time, per-stage histogram digests, every
+    /// counter, and every gauge (last + peak).
+    pub fn summary_named(&self, bench: &str, workers: usize, programs: usize) -> Json {
         let inner = self.lock();
         let stages = Json::obj_owned(
             inner
@@ -298,8 +324,17 @@ impl MetricsRecorder {
                 .iter()
                 .map(|(name, &n)| (name.clone(), Json::UInt(n))),
         );
+        let gauges = Json::obj_owned(inner.gauges.iter().map(|(name, g)| {
+            (
+                name.clone(),
+                Json::obj([
+                    ("last", Json::UInt(g.last)),
+                    ("peak", Json::UInt(g.peak)),
+                ]),
+            )
+        }));
         Json::obj([
-            ("bench", Json::str("campaign")),
+            ("bench", Json::str(bench.to_string())),
             ("workers", Json::UInt(workers as u64)),
             ("programs", Json::UInt(programs as u64)),
             (
@@ -309,7 +344,32 @@ impl MetricsRecorder {
             ("spans", Json::UInt(inner.spans.len() as u64)),
             ("stages", stages),
             ("counters", counters),
+            ("gauges", gauges),
         ])
+    }
+
+    /// [`MetricsRecorder::summary_named`] for the campaign runner.
+    pub fn summary(&self, workers: usize, programs: usize) -> Json {
+        self.summary_named("campaign", workers, programs)
+    }
+
+    /// Writes `spans.jsonl` and `BENCH_<bench>.json` into `dir`
+    /// (created if absent); returns both paths.
+    pub fn write_files_named(
+        &self,
+        dir: &Path,
+        bench: &str,
+        workers: usize,
+        programs: usize,
+    ) -> std::io::Result<(PathBuf, PathBuf)> {
+        std::fs::create_dir_all(dir)?;
+        let spans_path = dir.join("spans.jsonl");
+        std::fs::write(&spans_path, self.spans_jsonl())?;
+        let summary_path = dir.join(format!("BENCH_{bench}.json"));
+        let mut doc = self.summary_named(bench, workers, programs).to_json_string();
+        doc.push('\n');
+        std::fs::write(&summary_path, doc)?;
+        Ok((spans_path, summary_path))
     }
 
     /// Writes `spans.jsonl` and `BENCH_campaign.json` into `dir`
@@ -320,14 +380,7 @@ impl MetricsRecorder {
         workers: usize,
         programs: usize,
     ) -> std::io::Result<(PathBuf, PathBuf)> {
-        std::fs::create_dir_all(dir)?;
-        let spans_path = dir.join("spans.jsonl");
-        std::fs::write(&spans_path, self.spans_jsonl())?;
-        let summary_path = dir.join("BENCH_campaign.json");
-        let mut doc = self.summary(workers, programs).to_json_string();
-        doc.push('\n');
-        std::fs::write(&summary_path, doc)?;
-        Ok((spans_path, summary_path))
+        self.write_files_named(dir, "campaign", workers, programs)
     }
 }
 
@@ -386,6 +439,23 @@ mod tests {
             counters.get("campaign_requeues").and_then(|j| j.as_u64()),
             Some(3)
         );
+    }
+
+    #[test]
+    fn gauges_track_last_and_peak() {
+        let rec = MetricsRecorder::new();
+        assert_eq!(rec.gauge_value("queue_depth"), GaugeValue::default());
+        rec.gauge("queue_depth", 3);
+        rec.gauge("queue_depth", 7);
+        rec.gauge("queue_depth", 2);
+        let g = rec.gauge_value("queue_depth");
+        assert_eq!(g.last, 2);
+        assert_eq!(g.peak, 7);
+        let summary = rec.summary_named("serve", 2, 1);
+        assert_eq!(summary.get("bench").and_then(|j| j.as_str()), Some("serve"));
+        let gauges = summary.get("gauges").expect("gauges object");
+        let qd = gauges.get("queue_depth").expect("queue_depth gauge");
+        assert_eq!(qd.get("peak").and_then(|j| j.as_u64()), Some(7));
     }
 
     #[test]

@@ -277,6 +277,32 @@ impl PipelineHealth {
             + self.vuln_analyze.panics
             + self.vuln_verify.panics
     }
+
+    /// Accumulates another run's counters into this one — the daemon's
+    /// watchdog folds every completed request's health into one
+    /// service-wide view.
+    pub fn merge(&mut self, other: &PipelineHealth) {
+        for (mine, theirs) in [
+            (&mut self.detect, &other.detect),
+            (&mut self.race_verify, &other.race_verify),
+            (&mut self.vuln_analyze, &other.vuln_analyze),
+            (&mut self.vuln_verify, &other.vuln_verify),
+        ] {
+            mine.attempts += theirs.attempts;
+            mine.retries += theirs.retries;
+            mine.injected_faults += theirs.injected_faults;
+            mine.deadline_hits += theirs.deadline_hits;
+            mine.panics += theirs.panics;
+            mine.quarantined += theirs.quarantined;
+        }
+        self.summary_cache_hits += other.summary_cache_hits;
+        self.summary_cache_misses += other.summary_cache_misses;
+        self.points_to_solve += other.points_to_solve;
+        self.journal_discarded_bytes += other.journal_discarded_bytes;
+        self.journal_discarded_records += other.journal_discarded_records;
+        self.detector_suppressed += other.detector_suppressed;
+        self.detector_reports_dropped += other.detector_reports_dropped;
+    }
 }
 
 /// Renders a caught panic payload as text.

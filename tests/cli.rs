@@ -188,6 +188,147 @@ fn campaign_workers_and_metrics_flags() {
 }
 
 #[test]
+fn campaign_json_surfaces_recovery_and_health() {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("owl-cli-campaign-json-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let d = dir.to_str().expect("utf8 temp path");
+
+    let out = run_ok(&["campaign", d, "--quick", "--json"]);
+    let doc = owl::json::parse(out.trim()).expect("valid JSON");
+    let recovery = doc.get("recovery").expect("recovery object");
+    assert_eq!(
+        recovery
+            .get("journal_discarded_bytes")
+            .and_then(|j| j.as_u64()),
+        Some(0),
+        "clean run discarded nothing: {out}"
+    );
+    assert_eq!(
+        recovery
+            .get("journal_discarded_records")
+            .and_then(|j| j.as_u64()),
+        Some(0)
+    );
+    assert!(
+        recovery
+            .get("valid_records")
+            .and_then(|j| j.as_u64())
+            .unwrap_or(0)
+            > 0,
+        "{out}"
+    );
+    let health = doc.get("health").expect("health object");
+    assert!(health.get("race_verify").is_some(), "{out}");
+    assert!(
+        health
+            .get("journal_discarded_bytes")
+            .and_then(|j| j.as_u64())
+            .is_some(),
+        "{out}"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_round_trip_with_typed_exit_codes() {
+    use std::io::Read;
+
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("owl-cli-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let d = dir.to_str().expect("utf8 temp path");
+    let socket = dir.join("owl.sock");
+    let sock = socket.to_str().expect("utf8 socket path");
+
+    let mut daemon = cli()
+        .args(["serve", d, "--workers", "2", "--queue", "4"])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    while !socket.exists() {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon never bound its socket"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    }
+
+    // First submission executes; the summary is the machine-readable
+    // ProgramSummary encoding.
+    let first = run_ok(&["submit", sock, "Libsafe", "--quick", "--json"]);
+    let doc = owl::json::parse(first.trim()).expect("valid JSON");
+    assert_eq!(doc.get("cached").and_then(|j| j.as_bool()), Some(false));
+    assert_eq!(doc.get("program").and_then(|j| j.as_str()), Some("Libsafe"));
+
+    // The duplicate is a cache hit served from the durable store.
+    let second = run_ok(&["submit", sock, "Libsafe", "--quick", "--json"]);
+    let doc = owl::json::parse(second.trim()).expect("valid JSON");
+    assert_eq!(doc.get("cached").and_then(|j| j.as_bool()), Some(true));
+    assert_eq!(
+        doc.get("summary"),
+        owl::json::parse(first.trim()).unwrap().get("summary"),
+        "cached summary is byte-equal to the executed one"
+    );
+
+    // Typed failure exit codes: 3 rejected, 4 deadline, 5 quarantined.
+    let exit = |args: &[&str]| {
+        cli().args(args)
+            .output()
+            .expect("spawn")
+            .status
+            .code()
+            .expect("exit code")
+    };
+    assert_eq!(exit(&["submit", sock, "NoSuchProgram"]), 3);
+    assert_eq!(
+        exit(&["submit", sock, "SSDB", "--quick", "--deadline-ms", "0"]),
+        4
+    );
+    assert_eq!(
+        exit(&["submit", sock, "SSDB", "--quick", "--inject-panic"]),
+        5
+    );
+
+    let status = run_ok(&["status", sock]);
+    let doc = owl::json::parse(status.trim()).expect("valid JSON");
+    assert_eq!(doc.get("executed").and_then(|j| j.as_u64()), Some(1));
+    assert_eq!(doc.get("cache_hits").and_then(|j| j.as_u64()), Some(1));
+    assert_eq!(doc.get("stored").and_then(|j| j.as_u64()), Some(1));
+
+    // Graceful drain: bye, exit 0, metrics artifacts on disk.
+    let shutdown = cli().args(["shutdown", sock]).output().expect("spawn");
+    assert!(shutdown.status.success(), "shutdown waits for bye");
+    let status = daemon.wait().expect("daemon exits");
+    assert_eq!(status.code(), Some(0), "graceful drain exits 0");
+    let mut stderr = String::new();
+    daemon
+        .stderr
+        .take()
+        .expect("piped stderr")
+        .read_to_string(&mut stderr)
+        .expect("read daemon stderr");
+    assert!(stderr.contains("drained"), "{stderr}");
+
+    let bench = std::fs::read_to_string(dir.join("BENCH_serve.json"))
+        .expect("BENCH_serve.json written at drain");
+    let doc = owl::json::parse(bench.trim()).expect("valid bench JSON");
+    assert_eq!(doc.get("bench").and_then(|j| j.as_str()), Some("serve"));
+    assert!(
+        std::fs::read_to_string(dir.join("store.jsonl"))
+            .expect("store journal")
+            .lines()
+            .count()
+            >= 1,
+        "the result store is durable"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
 fn explore_workers_and_hb_backend_flags() {
     // The epoch backend at any worker count finds exactly what the
     // reference backend finds serially. The run command prints

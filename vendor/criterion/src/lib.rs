@@ -1,0 +1,137 @@
+//! Offline stand-in for `criterion`: the subset of the API the bench
+//! targets compile against when the `criterion` feature is enabled.
+//!
+//! The default build never sees this crate — `owl-bench` gates
+//! criterion behind a default-off feature and uses its own
+//! `owl_bench::harness` fallback, which also *measures*. This crate
+//! exists so `cargo` can resolve the optional dependency offline, and
+//! so `--features criterion` still compiles; it times each benchmark
+//! with a plain `Instant` loop and prints one line per bench.
+
+use std::time::Instant;
+
+/// Prevents the optimizer from discarding `v`.
+pub fn black_box<T>(v: T) -> T {
+    std::hint::black_box(v)
+}
+
+/// Batch sizing hint; accepted for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration setup.
+    SmallInput,
+    /// Large per-iteration setup.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timer handle passed to bench closures.
+#[derive(Default)]
+pub struct Bencher {
+    iters: u64,
+    total_ns: u128,
+}
+
+impl Bencher {
+    /// Times `f` over a small fixed iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            black_box(f());
+            self.total_ns += t0.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` over values from `setup`, setup untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warmup
+        for _ in 0..3 {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total_ns += t0.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.iters > 0 {
+        eprintln!(
+            "bench {name}: {} ns/iter ({} iters, criterion stand-in)",
+            b.total_ns / u128::from(b.iters),
+            b.iters
+        );
+    }
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), _c: self }
+    }
+}
+
+/// Named benchmark group; results report as `group/name`.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _c: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-count hint; accepted for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,101 @@
+//! Offline stand-in for `proptest`: a miniature property-test runner
+//! covering the surface this workspace uses.
+//!
+//! * [`proptest!`] runs each property for `Config::cases` generated
+//!   inputs from a deterministic RNG (failures print the case values
+//!   via the panic message — there is **no shrinking**);
+//! * strategies: integer ranges, tuples, [`strategy::Just`],
+//!   [`arbitrary::any`], [`collection::vec`], [`prop_oneof!`] unions,
+//!   and [`strategy::Strategy::prop_map`];
+//! * assertions: [`prop_assert!`] / [`prop_assert_eq!`] delegate to
+//!   `assert!` / `assert_eq!`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests: an optional
+/// `#![proptest_config(<expr>)]` header followed by `#[test]`
+/// functions whose arguments are drawn from strategies with
+/// `name in strategy` syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            @cfg ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            for case in 0..config.cases {
+                let ($($pat,)*) = (
+                    $($crate::strategy::Strategy::generate(&$strat, &mut rng),)*
+                );
+                let run = || -> () { $body };
+                if let Err(payload) =
+                    ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run))
+                {
+                    eprintln!(
+                        "proptest case {}/{} of `{}` failed (no shrinking in the \
+                         offline stand-in)",
+                        case + 1,
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::__proptest_items! { @cfg ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,56 @@
+//! Runner configuration and the deterministic generation RNG.
+
+/// Per-property configuration (only `cases` is meaningful here).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Deterministic generation RNG (SplitMix64), seeded per test from the
+/// test's name so distinct properties explore distinct streams while
+/// every run of the suite is reproducible.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream from a test name.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, n)`; `n` must be non-zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "empty choice");
+        self.next_u64() % n
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`: exactly the surface this workspace
+//! touches, which is the `Serialize`/`Deserialize` derive markers.
+//!
+//! Real serialization in this repo goes through `owl::json`
+//! (`crates/core/src/json.rs`); the derives are documentation of
+//! intent, not machinery. The traits are inert and blanket-implemented
+//! so any `T: Serialize` bound stays satisfiable.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait; blanket-implemented for every type.
+pub trait Serialize {}
+
+/// Marker trait; blanket-implemented for every type.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
