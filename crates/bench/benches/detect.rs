@@ -15,10 +15,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use owl_bench::harness::{criterion_group, criterion_main, Criterion};
 use owl::json::Json;
 use owl_bench::harness::metric;
-use owl_ir::{FuncId, ModuleBuilder, Module, Type};
+use owl_ir::analysis::ElisionMap;
+use owl_ir::{FuncId, InstRef, ModuleBuilder, Module, Type};
 use owl_race::{explore, ExplorerConfig, HbBackend, HbConfig, HbDetector};
 use owl_vm::{ProgramInput, RandomScheduler, RunConfig, TraceEvent, VecSink, Vm};
+use std::collections::HashSet;
 use std::hint::black_box;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A realistically-synchronized workload: `threads` straight-line
@@ -80,9 +83,23 @@ fn workload_module(threads: usize, per_thread: usize) -> (Module, FuncId) {
 }
 
 fn capture_trace(module: &Module, entry: FuncId) -> Vec<TraceEvent> {
+    capture_trace_elided(module, entry, None)
+}
+
+/// Same capture, optionally with an elision map installed — the seed
+/// is fixed, so the schedule (and therefore the event stream) is
+/// identical to the plain capture modulo `no_shadow` stamps.
+fn capture_trace_elided(
+    module: &Module,
+    entry: FuncId,
+    elided: Option<Arc<HashSet<InstRef>>>,
+) -> Vec<TraceEvent> {
     let mut sink = VecSink::default();
     let mut sched = RandomScheduler::new(11);
-    let vm = Vm::new(module, entry, ProgramInput::empty(), RunConfig::default());
+    let mut vm = Vm::new(module, entry, ProgramInput::empty(), RunConfig::default());
+    if let Some(e) = elided {
+        vm = vm.with_elided_sites(e);
+    }
     let _ = vm.run(&mut sched, &mut sink);
     sink.events
 }
@@ -117,10 +134,24 @@ fn bench_detector_replay(c: &mut Criterion) {
     let events = capture_trace(&m, entry);
     metric("trace_events", Json::UInt(events.len() as u64));
 
-    // Both backends must agree before we time anything.
+    // The check-elision pre-pass, applied to the same workload: a
+    // second capture under the same seed differs only in `no_shadow`
+    // stamps.
+    let elision = ElisionMap::analyze(&m, entry);
+    let es = elision.stats();
+    let marked = capture_trace_elided(&m, entry, Some(Arc::new(elision.elided_set())));
+    assert_eq!(marked.len(), events.len(), "stamping changed the schedule");
+
+    // All backends must agree before we time anything — including the
+    // elided epoch path against the (never elided) reference oracle.
     let reference = replay(&events, HbBackend::Reference).finish(&m);
     let epoch = replay(&events, HbBackend::Epoch).finish(&m);
     assert_eq!(epoch, reference, "backends diverge on the bench trace");
+    let epoch_elided = replay(&marked, HbBackend::Epoch).finish(&m);
+    assert_eq!(
+        epoch_elided, reference,
+        "elision changed the epoch report stream"
+    );
     metric("trace_reports", Json::UInt(reference.len() as u64));
 
     let mut group = c.benchmark_group("detect");
@@ -128,18 +159,56 @@ fn bench_detector_replay(c: &mut Criterion) {
         b.iter(|| replay(&events, HbBackend::Reference))
     });
     group.bench_function("replay_epoch", |b| b.iter(|| replay(&events, HbBackend::Epoch)));
+    group.bench_function("replay_epoch_elide", |b| {
+        b.iter(|| replay(&marked, HbBackend::Epoch))
+    });
     group.finish();
 
     let ref_secs = mean_replay_secs(&events, HbBackend::Reference);
     let epoch_secs = mean_replay_secs(&events, HbBackend::Epoch);
+    let elide_secs = mean_replay_secs(&marked, HbBackend::Epoch);
     let throughput = |secs: f64| (events.len() as f64 / secs) as u64;
     metric("events_per_sec_reference", Json::UInt(throughput(ref_secs)));
     metric("events_per_sec_epoch", Json::UInt(throughput(epoch_secs)));
+    metric(
+        "events_per_sec_epoch_elide",
+        Json::UInt(throughput(elide_secs)),
+    );
     metric("epoch_speedup", Json::Float(ref_secs / epoch_secs));
+    metric(
+        "elide_speedup_over_epoch",
+        Json::Float(epoch_secs / elide_secs),
+    );
     let stats = replay(&events, HbBackend::Epoch)
         .epoch_stats()
         .expect("epoch backend exposes stats");
     metric("epoch_fast_path_rate", Json::Float(stats.fast_path_rate()));
+
+    // Per-class elided-site fractions plus how much of the trace the
+    // elision actually removed from the shadow-memory path.
+    let site_fraction = |n: usize| {
+        if es.sites_total == 0 {
+            0.0
+        } else {
+            n as f64 / es.sites_total as f64
+        }
+    };
+    metric(
+        "elided_site_fraction_thread_local",
+        Json::Float(site_fraction(es.thread_local)),
+    );
+    metric(
+        "elided_site_fraction_lock_dominated",
+        Json::Float(site_fraction(es.lock_dominated)),
+    );
+    metric(
+        "elided_site_fraction_read_only",
+        Json::Float(site_fraction(es.read_only)),
+    );
+    let elide_stats = replay(&marked, HbBackend::Epoch)
+        .epoch_stats()
+        .expect("epoch backend exposes stats");
+    metric("events_elided", Json::UInt(elide_stats.events_elided()));
 }
 
 fn bench_explore_scaling(c: &mut Criterion) {

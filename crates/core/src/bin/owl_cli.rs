@@ -58,7 +58,9 @@ fn usage() -> ExitCode {
          --max-verify-attempts <n> attempt budget for both dynamic verifiers\n\
          detector options (run/hints/audit/campaign):\n  \
          --explore-workers <n>     threads exploring schedules in the detection\n                            stage (default 1; reports are identical for any\n                            count and excluded from the campaign fingerprint)\n  \
-         --hb-backend <b>          happens-before shadow memory: `epoch` (fast\n                            path, default) or `reference` (full vector\n                            clocks, the oracle)\n\
+         --hb-backend <b>          happens-before shadow memory: `epoch` (fast\n                            path, default) or `reference` (full vector\n                            clocks, the oracle)\n  \
+         --no-elide                disable the static check-elision pre-pass\n                            (reports are identical either way; elision only\n                            skips shadow-memory work at proved-safe sites)\n  \
+         --elide-report            print the pre-pass per-site classification\n                            for <program> and exit\n\
          campaign options:\n  \
          --resume                  continue a journal instead of refusing it\n  \
          --max-attempts <n>        per-program retry budget (default 3)\n  \
@@ -76,11 +78,17 @@ fn usage() -> ExitCode {
 
 /// The value following `--name` in `args`. A token that is itself
 /// another `--flag` is not a value: `--fault-seed --quick` reports a
-/// missing value instead of trying to parse `--quick` as a seed.
+/// missing value instead of trying to parse `--quick` as a seed. A
+/// flag given twice is an error, not a silent first-wins: `--workers 2
+/// --workers 8` must not quietly run with 2.
 fn flag_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, String> {
-    let Some(i) = args.iter().position(|a| a == name) else {
+    let mut hits = args.iter().enumerate().filter(|(_, a)| *a == name);
+    let Some((i, _)) = hits.next() else {
         return Ok(None);
     };
+    if hits.next().is_some() {
+        return Err(format!("{name} given more than once"));
+    }
     match args.get(i + 1).map(String::as_str) {
         Some(v) if !v.starts_with("--") => Ok(Some(v)),
         _ => Err(format!("{name} requires a value")),
@@ -143,6 +151,9 @@ fn config(args: &[String]) -> Result<OwlConfig, String> {
                 ));
             }
         };
+    }
+    if args.iter().any(|a| a == "--no-elide") {
+        cfg.elide = false;
     }
     if args.iter().any(|a| a == "--no-points-to") {
         cfg.vuln.points_to = false;
@@ -211,6 +222,11 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
+            if args.iter().any(|a| a == "--elide-report") {
+                let pre = owl_static::ElisionPrepass::run(&p.module, p.entry);
+                print!("{}", pre.report(&p.module));
+                return ExitCode::SUCCESS;
+            }
             let owl = Owl::new(&p.module, p.entry, cfg.clone());
             let atomicity = args.iter().any(|a| a == "--atomicity");
             let result = if atomicity {
@@ -292,6 +308,19 @@ fn main() -> ExitCode {
                         "stage 4: points-to solved in {:?}; summary cache {} hit(s) / {} miss(es)",
                         h.points_to_solve, h.summary_cache_hits, h.summary_cache_misses
                     );
+                    if cfg.elide {
+                        println!(
+                            "elision: {} site(s) proved race-free ({} thread-local, \
+                             {} lock-dominated, {} read-only); {} event(s) skipped shadow work",
+                            h.elision_sites_thread_local
+                                + h.elision_sites_lock_dominated
+                                + h.elision_sites_read_only,
+                            h.elision_sites_thread_local,
+                            h.elision_sites_lock_dominated,
+                            h.elision_sites_read_only,
+                            h.elision_events_elided
+                        );
+                    }
                     if h.total_injected_faults() > 0
                         || h.total_quarantined() > 0
                         || h.total_panics() > 0
@@ -672,6 +701,23 @@ fn main() -> ExitCode {
                             "recovery_discarded_records",
                             Json::UInt(s.recovery_discarded_records),
                         ),
+                        (
+                            "elision_sites_thread_local",
+                            Json::UInt(s.elision_sites_thread_local),
+                        ),
+                        (
+                            "elision_sites_lock_dominated",
+                            Json::UInt(s.elision_sites_lock_dominated),
+                        ),
+                        (
+                            "elision_sites_read_only",
+                            Json::UInt(s.elision_sites_read_only),
+                        ),
+                        (
+                            "elision_events_elided",
+                            Json::UInt(s.elision_events_elided),
+                        ),
+                        ("elision_solve_us", Json::UInt(s.elision_solve_us)),
                     ]);
                     println!("{}", out.to_json_string());
                     Some(ExitCode::SUCCESS)

@@ -734,6 +734,14 @@ pub(crate) fn record_attempt_metrics(
         started,
         s.vuln_verify_time,
     );
+    m.span(
+        "elision-solve",
+        program,
+        worker,
+        attempt,
+        started,
+        s.elision_solve_time,
+    );
     m.span("program", program, worker, attempt, started, started.elapsed());
     let h = &result.health;
     m.counter(
@@ -746,6 +754,7 @@ pub(crate) fn record_attempt_metrics(
     m.counter("units_quarantined", h.total_quarantined());
     m.counter("detector_suppressed", h.detector_suppressed);
     m.counter("detector_reports_dropped", h.detector_reports_dropped);
+    m.counter("events_elided", h.elision_events_elided);
 }
 
 /// Runs (or resumes) a campaign over `programs` against the journal at

@@ -22,6 +22,12 @@ pub struct OwlConfig {
     /// reports left unprocessed when it expires are quarantined with
     /// [`crate::PipelineError::StageDeadline`].
     pub stage_deadline: Option<Duration>,
+    /// Run the static check-elision pre-pass before detection and let
+    /// the epoch detector skip shadow-memory work at sites it proves
+    /// race-free. Purely an optimization — report streams are
+    /// byte-identical with it on or off (the reference vector-clock
+    /// backend always ignores the stamp). `--no-elide` clears it.
+    pub elide: bool,
 }
 
 impl Default for OwlConfig {
@@ -36,6 +42,7 @@ impl Default for OwlConfig {
                 annotations: Vec::new(),
                 workers: 1,
                 hb_backend: owl_race::HbBackend::default(),
+                elided_sites: None,
             },
             race_verify: RaceVerifyConfig {
                 max_schedules: 8,
@@ -47,6 +54,7 @@ impl Default for OwlConfig {
                 ..VulnVerifyConfig::default()
             },
             stage_deadline: None,
+            elide: true,
         }
     }
 }

@@ -704,6 +704,22 @@ pub fn encode_health(h: &crate::PipelineHealth) -> Json {
             "detector_reports_dropped",
             Json::UInt(h.detector_reports_dropped),
         ),
+        (
+            "elision_sites_thread_local",
+            Json::UInt(h.elision_sites_thread_local),
+        ),
+        (
+            "elision_sites_lock_dominated",
+            Json::UInt(h.elision_sites_lock_dominated),
+        ),
+        (
+            "elision_sites_read_only",
+            Json::UInt(h.elision_sites_read_only),
+        ),
+        (
+            "elision_events_elided",
+            Json::UInt(h.elision_events_elided),
+        ),
     ])
 }
 

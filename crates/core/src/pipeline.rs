@@ -33,7 +33,9 @@ use crate::journal::{unit_key, JournalError, JournalRecord, JournalSink, Recorde
 use owl_ir::analysis::{CallGraph, PointsTo};
 use owl_ir::{FuncId, Module};
 use owl_race::{explore_with_deadline, ExplorerConfig, HbAnnotation, RaceReport};
-use owl_static::{AdhocSyncDetector, SummaryCache, VulnAnalyzer, VulnReport, VulnStats};
+use owl_static::{
+    AdhocSyncDetector, ElisionPrepass, SummaryCache, VulnAnalyzer, VulnReport, VulnStats,
+};
 use owl_verify::{
     AbortCause, RaceVerification, RaceVerifier, VerifyOutcome, VulnVerification, VulnVerifier,
 };
@@ -84,6 +86,9 @@ pub struct PipelineStats {
     /// Wall-clock spent in stage 5 (dynamic vulnerability
     /// verification) alone.
     pub vuln_verify_time: Duration,
+    /// Wall-clock spent solving the check-elision pre-pass (zero when
+    /// [`crate::OwlConfig::elide`] is off).
+    pub elision_solve_time: Duration,
 }
 
 impl PipelineStats {
@@ -251,6 +256,15 @@ pub struct PipelineHealth {
     /// report cap was full. Non-zero means the raw report set is
     /// truncated. (Live runs only — not journaled.)
     pub detector_reports_dropped: u64,
+    /// Access sites the check-elision pre-pass proved thread-local.
+    pub elision_sites_thread_local: u64,
+    /// Access sites the pre-pass proved lock-dominated.
+    pub elision_sites_lock_dominated: u64,
+    /// Access sites the pre-pass proved read-only-shared.
+    pub elision_sites_read_only: u64,
+    /// Data-access events whose epoch shadow-memory work was skipped
+    /// at elided sites, summed over both detection sweeps.
+    pub elision_events_elided: u64,
 }
 
 impl PipelineHealth {
@@ -302,6 +316,10 @@ impl PipelineHealth {
         self.journal_discarded_records += other.journal_discarded_records;
         self.detector_suppressed += other.detector_suppressed;
         self.detector_reports_dropped += other.detector_reports_dropped;
+        self.elision_sites_thread_local += other.elision_sites_thread_local;
+        self.elision_sites_lock_dominated += other.elision_sites_lock_dominated;
+        self.elision_sites_read_only += other.elision_sites_read_only;
+        self.elision_events_elided += other.elision_events_elided;
     }
 }
 
@@ -497,10 +515,25 @@ impl<'m> Owl<'m> {
     ) -> (Vec<HbAnnotation>, Vec<RaceReport>) {
         let deadline = self.config.stage_deadline;
 
+        // Stage 0 (optional): check-elision pre-pass. Installs the
+        // proved-race-free site set in *both* sweeps' configs so the
+        // VM stamps their events and the epoch detector skips its
+        // shadow work there. Purely an optimization: report streams
+        // are byte-identical with it on or off.
+        let mut detect_cfg = self.config.detect.clone();
+        if self.config.elide {
+            let pre = ElisionPrepass::run(self.module, self.entry);
+            let es = pre.stats();
+            stats.elision_solve_time = pre.solve_time();
+            health.elision_sites_thread_local += es.thread_local as u64;
+            health.elision_sites_lock_dominated += es.lock_dominated as u64;
+            health.elision_sites_read_only += es.read_only as u64;
+            detect_cfg.elided_sites = Some(pre.elided_sites());
+        }
+
         // Stage 1: raw detection.
         let t0 = Instant::now();
-        let raw =
-            explore_with_deadline(self.module, self.entry, workloads, &self.config.detect, deadline);
+        let raw = explore_with_deadline(self.module, self.entry, workloads, &detect_cfg, deadline);
         let raw_detect = t0.elapsed();
         stats.raw_reports = raw.reports.len();
         health.detect.attempts += raw.runs;
@@ -519,7 +552,7 @@ impl<'m> Owl<'m> {
         stats.adhoc_syncs = annotations.len();
         let annotated_cfg = ExplorerConfig {
             annotations: annotations.clone(),
-            ..self.config.detect.clone()
+            ..detect_cfg
         };
         let t_rerun = Instant::now();
         let reduced =
@@ -530,6 +563,7 @@ impl<'m> Owl<'m> {
         health.detect.injected_faults += reduced.injected_faults;
         health.detect.deadline_hits += reduced.deadline_hit as u64;
         health.detector_suppressed += (raw.suppressed + reduced.suppressed) as u64;
+        health.elision_events_elided += raw.events_elided + reduced.events_elided;
         let dropped = raw.reports_dropped + reduced.reports_dropped;
         health.detector_reports_dropped += dropped as u64;
         if dropped > 0 {

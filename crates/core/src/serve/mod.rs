@@ -185,6 +185,10 @@ struct ServeShared {
     health: Mutex<PipelineHealth>,
     executed: AtomicU64,
     cache_hits: AtomicU64,
+    /// Microseconds spent in the check-elision pre-pass, summed over
+    /// executed requests (wall-clock lives in stats, not health, so it
+    /// is accumulated separately).
+    elision_solve_us: AtomicU64,
     running: AtomicU64,
     peak_running: AtomicU64,
     next_id: AtomicU64,
@@ -231,6 +235,7 @@ impl ServeShared {
     fn status_report(&self) -> StatusReport {
         let a = self.admission.snapshot();
         let recovery = self.store.recovery();
+        let h = self.health.lock().unwrap_or_else(PoisonError::into_inner);
         StatusReport {
             queue_depth: self.queue.depth() as u64,
             active: self.running.load(Ordering::SeqCst),
@@ -244,6 +249,11 @@ impl ServeShared {
             stored: self.store.len() as u64,
             recovery_discarded_bytes: recovery.discarded_bytes,
             recovery_discarded_records: recovery.discarded_records,
+            elision_sites_thread_local: h.elision_sites_thread_local,
+            elision_sites_lock_dominated: h.elision_sites_lock_dominated,
+            elision_sites_read_only: h.elision_sites_read_only,
+            elision_events_elided: h.elision_events_elided,
+            elision_solve_us: self.elision_solve_us.load(Ordering::SeqCst),
         }
     }
 }
@@ -411,6 +421,10 @@ fn execute_job(shared: &Arc<ServeShared>, job: Job, worker_id: usize) -> bool {
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .merge(&result.health);
+    shared.elision_solve_us.fetch_add(
+        result.stats.elision_solve_time.as_micros() as u64,
+        Ordering::SeqCst,
+    );
     shared.executed.fetch_add(1, Ordering::SeqCst);
 
     respond(
@@ -600,6 +614,7 @@ pub fn serve(cfg: ServeConfig) -> Result<ServeReport, JournalError> {
         health: Mutex::new(PipelineHealth::default()),
         executed: AtomicU64::new(0),
         cache_hits: AtomicU64::new(0),
+        elision_solve_us: AtomicU64::new(0),
         running: AtomicU64::new(0),
         peak_running: AtomicU64::new(0),
         next_id: AtomicU64::new(0),

@@ -126,6 +126,19 @@ pub struct StatusReport {
     pub recovery_discarded_bytes: u64,
     /// Records the store's open-time recovery discarded.
     pub recovery_discarded_records: u64,
+    /// Access sites the check-elision pre-pass proved thread-local,
+    /// summed over executed requests.
+    pub elision_sites_thread_local: u64,
+    /// Sites proved lock-dominated, summed over executed requests.
+    pub elision_sites_lock_dominated: u64,
+    /// Sites proved read-only-shared, summed over executed requests.
+    pub elision_sites_read_only: u64,
+    /// Detection-stage events whose shadow-memory work was elided,
+    /// summed over executed requests.
+    pub elision_events_elided: u64,
+    /// Microseconds spent solving the check-elision pre-pass, summed
+    /// over executed requests.
+    pub elision_solve_us: u64,
 }
 
 /// One server response.
@@ -291,6 +304,23 @@ pub fn encode_response(resp: &Response) -> String {
                 "recovery_discarded_records",
                 Json::UInt(s.recovery_discarded_records),
             ),
+            (
+                "elision_sites_thread_local",
+                Json::UInt(s.elision_sites_thread_local),
+            ),
+            (
+                "elision_sites_lock_dominated",
+                Json::UInt(s.elision_sites_lock_dominated),
+            ),
+            (
+                "elision_sites_read_only",
+                Json::UInt(s.elision_sites_read_only),
+            ),
+            (
+                "elision_events_elided",
+                Json::UInt(s.elision_events_elided),
+            ),
+            ("elision_solve_us", Json::UInt(s.elision_solve_us)),
         ]),
         Response::Bye => Json::obj([("resp", Json::str("bye"))]),
         Response::Error { message } => Json::obj([
@@ -369,6 +399,11 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                 stored: u("stored"),
                 recovery_discarded_bytes: u("recovery_discarded_bytes"),
                 recovery_discarded_records: u("recovery_discarded_records"),
+                elision_sites_thread_local: u("elision_sites_thread_local"),
+                elision_sites_lock_dominated: u("elision_sites_lock_dominated"),
+                elision_sites_read_only: u("elision_sites_read_only"),
+                elision_events_elided: u("elision_events_elided"),
+                elision_solve_us: u("elision_solve_us"),
             })))
         }
         "bye" => Ok(Response::Bye),

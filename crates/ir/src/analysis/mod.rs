@@ -6,10 +6,12 @@ pub mod cfg;
 pub mod ctrldep;
 pub mod defuse;
 pub mod dom;
+pub mod elision;
 pub mod loops;
 pub mod pointsto;
 
 pub use callgraph::CallGraph;
+pub use elision::{ElisionClass, ElisionMap, ElisionStats};
 pub use cfg::Cfg;
 pub use ctrldep::ControlDeps;
 pub use defuse::DefUse;

@@ -155,6 +155,11 @@ pub struct EpochStats {
     /// Read histories demoted back to an epoch (or cleared) after an
     /// ordering access pruned the list.
     pub read_demotions: u64,
+    /// Reads skipped entirely because the static check-elision
+    /// pre-pass proved their site race-free (no shadow lookup at all).
+    pub reads_elided: u64,
+    /// Writes skipped entirely by the elision pre-pass.
+    pub writes_elided: u64,
 }
 
 impl EpochStats {
@@ -165,6 +170,11 @@ impl EpochStats {
             return 0.0;
         }
         (self.read_fast + self.write_fast) as f64 / total as f64
+    }
+
+    /// Total accesses the elision pre-pass let the backend skip.
+    pub fn events_elided(&self) -> u64 {
+        self.reads_elided + self.writes_elided
     }
 }
 
@@ -418,6 +428,16 @@ impl EpochShadow {
             value: e.value,
             ty: e.ty,
         }
+    }
+
+    /// Counts a read whose shadow work was skipped by static elision.
+    pub(crate) fn note_elided_read(&mut self) {
+        self.stats.reads_elided += 1;
+    }
+
+    /// Counts a write whose shadow work was skipped by static elision.
+    pub(crate) fn note_elided_write(&mut self) {
+        self.stats.writes_elided += 1;
     }
 
     /// Counters accumulated so far.

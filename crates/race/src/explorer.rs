@@ -30,7 +30,7 @@ use crate::report::RaceReport;
 use owl_ir::{FuncId, InstRef, Module};
 use owl_vm::{ExecOutcome, PctScheduler, ProgramInput, RandomScheduler, RunConfig, Scheduler, Vm};
 use std::collections::{HashMap, HashSet};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// How the explorer produces schedules.
@@ -67,6 +67,11 @@ pub struct ExplorerConfig {
     pub workers: usize,
     /// Shadow-memory backend for the per-unit detectors.
     pub hb_backend: HbBackend,
+    /// Sites the static check-elision pre-pass proved race-free, to be
+    /// installed in every per-unit VM (`None` disables stamping). Does
+    /// not change any result — only how much shadow work the epoch
+    /// backend performs.
+    pub elided_sites: Option<Arc<HashSet<InstRef>>>,
 }
 
 impl Default for ExplorerConfig {
@@ -80,6 +85,7 @@ impl Default for ExplorerConfig {
             annotations: Vec::new(),
             workers: 1,
             hb_backend: HbBackend::default(),
+            elided_sites: None,
         }
     }
 }
@@ -101,6 +107,10 @@ pub struct ExploreResult {
     pub outcomes: Vec<ExecOutcome>,
     /// Total faults the VM's fault plan injected across all runs.
     pub injected_faults: u64,
+    /// Accesses whose shadow work the epoch backend skipped thanks to
+    /// the static elision pre-pass, summed over runs (0 under the
+    /// reference backend, which always does the full work).
+    pub events_elided: u64,
     /// Whether a wall-clock budget cut the sweep short (see
     /// [`explore_with_deadline`]).
     pub deadline_hit: bool,
@@ -138,6 +148,7 @@ struct UnitOutput {
     reports: Vec<RaceReport>,
     suppressed: usize,
     reports_dropped: usize,
+    events_elided: u64,
     outcome: ExecOutcome,
 }
 
@@ -159,11 +170,17 @@ fn run_unit(
             Box::new(PctScheduler::new(seed, depth, cfg.expected_steps))
         }
     };
-    let vm = Vm::new(module, entry, input.clone(), cfg.run_config.clone());
+    let mut vm = Vm::new(module, entry, input.clone(), cfg.run_config.clone());
+    if let Some(elided) = &cfg.elided_sites {
+        vm = vm.with_elided_sites(Arc::clone(elided));
+    }
     let outcome = vm.run(sched.as_mut(), &mut detector);
     UnitOutput {
         suppressed: detector.suppressed(),
         reports_dropped: detector.reports_dropped(),
+        events_elided: detector
+            .epoch_stats()
+            .map_or(0, |s| s.events_elided()),
         reports: detector.finish(module),
         outcome,
     }
@@ -245,6 +262,7 @@ pub fn explore_with_deadline(
     let mut suppressed = 0usize;
     let mut reports_dropped = 0usize;
     let mut injected_faults = 0u64;
+    let mut events_elided = 0u64;
     for slot in slots {
         let Some(unit) = slot.into_inner().unwrap_or_else(PoisonError::into_inner) else {
             break;
@@ -253,6 +271,7 @@ pub fn explore_with_deadline(
         suppressed += unit.suppressed;
         reports_dropped += unit.reports_dropped;
         injected_faults += unit.outcome.injected_faults.len() as u64;
+        events_elided += unit.events_elided;
         outcomes.push(unit.outcome);
         for r in unit.reports {
             match by_key.entry(r.key()) {
@@ -288,6 +307,7 @@ pub fn explore_with_deadline(
         reports_dropped,
         outcomes,
         injected_faults,
+        events_elided,
         deadline_hit,
     }
 }

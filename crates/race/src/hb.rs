@@ -347,6 +347,17 @@ impl HbDetector {
                 self.clock_mut(ev.tid).join(&rc);
             }
         }
+        // Statically elided site: the pre-pass proved no access through
+        // it can race, so the address has no shadow history worth
+        // keeping. The hint service and acquire join above still ran —
+        // they are the only observable side channels a read has.
+        if ev.no_shadow {
+            let ShadowState::Epoch(shadow) = &mut self.shadow else {
+                unreachable!("epoch read on reference shadow");
+            };
+            shadow.note_elided_read();
+            return;
+        }
         self.clock_mut(ev.tid); // grow the clock table if needed
         let clock = &self.clocks[ev.tid.index()];
         let ShadowState::Epoch(shadow) = &mut self.shadow else {
@@ -375,6 +386,16 @@ impl HbDetector {
     /// racy reads in insertion order), with the annotated release
     /// handled by the shared [`HbDetector::on_write`] tail.
     fn on_write_epoch(&mut self, ev: &TraceEvent, addr: u64, value: i64) {
+        // Statically elided site: skip the shadow update entirely. The
+        // annotated-release tail in [`HbDetector::on_write`] still runs
+        // (an elided store can legitimately be an annotation site).
+        if ev.no_shadow {
+            let ShadowState::Epoch(shadow) = &mut self.shadow else {
+                unreachable!("epoch write on reference shadow");
+            };
+            shadow.note_elided_write();
+            return;
+        }
         self.clock_mut(ev.tid); // grow the clock table if needed
         let clock = &self.clocks[ev.tid.index()];
         let ShadowState::Epoch(shadow) = &mut self.shadow else {

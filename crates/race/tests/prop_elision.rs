@@ -1,0 +1,160 @@
+//! Property test: the check-elision pre-pass is sound and invisible.
+//!
+//! Random concurrent programs (the same generator shape as
+//! `prop_hb.rs`: threads mixing locked and unlocked accesses to a
+//! handful of globals) are executed twice under the same seed — once
+//! plain and once with the elision map installed in the VM, so the
+//! second trace is identical except for `no_shadow` stamps. Required
+//! agreement:
+//!
+//! * **invisible** — the epoch detector on the stamped trace produces
+//!   exactly the reference (vector-clock) detector's report stream,
+//!   suppression count, and cap-drop count on the unstamped trace;
+//! * **sound** — no access site the reference backend reports as racy
+//!   is ever in the elided set.
+
+use owl_ir::analysis::ElisionMap;
+use owl_ir::{FuncId, ModuleBuilder, Type};
+use owl_race::{HbBackend, HbConfig, HbDetector};
+use owl_vm::{ProgramInput, RandomScheduler, RunConfig, TraceEvent, VecSink, Vm};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[derive(Clone, Debug)]
+enum Action {
+    /// Unlocked access to global `g` (write if `w`).
+    Plain {
+        g: usize,
+        w: bool,
+    },
+    /// Lock-protected accesses.
+    Locked {
+        body: Vec<(usize, bool)>,
+    },
+    Yield,
+}
+
+fn action_strategy(globals: usize) -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0..globals, any::<bool>()).prop_map(|(g, w)| Action::Plain { g, w }),
+        prop::collection::vec((0..globals, any::<bool>()), 1..3)
+            .prop_map(|body| Action::Locked { body }),
+        Just(Action::Yield),
+    ]
+}
+
+fn program_strategy() -> impl Strategy<Value = Vec<Vec<Action>>> {
+    prop::collection::vec(
+        prop::collection::vec(action_strategy(3), 1..6),
+        2..4, // threads
+    )
+}
+
+fn build(threads: &[Vec<Action>]) -> (owl_ir::Module, FuncId) {
+    let mut mb = ModuleBuilder::new("prop-elision");
+    let globals: Vec<_> = (0..3)
+        .map(|i| mb.global(format!("g{i}"), 1, Type::I64))
+        .collect();
+    let mutex = mb.global("m", 1, Type::I64);
+    let fns: Vec<FuncId> = (0..threads.len())
+        .map(|i| mb.declare_func(format!("t{i}"), 1))
+        .collect();
+    for (f, actions) in fns.iter().zip(threads) {
+        let mut b = mb.build_func(*f);
+        for a in actions {
+            match a {
+                Action::Plain { g, w } => {
+                    let addr = b.global_addr(globals[*g]);
+                    if *w {
+                        b.store(addr, 1);
+                    } else {
+                        b.load(addr, Type::I64);
+                    }
+                }
+                Action::Locked { body } => {
+                    let la = b.global_addr(mutex);
+                    b.lock(la);
+                    for (g, w) in body {
+                        let addr = b.global_addr(globals[*g]);
+                        if *w {
+                            b.store(addr, 2);
+                        } else {
+                            b.load(addr, Type::I64);
+                        }
+                    }
+                    b.unlock(la);
+                }
+                Action::Yield => {
+                    b.yield_now();
+                }
+            }
+        }
+        b.ret(None);
+    }
+    let main = mb.declare_func("main", 0);
+    {
+        let mut b = mb.build_func(main);
+        let tids: Vec<_> = fns.iter().map(|&f| b.thread_create(f, 0)).collect();
+        for t in tids {
+            b.thread_join(t);
+        }
+        b.ret(None);
+    }
+    (mb.finish(), main)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn elision_is_sound_and_invisible(threads in program_strategy(), seed in 0u64..64) {
+        let (m, main) = build(&threads);
+        let elision = ElisionMap::analyze(&m, main);
+        let elided = Arc::new(elision.elided_set());
+
+        // Same seed → same schedule → identical traces modulo stamps.
+        let run = |stamp: bool| {
+            let mut sink = VecSink::default();
+            let mut sched = RandomScheduler::new(seed);
+            let mut vm = Vm::new(&m, main, ProgramInput::empty(), RunConfig::default());
+            if stamp {
+                vm = vm.with_elided_sites(Arc::clone(&elided));
+            }
+            let _ = vm.run(&mut sched, &mut sink);
+            sink.events
+        };
+        let plain = run(false);
+        let marked = run(true);
+        prop_assert_eq!(plain.len(), marked.len(), "stamping changed the schedule");
+
+        let analyze = |events: &[TraceEvent], backend: HbBackend| {
+            let mut det = HbDetector::new(HbConfig { backend, ..HbConfig::default() });
+            for ev in events {
+                use owl_vm::TraceSink as _;
+                det.on_event(ev);
+            }
+            let counts = (det.suppressed(), det.reports_dropped());
+            (det.finish(&m), counts)
+        };
+
+        // Invisible: epoch on the stamped trace must equal the
+        // (always un-elided) reference on the plain trace.
+        let (ref_reports, ref_counts) = analyze(&plain, HbBackend::Reference);
+        let (epoch_reports, epoch_counts) = analyze(&marked, HbBackend::Epoch);
+        prop_assert_eq!(&epoch_reports, &ref_reports);
+        prop_assert_eq!(epoch_counts, ref_counts);
+
+        // Sound: nothing the oracle reports as racy was elided.
+        for r in &ref_reports {
+            let (w, rd) = r.key();
+            prop_assert!(
+                !elided.contains(&w),
+                "racy write site {w:?} was elided (report {r:?})"
+            );
+            prop_assert!(
+                !elided.contains(&rd),
+                "racy read site {rd:?} was elided (report {r:?})"
+            );
+        }
+    }
+}

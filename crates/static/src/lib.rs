@@ -12,6 +12,10 @@
 //!   stack; its [`VulnReport`]s are the vulnerable **input** hints;
 //! * [`ConseqAnalyzer`] — a ConSeq-style intra-procedural, data-only
 //!   baseline, kept to demonstrate why concurrency attacks need more;
+//! * [`ElisionPrepass`] — the interprocedural check-elision pre-pass:
+//!   proves access sites race-free (thread-local / lock-dominated /
+//!   read-only-shared) so detection-stage replays can skip their
+//!   shadow-memory work;
 //! * [`hints`] — Figure-4/Figure-5 style report rendering.
 //!
 //! ## Example
@@ -51,6 +55,7 @@
 
 mod adhoc;
 mod conseq;
+mod elide;
 pub mod hints;
 mod summary;
 mod synth;
@@ -58,6 +63,7 @@ mod vuln;
 
 pub use adhoc::{AdhocSyncDetector, AdhocVerdict};
 pub use conseq::ConseqAnalyzer;
+pub use elide::ElisionPrepass;
 pub use summary::{FuncSummary, SummaryCache, SummaryKey, SummaryReport};
 pub use synth::{Affine, Assignment, InputSynthesizer};
 pub use vuln::{DepKind, VulnAnalyzer, VulnConfig, VulnReport, VulnStats};

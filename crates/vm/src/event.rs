@@ -115,6 +115,14 @@ pub struct TraceEvent {
     pub stack: CallStack,
     /// Action payload.
     pub kind: EventKind,
+    /// Whether the static check-elision pre-pass proved this site
+    /// race-free: shadow-memory backends may skip their lookup/update
+    /// for the event. Only ever set on plain `Read`/`Write` events, and
+    /// only when an elision map was installed in the VM. The reference
+    /// vector-clock backend deliberately ignores it (it is the
+    /// differential oracle for the elision proof).
+    #[serde(default)]
+    pub no_shadow: bool,
 }
 
 impl TraceEvent {
@@ -190,6 +198,7 @@ mod tests {
             site: InstRef::new(FuncId(0), InstId(0)),
             stack: Arc::from(vec![].into_boxed_slice()),
             kind,
+            no_shadow: false,
         }
     }
 

@@ -18,7 +18,7 @@ use crate::sched::Scheduler;
 use crate::violation::{SecurityEvent, SecurityRecord, Violation, ViolationRecord};
 use owl_ir::{BinOp, BlockId, Callee, FuncId, Inst, InstId, InstRef, Module, Operand, Pred, Type};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 /// Execution limits and switches.
@@ -220,6 +220,9 @@ pub struct Vm<'m> {
     input: ProgramInput,
     config: RunConfig,
     faults: FaultState,
+    /// Sites the static check-elision pre-pass proved race-free:
+    /// events emitted from them carry [`TraceEvent::no_shadow`].
+    elided: Option<Arc<HashSet<InstRef>>>,
     step: u64,
     outcome: ExecOutcome,
 }
@@ -270,6 +273,7 @@ impl<'m> Vm<'m> {
             input,
             config,
             faults,
+            elided: None,
             step: 0,
             outcome: ExecOutcome {
                 status: ExitStatus::Finished,
@@ -291,6 +295,16 @@ impl<'m> Vm<'m> {
     /// Installs a breakpoint before running.
     pub fn add_breakpoint(&mut self, bp: Breakpoint) {
         self.breakpoints.push(bp);
+    }
+
+    /// Installs the statically-proven race-free sites. Events emitted
+    /// at these sites are stamped [`TraceEvent::no_shadow`], letting
+    /// shadow-memory detector backends skip their per-access work.
+    /// Execution itself is unchanged: the same schedule yields the
+    /// same trace modulo the stamp.
+    pub fn with_elided_sites(mut self, sites: Arc<HashSet<InstRef>>) -> Self {
+        self.elided = Some(sites);
+        self
     }
 
     /// Runs to completion with no breakpoints/controller.
@@ -614,12 +628,17 @@ impl<'m> Vm<'m> {
 
     fn emit(&mut self, sink: &mut dyn TraceSink, tid: ThreadId, site: InstRef, kind: EventKind) {
         let stack = self.call_stack(tid);
+        // The elision map only ever contains plain load/store sites,
+        // so the stamp lands exclusively on their Read/Write events.
+        let no_shadow = matches!(kind, EventKind::Read { .. } | EventKind::Write { .. })
+            && self.elided.as_ref().is_some_and(|s| s.contains(&site));
         sink.on_event(&TraceEvent {
             step: self.step,
             tid,
             site,
             stack,
             kind,
+            no_shadow,
         });
     }
 

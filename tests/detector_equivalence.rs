@@ -7,7 +7,10 @@
 //! must likewise be indistinguishable from serial exploration at any
 //! worker count.
 
+use owl_ir::InstRef;
 use owl_race::{explore, ExploreResult, ExplorerConfig, HbAnnotation, HbBackend};
+use std::collections::HashSet;
+use std::sync::Arc;
 
 fn sweep(
     p: &owl_corpus::CorpusProgram,
@@ -15,11 +18,22 @@ fn sweep(
     workers: usize,
     annotations: Vec<HbAnnotation>,
 ) -> ExploreResult {
+    sweep_elided(p, backend, workers, annotations, None)
+}
+
+fn sweep_elided(
+    p: &owl_corpus::CorpusProgram,
+    backend: HbBackend,
+    workers: usize,
+    annotations: Vec<HbAnnotation>,
+    elided_sites: Option<Arc<HashSet<InstRef>>>,
+) -> ExploreResult {
     let cfg = ExplorerConfig {
         runs_per_input: 4,
         workers,
         hb_backend: backend,
         annotations,
+        elided_sites,
         ..ExplorerConfig::default()
     };
     explore(&p.module, p.entry, &p.workloads, &cfg)
@@ -67,6 +81,49 @@ fn epoch_backend_matches_reference_across_corpus() {
             p.name
         );
     }
+}
+
+/// The check-elision pre-pass is only allowed to *skip work* — never
+/// to change results. With the elided site set installed, the epoch
+/// backend must still match the un-elided reference backend exactly,
+/// at every worker count, and elision must actually fire somewhere in
+/// the corpus (otherwise this test proves nothing).
+#[test]
+fn elision_never_changes_report_streams() {
+    let mut total_elided_events = 0;
+    for p in owl_corpus::all_programs() {
+        let pre = owl_static::ElisionPrepass::run(&p.module, p.entry);
+        let elided = pre.elided_sites();
+        let reference = sweep(&p, HbBackend::Reference, 1, Vec::new());
+        let epoch_plain = sweep(&p, HbBackend::Epoch, 1, Vec::new());
+        for workers in [1usize, 2, 4] {
+            let e = sweep_elided(
+                &p,
+                HbBackend::Epoch,
+                workers,
+                Vec::new(),
+                Some(Arc::clone(&elided)),
+            );
+            assert_eq!(
+                e.reports, reference.reports,
+                "{} (workers={workers}): elided epoch diverges from reference",
+                p.name
+            );
+            assert_eq!(e.suppressed, reference.suppressed, "{}", p.name);
+            assert_eq!(e.reports_dropped, reference.reports_dropped, "{}", p.name);
+            assert_eq!(e.runs, reference.runs, "{}", p.name);
+            assert_eq!(
+                e.reports, epoch_plain.reports,
+                "{} (workers={workers}): elision changed the epoch backend's reports",
+                p.name
+            );
+            total_elided_events += e.events_elided;
+        }
+    }
+    assert!(
+        total_elided_events > 0,
+        "elision never fired across the whole corpus — the pre-pass is inert"
+    );
 }
 
 #[test]
