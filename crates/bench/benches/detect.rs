@@ -17,8 +17,8 @@ use owl::json::Json;
 use owl_bench::harness::metric;
 use owl_ir::analysis::ElisionMap;
 use owl_ir::{FuncId, InstRef, ModuleBuilder, Module, Type};
-use owl_race::{explore, ExplorerConfig, HbBackend, HbConfig, HbDetector};
-use owl_vm::{ProgramInput, RandomScheduler, RunConfig, TraceEvent, VecSink, Vm};
+use owl_race::{explore, ExplorerConfig, HbBackend, HbConfig, HbDetector, StreamConfig};
+use owl_vm::{ProgramInput, RandomScheduler, RunConfig, TraceEvent, TraceSink, VecSink, Vm};
 use std::collections::HashSet;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -211,6 +211,124 @@ fn bench_detector_replay(c: &mut Criterion) {
     metric("events_elided", Json::UInt(elide_stats.events_elided()));
 }
 
+/// The pre-`on_event_owned` capture path: every event crosses the sink
+/// boundary by reference and is cloned into the buffer (stack `Arc`
+/// bump plus a struct copy per event). Kept as a bench-only baseline
+/// so `owned_capture_speedup` tracks what taking events by value
+/// actually buys.
+#[derive(Default)]
+struct CloningSink {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceSink for CloningSink {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        self.events.push(ev.clone());
+    }
+}
+
+/// Trace-capture cost: the VM emitting into a by-value sink
+/// (`on_event_owned`, today's path) against the old clone-per-event
+/// hand-off.
+fn bench_capture_handoff(c: &mut Criterion) {
+    let (m, entry) = workload_module(32, 1024);
+    let run = |sink: &mut dyn TraceSink| {
+        let mut sched = RandomScheduler::new(11);
+        let _ = Vm::new(&m, entry, ProgramInput::empty(), RunConfig::default()).run(&mut sched, sink);
+    };
+
+    let mut group = c.benchmark_group("capture");
+    group.bench_function("capture_owned", |b| {
+        b.iter(|| {
+            let mut sink = VecSink::default();
+            run(&mut sink);
+            black_box(sink.events.len())
+        })
+    });
+    group.bench_function("capture_cloned", |b| {
+        b.iter(|| {
+            let mut sink = CloningSink::default();
+            run(&mut sink);
+            black_box(sink.events.len())
+        })
+    });
+    group.finish();
+
+    let mean_secs = |cloned: bool| {
+        let reps = 10u32;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            if cloned {
+                let mut sink = CloningSink::default();
+                run(&mut sink);
+                black_box(sink.events.len());
+            } else {
+                let mut sink = VecSink::default();
+                run(&mut sink);
+                black_box(sink.events.len());
+            }
+        }
+        t0.elapsed().as_secs_f64() / f64::from(reps)
+    };
+    let owned = mean_secs(false);
+    let cloned = mean_secs(true);
+    metric("owned_capture_speedup", Json::Float(cloned / owned));
+}
+
+/// Streaming under a hard trace-memory budget: the explorer spilling
+/// cold segments to disk and replaying them, against the unbounded
+/// in-memory window. Reports are asserted identical; the metrics
+/// quantify the spill overhead.
+fn bench_bounded_stream(c: &mut Criterion) {
+    let p = owl_corpus::program("MySQL").expect("corpus program");
+    let base_cfg = ExplorerConfig {
+        runs_per_input: 8,
+        ..ExplorerConfig::default()
+    };
+    let spill_dir = std::env::temp_dir().join(format!("owl-bench-spill-{}", std::process::id()));
+    let bounded_cfg = ExplorerConfig {
+        stream: StreamConfig {
+            max_trace_mem: Some(16 * 1024),
+            spill_dir: Some(spill_dir.clone()),
+            ..StreamConfig::default()
+        },
+        ..base_cfg.clone()
+    };
+
+    let unbounded = explore(&p.module, p.entry, &p.workloads, &base_cfg);
+    let bounded = explore(&p.module, p.entry, &p.workloads, &bounded_cfg);
+    assert_eq!(
+        bounded.reports, unbounded.reports,
+        "spilling changed the report stream"
+    );
+    assert!(bounded.trace_spill_segments > 0, "budget too high to spill");
+    metric("spill_segments", Json::UInt(bounded.trace_spill_segments));
+    metric("spilled_bytes", Json::UInt(bounded.trace_spilled_bytes));
+
+    let mut group = c.benchmark_group("stream");
+    group.bench_function("explore_unbounded", |b| {
+        b.iter(|| explore(&p.module, p.entry, &p.workloads, &base_cfg))
+    });
+    group.bench_function("explore_spill_16k", |b| {
+        b.iter(|| explore(&p.module, p.entry, &p.workloads, &bounded_cfg))
+    });
+    group.finish();
+
+    let mean = |cfg: &ExplorerConfig| {
+        let reps = 5u32;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            black_box(explore(&p.module, p.entry, &p.workloads, cfg));
+        }
+        t0.elapsed().as_secs_f64() / f64::from(reps)
+    };
+    metric(
+        "spill_overhead_ratio",
+        Json::Float(mean(&bounded_cfg) / mean(&base_cfg)),
+    );
+    let _ = std::fs::remove_dir_all(&spill_dir);
+}
+
 fn bench_explore_scaling(c: &mut Criterion) {
     let p = owl_corpus::program("MySQL").expect("corpus program");
     let mut group = c.benchmark_group("explore");
@@ -233,5 +351,11 @@ fn bench_explore_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_detector_replay, bench_explore_scaling);
+criterion_group!(
+    benches,
+    bench_detector_replay,
+    bench_capture_handoff,
+    bench_bounded_stream,
+    bench_explore_scaling
+);
 criterion_main!(benches);

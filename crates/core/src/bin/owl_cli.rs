@@ -59,6 +59,7 @@ fn usage() -> ExitCode {
          detector options (run/hints/audit/campaign):\n  \
          --explore-workers <n>     threads exploring schedules in the detection\n                            stage (default 1; reports are identical for any\n                            count and excluded from the campaign fingerprint)\n  \
          --hb-backend <b>          happens-before shadow memory: `epoch` (fast\n                            path, default) or `reference` (full vector\n                            clocks, the oracle)\n  \
+         --max-trace-mem <n[K|M|G]>\n                            bound the detector's in-flight trace window;\n                            cold segments spill to disk and are replayed\n                            (reports are identical at any budget; without a\n                            spill dir over-budget units abort with a typed\n                            memory-budget verdict)\n  \
          --no-elide                disable the static check-elision pre-pass\n                            (reports are identical either way; elision only\n                            skips shadow-memory work at proved-safe sites)\n  \
          --elide-report            print the pre-pass per-site classification\n                            for <program> and exit\n\
          campaign options:\n  \
@@ -103,6 +104,31 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Optio
             .map(Some)
             .map_err(|_| format!("invalid value `{raw}` for {name}")),
     }
+}
+
+/// Parses a memory size: plain bytes or with a case-insensitive
+/// K/M/G (KiB/MiB/GiB) suffix. Zero is rejected — a zero budget
+/// would abort every exploration unit before its first event.
+fn parse_mem_size(raw: &str) -> Result<u64, String> {
+    let (digits, mult) = match raw.as_bytes().last() {
+        Some(b'k' | b'K') => (&raw[..raw.len() - 1], 1u64 << 10),
+        Some(b'm' | b'M') => (&raw[..raw.len() - 1], 1u64 << 20),
+        Some(b'g' | b'G') => (&raw[..raw.len() - 1], 1u64 << 30),
+        _ => (raw, 1),
+    };
+    if digits.is_empty() {
+        return Err(format!("`{raw}` has no digits"));
+    }
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("`{raw}` is not a byte count with an optional K/M/G suffix"))?;
+    let bytes = n
+        .checked_mul(mult)
+        .ok_or_else(|| format!("`{raw}` overflows a 64-bit byte count"))?;
+    if bytes == 0 {
+        return Err("a zero trace-memory budget would abort every unit".to_string());
+    }
+    Ok(bytes)
 }
 
 fn config(args: &[String]) -> Result<OwlConfig, String> {
@@ -151,6 +177,16 @@ fn config(args: &[String]) -> Result<OwlConfig, String> {
                 ));
             }
         };
+    }
+    if let Some(raw) = flag_value(args, "--max-trace-mem")? {
+        let bytes =
+            parse_mem_size(raw).map_err(|msg| format!("--max-trace-mem: {msg}"))?;
+        cfg.detect.stream.max_trace_mem = Some(bytes);
+        // Default spill destination for one-shot commands; campaign
+        // and serve redirect this into their own directory.
+        cfg.detect.stream.spill_dir = Some(
+            std::env::temp_dir().join(format!("owl-trace-spill-{}", std::process::id())),
+        );
     }
     if args.iter().any(|a| a == "--no-elide") {
         cfg.elide = false;
@@ -321,6 +357,16 @@ fn main() -> ExitCode {
                             h.elision_events_elided
                         );
                     }
+                    if cfg.detect.stream.max_trace_mem.is_some() {
+                        println!(
+                            "trace memory: {} pressure event(s), {} segment(s) / {} byte(s) \
+                             spilled, {} shadow cell(s) GCed",
+                            h.mem_pressure_events,
+                            h.trace_spill_segments,
+                            h.trace_spilled_bytes,
+                            h.shadow_cells_gced
+                        );
+                    }
                     if h.total_injected_faults() > 0
                         || h.total_quarantined() > 0
                         || h.total_panics() > 0
@@ -411,13 +457,17 @@ fn main() -> ExitCode {
             if dir.starts_with("--") {
                 return usage();
             }
-            let cfg = match config(&args) {
+            let mut cfg = match config(&args) {
                 Ok(cfg) => cfg,
                 Err(msg) => {
                     eprintln!("{msg}");
                     return ExitCode::from(2);
                 }
             };
+            if cfg.detect.stream.max_trace_mem.is_some() {
+                cfg.detect.stream.spill_dir =
+                    Some(std::path::Path::new(dir).join("trace-spill"));
+            }
             let mut ccfg = CampaignConfig::new(cfg);
             let campaign_flags = (|| -> Result<(), String> {
                 if let Some(n) = parse_flag::<u64>(&args, "--max-attempts")? {
@@ -535,13 +585,17 @@ fn main() -> ExitCode {
             if dir.starts_with("--") {
                 return usage();
             }
-            let owl = match config(&args) {
+            let mut owl = match config(&args) {
                 Ok(cfg) => cfg,
                 Err(msg) => {
                     eprintln!("{msg}");
                     return ExitCode::from(2);
                 }
             };
+            if owl.detect.stream.max_trace_mem.is_some() {
+                owl.detect.stream.spill_dir =
+                    Some(std::path::Path::new(dir).join("trace-spill"));
+            }
             let mut scfg = ServeConfig::new(dir);
             scfg.owl = owl;
             // The daemon always records metrics: BENCH_serve.json and
@@ -718,6 +772,17 @@ fn main() -> ExitCode {
                             Json::UInt(s.elision_events_elided),
                         ),
                         ("elision_solve_us", Json::UInt(s.elision_solve_us)),
+                        ("trace_spilled_bytes", Json::UInt(s.trace_spilled_bytes)),
+                        (
+                            "trace_spill_segments",
+                            Json::UInt(s.trace_spill_segments),
+                        ),
+                        ("mem_pressure_events", Json::UInt(s.mem_pressure_events)),
+                        ("shadow_cells_gced", Json::UInt(s.shadow_cells_gced)),
+                        (
+                            "units_aborted_mem_budget",
+                            Json::UInt(s.units_aborted_mem_budget),
+                        ),
                     ]);
                     println!("{}", out.to_json_string());
                     Some(ExitCode::SUCCESS)

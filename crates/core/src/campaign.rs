@@ -133,6 +133,17 @@ pub fn campaign_fingerprint(owl: &OwlConfig, programs: &[String]) -> String {
     // [`CampaignConfig::workers`].
     let mut owl = owl.clone();
     owl.detect.workers = 1;
+    // Streaming plumbing is scheduling-only too: channel capacity,
+    // spill directory, segment naming, and fault-injection switches
+    // never change results (reports are byte-identical at any setting),
+    // so normalize them out as well. `max_trace_mem` stays — a unit
+    // that blows the hard budget is *aborted*, which is an observable
+    // result difference.
+    let max_trace_mem = owl.detect.stream.max_trace_mem;
+    owl.detect.stream = owl_race::StreamConfig {
+        max_trace_mem,
+        ..owl_race::StreamConfig::default()
+    };
     let ident = format!("{owl:?}|{programs:?}");
     format!("{:016x}", fnv1a64(ident.as_bytes()))
 }
@@ -403,7 +414,9 @@ fn set_status(
 /// Reconstructs the journal-visible slice of a consolidated
 /// [`PipelineHealth`] from the record stream. Detection counters are
 /// not journaled (stages 1–2 re-execute deterministically), so only
-/// stages 3–5 and the recovery counters are populated.
+/// stages 3–5 and the recovery counters are populated — plus
+/// [`PipelineHealth::units_aborted_mem_budget`], which is rebuilt from
+/// quarantine records carrying a memory-budget abort.
 pub fn health_from_records(records: &[JournalRecord], recovery: &RecoveryReport) -> PipelineHealth {
     let mut health = PipelineHealth {
         journal_discarded_bytes: recovery.discarded_bytes,
@@ -456,6 +469,14 @@ pub fn health_from_records(records: &[JournalRecord], recovery: &RecoveryReport)
                 sh.injected_faults += injected_faults;
                 if matches!(error, PipelineError::Panicked { .. }) {
                     sh.panics += 1;
+                }
+                if let PipelineError::VerifierAborted {
+                    cause: owl_verify::AbortCause::MemoryBudget,
+                    attempts: aborted_units,
+                    ..
+                } = error
+                {
+                    health.units_aborted_mem_budget += aborted_units;
                 }
             }
             _ => {}
@@ -755,6 +776,11 @@ pub(crate) fn record_attempt_metrics(
     m.counter("detector_suppressed", h.detector_suppressed);
     m.counter("detector_reports_dropped", h.detector_reports_dropped);
     m.counter("events_elided", h.elision_events_elided);
+    m.counter("trace_spilled_bytes", h.trace_spilled_bytes);
+    m.counter("trace_spill_segments", h.trace_spill_segments);
+    m.counter("mem_pressure_events", h.mem_pressure_events);
+    m.counter("shadow_cells_gced", h.shadow_cells_gced);
+    m.counter("units_aborted_mem_budget", h.units_aborted_mem_budget);
 }
 
 /// Runs (or resumes) a campaign over `programs` against the journal at

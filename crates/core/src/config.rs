@@ -43,6 +43,7 @@ impl Default for OwlConfig {
                 workers: 1,
                 hb_backend: owl_race::HbBackend::default(),
                 elided_sites: None,
+                stream: owl_race::StreamConfig::default(),
             },
             race_verify: RaceVerifyConfig {
                 max_schedules: 8,

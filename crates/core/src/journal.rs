@@ -54,14 +54,9 @@ use std::path::{Path, PathBuf};
 /// Panic payload of an armed journal kill point (see
 /// [`Journal::set_kill_after`]). Supervisors must re-raise it: it
 /// simulates the process dying, not a recoverable stage failure.
-#[derive(Debug)]
-pub struct JournalKilled {
-    /// Appends completed before the kill fired.
-    pub appends: u64,
-    /// The fault kind this injection is tagged with
-    /// ([`FaultKind::JournalKill`]).
-    pub kind: FaultKind,
-}
+/// Shared with the trace spill layer's kill switch, so it lives in
+/// [`owl_vm`] and is re-exported here.
+pub use owl_vm::JournalKilled;
 
 /// What `Journal::open` found and repaired.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -389,6 +384,7 @@ fn cause_name(cause: AbortCause) -> &'static str {
         AbortCause::DeadlineExceeded => "deadline-exceeded",
         AbortCause::StepBudgetExhausted => "step-budget-exhausted",
         AbortCause::Panicked => "panicked",
+        AbortCause::MemoryBudget => "memory-budget",
     }
 }
 
@@ -397,6 +393,7 @@ fn parse_cause(s: &str) -> Option<AbortCause> {
         "deadline-exceeded" => AbortCause::DeadlineExceeded,
         "step-budget-exhausted" => AbortCause::StepBudgetExhausted,
         "panicked" => AbortCause::Panicked,
+        "memory-budget" => AbortCause::MemoryBudget,
         _ => return None,
     })
 }
@@ -719,6 +716,17 @@ pub fn encode_health(h: &crate::PipelineHealth) -> Json {
         (
             "elision_events_elided",
             Json::UInt(h.elision_events_elided),
+        ),
+        ("trace_spilled_bytes", Json::UInt(h.trace_spilled_bytes)),
+        (
+            "trace_spill_segments",
+            Json::UInt(h.trace_spill_segments),
+        ),
+        ("mem_pressure_events", Json::UInt(h.mem_pressure_events)),
+        ("shadow_cells_gced", Json::UInt(h.shadow_cells_gced)),
+        (
+            "units_aborted_mem_budget",
+            Json::UInt(h.units_aborted_mem_budget),
         ),
     ])
 }

@@ -265,6 +265,23 @@ pub struct PipelineHealth {
     /// Data-access events whose epoch shadow-memory work was skipped
     /// at elided sites, summed over both detection sweeps.
     pub elision_events_elided: u64,
+    /// Bytes of trace the streaming detection units spilled to segment
+    /// files under memory pressure, summed over both sweeps. (Live
+    /// runs only — not journaled.)
+    pub trace_spilled_bytes: u64,
+    /// Spill segments written (each verified by checksum on replay and
+    /// deleted). (Live runs only — not journaled.)
+    pub trace_spill_segments: u64,
+    /// Times a detection unit's in-flight window crossed the soft
+    /// memory limit. (Live runs only — not journaled.)
+    pub mem_pressure_events: u64,
+    /// Shadow cells the detectors' thread-exit/free GC reclaimed.
+    /// (Live runs only — not journaled.)
+    pub shadow_cells_gced: u64,
+    /// Detection units aborted with a typed memory-budget verdict
+    /// because their trace outgrew `--max-trace-mem` with nowhere to
+    /// spill. Reconstructed on resume from quarantine records.
+    pub units_aborted_mem_budget: u64,
 }
 
 impl PipelineHealth {
@@ -320,6 +337,11 @@ impl PipelineHealth {
         self.elision_sites_lock_dominated += other.elision_sites_lock_dominated;
         self.elision_sites_read_only += other.elision_sites_read_only;
         self.elision_events_elided += other.elision_events_elided;
+        self.trace_spilled_bytes += other.trace_spilled_bytes;
+        self.trace_spill_segments += other.trace_spill_segments;
+        self.mem_pressure_events += other.mem_pressure_events;
+        self.shadow_cells_gced += other.shadow_cells_gced;
+        self.units_aborted_mem_budget += other.units_aborted_mem_budget;
     }
 }
 
@@ -480,7 +502,21 @@ impl<'m> Owl<'m> {
             workloads
         };
 
-        let (annotations, reports) = self.detect_and_annotate(workloads, &mut stats, &mut health);
+        let (annotations, reports) =
+            match self.detect_and_annotate(name, workloads, &mut stats, &mut health) {
+                Ok(out) => out,
+                Err(error) => {
+                    return PipelineResult {
+                        program: name.to_string(),
+                        stats,
+                        annotations: Vec::new(),
+                        findings: Vec::new(),
+                        quarantined,
+                        health,
+                        error: Some(error),
+                    };
+                }
+            };
         let findings = self.verify_and_analyze(
             &reports,
             workloads,
@@ -507,12 +543,19 @@ impl<'m> Owl<'m> {
     /// configuration (seeded explorer, seeded fault plan), which is
     /// what makes it safe to re-execute on resume instead of
     /// journaling its reports.
+    ///
+    /// Returns a [`PipelineError::VerifierAborted`] with
+    /// [`AbortCause::MemoryBudget`] when any exploration unit blew the
+    /// `--max-trace-mem` hard limit and had no spill directory to
+    /// degrade into — the unit's reports were discarded, so continuing
+    /// to the verifiers would verify an incomplete stream.
     fn detect_and_annotate(
         &self,
+        name: &str,
         workloads: &[ProgramInput],
         stats: &mut PipelineStats,
         health: &mut PipelineHealth,
-    ) -> (Vec<HbAnnotation>, Vec<RaceReport>) {
+    ) -> Result<(Vec<HbAnnotation>, Vec<RaceReport>), PipelineError> {
         let deadline = self.config.stage_deadline;
 
         // Stage 0 (optional): check-elision pre-pass. Installs the
@@ -521,6 +564,7 @@ impl<'m> Owl<'m> {
         // shadow work there. Purely an optimization: report streams
         // are byte-identical with it on or off.
         let mut detect_cfg = self.config.detect.clone();
+        detect_cfg.stream.tag_prefix = spill_tag(name);
         if self.config.elide {
             let pre = ElisionPrepass::run(self.module, self.entry);
             let es = pre.stats();
@@ -539,6 +583,15 @@ impl<'m> Owl<'m> {
         health.detect.attempts += raw.runs;
         health.detect.injected_faults += raw.injected_faults;
         health.detect.deadline_hits += raw.deadline_hit as u64;
+        absorb_stream_health(health, &raw);
+        if raw.units_aborted_mem_budget > 0 {
+            stats.detect_time = t0.elapsed();
+            return Err(PipelineError::VerifierAborted {
+                stage: Stage::Detect,
+                cause: AbortCause::MemoryBudget,
+                attempts: raw.units_aborted_mem_budget,
+            });
+        }
 
         // Stage 2: adhoc-synchronization hints + annotate + re-detect.
         let t_static = Instant::now();
@@ -562,6 +615,15 @@ impl<'m> Owl<'m> {
         health.detect.attempts += reduced.runs;
         health.detect.injected_faults += reduced.injected_faults;
         health.detect.deadline_hits += reduced.deadline_hit as u64;
+        absorb_stream_health(health, &reduced);
+        if reduced.units_aborted_mem_budget > 0 {
+            stats.detect_time = t0.elapsed();
+            return Err(PipelineError::VerifierAborted {
+                stage: Stage::Detect,
+                cause: AbortCause::MemoryBudget,
+                attempts: reduced.units_aborted_mem_budget,
+            });
+        }
         health.detector_suppressed += (raw.suppressed + reduced.suppressed) as u64;
         health.elision_events_elided += raw.events_elided + reduced.events_elided;
         let dropped = raw.reports_dropped + reduced.reports_dropped;
@@ -573,7 +635,7 @@ impl<'m> Owl<'m> {
             );
         }
         stats.detect_time = t0.elapsed();
-        (annotations, reduced.reports)
+        Ok((annotations, reduced.reports))
     }
 
     /// Runs the full pipeline with checkpoint/resume against a run
@@ -626,7 +688,21 @@ impl<'m> Owl<'m> {
             workloads
         };
 
-        let (annotations, reports) = self.detect_and_annotate(workloads, &mut stats, &mut health);
+        let (annotations, reports) =
+            match self.detect_and_annotate(name, workloads, &mut stats, &mut health) {
+                Ok(out) => out,
+                Err(error) => {
+                    return Ok(PipelineResult {
+                        program: name.to_string(),
+                        stats,
+                        annotations: Vec::new(),
+                        findings: Vec::new(),
+                        quarantined,
+                        health,
+                        error: Some(error),
+                    });
+                }
+            };
         let program_records = journal.program_records(name);
         let mut index = ResumeIndex::for_program(&program_records, name);
         let tv = Instant::now();
@@ -1590,6 +1666,36 @@ impl ResumeIndex {
     fn has_analyze(&self, key: &str) -> bool {
         self.analyze.get(key).is_some_and(|q| !q.is_empty())
     }
+}
+
+/// Sanitizes a program name into a spill-segment filename prefix so two
+/// programs sharing one spill directory can never collide (and a name
+/// with path separators cannot escape it).
+fn spill_tag(name: &str) -> String {
+    let mut tag: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if tag.is_empty() {
+        tag.push_str("unit");
+    }
+    tag
+}
+
+/// Folds one exploration sweep's streaming/memory-governance counters
+/// into the pipeline health report.
+fn absorb_stream_health(health: &mut PipelineHealth, sweep: &owl_race::ExploreResult) {
+    health.trace_spilled_bytes += sweep.trace_spilled_bytes;
+    health.trace_spill_segments += sweep.trace_spill_segments;
+    health.mem_pressure_events += sweep.mem_pressure_events;
+    health.shadow_cells_gced += sweep.shadow_cells_gced;
+    health.units_aborted_mem_budget += sweep.units_aborted_mem_budget;
 }
 
 /// Folds a quarantine's secondary effects (panic/deadline counters plus

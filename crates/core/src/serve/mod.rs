@@ -254,6 +254,11 @@ impl ServeShared {
             elision_sites_read_only: h.elision_sites_read_only,
             elision_events_elided: h.elision_events_elided,
             elision_solve_us: self.elision_solve_us.load(Ordering::SeqCst),
+            trace_spilled_bytes: h.trace_spilled_bytes,
+            trace_spill_segments: h.trace_spill_segments,
+            mem_pressure_events: h.mem_pressure_events,
+            shadow_cells_gced: h.shadow_cells_gced,
+            units_aborted_mem_budget: h.units_aborted_mem_budget,
         }
     }
 }
@@ -355,6 +360,14 @@ fn execute_job(shared: &Arc<ServeShared>, job: Job, worker_id: usize) -> bool {
     };
 
     if let Some(error) = result.error {
+        // Keep the failed run's health visible in `status` — a
+        // memory-budget abort must surface its pressure and abort
+        // counters even though no summary is stored.
+        shared
+            .health
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .merge(&result.health);
         respond(
             &job.conn,
             &Response::Failed {

@@ -254,6 +254,88 @@ impl EpochShadow {
         }
     }
 
+    /// Re-inserts every surviving slot in place: removing an entry
+    /// breaks the linear-probe chains running through it, so lookups
+    /// are only correct again after a rehash.
+    fn rehash(&mut self) {
+        let cap = self.slots.len();
+        if cap == 0 {
+            return;
+        }
+        let old = std::mem::replace(&mut self.slots, vec![None; cap]);
+        self.last.clear();
+        let mask = cap - 1;
+        for slot in old.into_iter().flatten() {
+            let mut i = hash_addr(slot.addr) & mask;
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Some(slot);
+        }
+    }
+
+    /// Reclaims shadow cells whose every remembered access is ordered
+    /// before `min` — the pointwise minimum over all live threads'
+    /// clocks. Any future access runs at a clock ≥ `min` pointwise
+    /// (live threads only advance; forked threads inherit their
+    /// parent's knowledge), so a reclaimed access could never again be
+    /// a conflict: dropping it cannot change the report stream.
+    /// Returns the number of cells freed. Interned stacks are pinned
+    /// for the detector's lifetime and are not reclaimed here.
+    pub(crate) fn gc(&mut self, min: &VectorClock) -> u64 {
+        self.sweep(|_| true, min)
+    }
+
+    /// Same criterion, restricted to addresses in `[start, end)` — the
+    /// targeted sweep a `Free` event triggers for the dying region.
+    pub(crate) fn gc_range(&mut self, start: u64, end: u64, min: &VectorClock) -> u64 {
+        self.sweep(|addr| addr >= start && addr < end, min)
+    }
+
+    fn sweep(&mut self, in_scope: impl Fn(u64) -> bool, min: &VectorClock) -> u64 {
+        let mut freed = 0u64;
+        for slot in self.slots.iter_mut() {
+            let Some(s) = slot else { continue };
+            if !in_scope(s.addr) {
+                continue;
+            }
+            let cell = &mut s.cell;
+            if let Some(w) = &cell.write {
+                if w.ordered_before(min) {
+                    cell.write = None;
+                }
+            }
+            cell.reads = match std::mem::take(&mut cell.reads) {
+                ReadHistory::None => ReadHistory::None,
+                ReadHistory::One(e) if e.ordered_before(min) => ReadHistory::None,
+                ReadHistory::One(e) => ReadHistory::One(e),
+                ReadHistory::Many(mut v) => {
+                    v.retain(|e| !e.ordered_before(min));
+                    match v.len() {
+                        0 => {
+                            self.stats.read_demotions += 1;
+                            ReadHistory::None
+                        }
+                        1 => {
+                            self.stats.read_demotions += 1;
+                            ReadHistory::One(v[0])
+                        }
+                        _ => ReadHistory::Many(v),
+                    }
+                }
+            };
+            if cell.write.is_none() && matches!(cell.reads, ReadHistory::None) {
+                *slot = None;
+                self.len -= 1;
+                freed += 1;
+            }
+        }
+        if freed > 0 {
+            self.rehash();
+        }
+        freed
+    }
+
     /// Processes a plain read; returns the prior racy write, if any.
     /// Mirrors the reference backend's shadow update exactly: check
     /// the last write, prune reads that happen-before this one, record
@@ -495,6 +577,61 @@ mod tests {
             let _ = s.read(0x40, ThreadId(0), &c, site(), &st, 0, Type::I64);
         }
         assert!(s.stats().cell_cache_hits >= 9, "{:?}", s.stats());
+    }
+
+    #[test]
+    fn gc_reclaims_ordered_cells_and_keeps_concurrent_ones() {
+        let mut s = EpochShadow::default();
+        let st = stack();
+        // Thread 0 writes two addresses at clock 2.
+        let c0 = clock(&[2]);
+        s.write(0x10, ThreadId(0), &c0, site(), &st, 1);
+        s.write(0x20, ThreadId(0), &c0, site(), &st, 2);
+        // min over live threads knows thread 0 only up to clock 1:
+        // nothing is reclaimable.
+        assert_eq!(s.gc(&clock(&[1])), 0);
+        assert_eq!(s.len, 2);
+        // Everyone has seen clock 2: both cells go, lookups still work.
+        assert_eq!(s.gc(&clock(&[2])), 2);
+        assert_eq!(s.len, 0);
+        let c3 = clock(&[3]);
+        assert!(s
+            .read(0x10, ThreadId(0), &c3, site(), &st, 1, Type::I64)
+            .is_none());
+    }
+
+    #[test]
+    fn gc_range_only_touches_the_region() {
+        let mut s = EpochShadow::default();
+        let st = stack();
+        let c = clock(&[1]);
+        s.write(0x10, ThreadId(0), &c, site(), &st, 0);
+        s.write(0x80, ThreadId(0), &c, site(), &st, 0);
+        assert_eq!(s.gc_range(0x00, 0x40, &clock(&[5])), 1);
+        assert_eq!(s.len, 1);
+        // The out-of-range cell survived with its write intact.
+        let c2 = clock(&[9]);
+        assert!(s
+            .read(0x80, ThreadId(0), &c2, site(), &st, 0, Type::I64)
+            .is_none());
+        assert_eq!(s.len, 1, "read of surviving cell must not re-insert");
+    }
+
+    #[test]
+    fn gc_prunes_ordered_reads_inside_surviving_cells() {
+        let mut s = EpochShadow::default();
+        let st = stack();
+        // Concurrent reads by threads 0 and 1 promote to a list.
+        let _ = s.read(0x10, ThreadId(0), &clock(&[1, 0]), site(), &st, 0, Type::I64);
+        let _ = s.read(0x10, ThreadId(1), &clock(&[0, 1]), site(), &st, 0, Type::I64);
+        assert_eq!(s.stats().read_promotions, 1);
+        // min knows thread 0's read but not thread 1's: cell survives
+        // (no full reclaim), but nothing is miscounted.
+        assert_eq!(s.gc(&clock(&[1, 0])), 0);
+        assert_eq!(s.len, 1);
+        // Now everyone has seen both reads.
+        assert_eq!(s.gc(&clock(&[1, 1])), 1);
+        assert_eq!(s.len, 0);
     }
 
     #[test]

@@ -27,9 +27,15 @@
 
 use crate::hb::{HbAnnotation, HbBackend, HbConfig, HbDetector};
 use crate::report::RaceReport;
+use crate::spill::{self, SpillKillSwitch};
 use owl_ir::{FuncId, InstRef, Module};
-use owl_vm::{ExecOutcome, PctScheduler, ProgramInput, RandomScheduler, RunConfig, Scheduler, Vm};
-use std::collections::{HashMap, HashSet};
+use owl_vm::{
+    event_channel, ChannelReceiver, ExecOutcome, PctScheduler, ProgramInput, RandomScheduler,
+    RunConfig, Scheduler, TraceSink, Vm,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -45,6 +51,55 @@ pub enum ExploreStrategy {
         /// Number of priority change points.
         depth: usize,
     },
+}
+
+/// Streaming hand-off and memory-governance parameters for the
+/// VM→detector pipeline.
+///
+/// With a non-zero `channel_capacity`, every `(input, seed)` unit runs
+/// its VM on a producer thread feeding a bounded event channel; the
+/// detector consumes on the claiming worker thread, and a full channel
+/// blocks the producer (backpressure) instead of growing a buffer.
+/// `max_trace_mem` adds a budget on the in-flight window: past the
+/// soft limit (half the budget) the window spills to checksummed
+/// segment files under `spill_dir` and is immediately replayed into
+/// the detector; past the hard limit with nowhere to spill, the unit
+/// aborts with a typed memory-budget verdict instead of OOMing.
+///
+/// None of this changes results: report streams are byte-identical at
+/// any capacity and any spill threshold (enforced by
+/// `tests/detector_equivalence.rs`), because spill points depend only
+/// on event sizes, never on thread timing.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Bounded channel capacity in events. `0` disables streaming and
+    /// runs the VM inline on the worker thread (the legacy in-memory
+    /// path, kept as the equivalence baseline).
+    pub channel_capacity: usize,
+    /// Hard cap, in bytes, on a unit's in-flight event window
+    /// (`--max-trace-mem`). `None` = unbounded.
+    pub max_trace_mem: Option<u64>,
+    /// Where spill segments go. `None` with a budget set means the
+    /// unit aborts as soon as the window crosses the hard limit.
+    pub spill_dir: Option<PathBuf>,
+    /// Prefix for segment file names (campaigns set the program name,
+    /// the daemon a job id), keeping concurrent units collision-free
+    /// alongside the `-u<input>-s<seed>-<seq>.seg` suffix.
+    pub tag_prefix: String,
+    /// Crash-injection switch for the spill writer (tests only).
+    pub spill_kill: Option<SpillKillSwitch>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            channel_capacity: 1024,
+            max_trace_mem: None,
+            spill_dir: None,
+            tag_prefix: "unit".to_string(),
+            spill_kill: None,
+        }
+    }
 }
 
 /// Exploration parameters.
@@ -72,6 +127,8 @@ pub struct ExplorerConfig {
     /// not change any result — only how much shadow work the epoch
     /// backend performs.
     pub elided_sites: Option<Arc<HashSet<InstRef>>>,
+    /// Streaming hand-off and memory governance (see [`StreamConfig`]).
+    pub stream: StreamConfig,
 }
 
 impl Default for ExplorerConfig {
@@ -86,6 +143,7 @@ impl Default for ExplorerConfig {
             workers: 1,
             hb_backend: HbBackend::default(),
             elided_sites: None,
+            stream: StreamConfig::default(),
         }
     }
 }
@@ -111,6 +169,21 @@ pub struct ExploreResult {
     /// the static elision pre-pass, summed over runs (0 under the
     /// reference backend, which always does the full work).
     pub events_elided: u64,
+    /// Bytes of trace spilled to segment files, summed over units.
+    pub trace_spilled_bytes: u64,
+    /// Spill segments written (each immediately replayed and deleted).
+    pub trace_spill_segments: u64,
+    /// Times a unit's in-flight window crossed the soft memory limit
+    /// (each either spilled or, with nowhere to spill, aborted).
+    pub mem_pressure_events: u64,
+    /// Shadow cells reclaimed by the detectors' thread-exit/free GC,
+    /// summed over units.
+    pub shadow_cells_gced: u64,
+    /// Units aborted because their trace outgrew
+    /// [`StreamConfig::max_trace_mem`] with nowhere to spill. Aborted
+    /// units contribute no reports; the pipeline turns a non-zero
+    /// count into a typed memory-budget verdict.
+    pub units_aborted_mem_budget: u64,
     /// Whether a wall-clock budget cut the sweep short (see
     /// [`explore_with_deadline`]).
     pub deadline_hit: bool,
@@ -150,12 +223,102 @@ struct UnitOutput {
     reports_dropped: usize,
     events_elided: u64,
     outcome: ExecOutcome,
+    spilled_bytes: u64,
+    spill_segments: u64,
+    pressure_events: u64,
+    cells_gced: u64,
+    mem_budget_aborted: bool,
+}
+
+/// What the consuming side of one streamed unit did.
+#[derive(Debug, Default)]
+struct StreamStats {
+    spilled_bytes: u64,
+    spill_segments: u64,
+    pressure_events: u64,
+    aborted: bool,
+}
+
+/// Drains the event channel into the detector, enforcing the memory
+/// budget. With no budget every event is fed straight through; with a
+/// budget events buffer into a window that spills (and immediately
+/// replays) whole segments past the soft limit, and the unit aborts if
+/// the window crosses the hard limit with nowhere to spill. A spill
+/// I/O failure also aborts: the budget could not be honored, which is
+/// exactly what the typed verdict reports.
+fn consume_stream(
+    rx: &ChannelReceiver,
+    detector: &mut HbDetector,
+    stream: &StreamConfig,
+    tag: &str,
+) -> StreamStats {
+    let mut stats = StreamStats::default();
+    let Some(hard) = stream.max_trace_mem else {
+        while let Some(ev) = rx.recv() {
+            detector.on_event_owned(ev);
+        }
+        return stats;
+    };
+    let soft = (hard / 2).max(1);
+    let mut window: VecDeque<owl_vm::TraceEvent> = VecDeque::new();
+    let mut window_bytes = 0u64;
+    let mut seq = 0u64;
+    while let Some(ev) = rx.recv() {
+        window_bytes += spill::approx_event_bytes(&ev) as u64;
+        window.push_back(ev);
+        if window_bytes <= soft {
+            continue;
+        }
+        match &stream.spill_dir {
+            Some(dir) => {
+                stats.pressure_events += 1;
+                let spilled = (|| -> std::io::Result<u64> {
+                    std::fs::create_dir_all(dir)?;
+                    let path = dir.join(format!("{tag}-{seq}.seg"));
+                    if path.exists() {
+                        // Leftover from a killed run: restore the
+                        // every-line-valid invariant before reuse.
+                        let _ = spill::recover_segment(&path);
+                    }
+                    let bytes =
+                        spill::write_segment(&path, window.iter(), stream.spill_kill.as_ref())?;
+                    spill::replay_segment(&path, detector)?;
+                    std::fs::remove_file(&path)?;
+                    Ok(bytes)
+                })();
+                match spilled {
+                    Ok(bytes) => {
+                        stats.spilled_bytes += bytes;
+                        stats.spill_segments += 1;
+                        seq += 1;
+                        window.clear();
+                        window_bytes = 0;
+                    }
+                    Err(_) => {
+                        stats.aborted = true;
+                        return stats;
+                    }
+                }
+            }
+            None if window_bytes > hard => {
+                stats.pressure_events += 1;
+                stats.aborted = true;
+                return stats;
+            }
+            None => {}
+        }
+    }
+    for ev in window {
+        detector.on_event_owned(ev);
+    }
+    stats
 }
 
 fn run_unit(
     module: &Module,
     entry: FuncId,
     input: &ProgramInput,
+    input_idx: usize,
     seed: u64,
     cfg: &ExplorerConfig,
 ) -> UnitOutput {
@@ -164,25 +327,78 @@ fn run_unit(
         backend: cfg.hb_backend,
         ..HbConfig::default()
     });
-    let mut sched: Box<dyn Scheduler> = match cfg.strategy {
-        ExploreStrategy::Random => Box::new(RandomScheduler::new(seed)),
-        ExploreStrategy::Pct { depth } => {
-            Box::new(PctScheduler::new(seed, depth, cfg.expected_steps))
+    let build_sched = || -> Box<dyn Scheduler> {
+        match cfg.strategy {
+            ExploreStrategy::Random => Box::new(RandomScheduler::new(seed)),
+            ExploreStrategy::Pct { depth } => {
+                Box::new(PctScheduler::new(seed, depth, cfg.expected_steps))
+            }
         }
     };
-    let mut vm = Vm::new(module, entry, input.clone(), cfg.run_config.clone());
-    if let Some(elided) = &cfg.elided_sites {
-        vm = vm.with_elided_sites(Arc::clone(elided));
-    }
-    let outcome = vm.run(sched.as_mut(), &mut detector);
+    let build_vm = || {
+        let mut vm = Vm::new(module, entry, input.clone(), cfg.run_config.clone());
+        if let Some(elided) = &cfg.elided_sites {
+            vm = vm.with_elided_sites(Arc::clone(elided));
+        }
+        vm
+    };
+
+    let (outcome, stream_stats) = if cfg.stream.channel_capacity == 0 {
+        // Legacy inline path: the detector consumes directly inside
+        // the VM's emit hook. Baseline for the streaming equivalence
+        // tests; no budget applies (there is no in-flight window).
+        let mut sched = build_sched();
+        let outcome = build_vm().run(sched.as_mut(), &mut detector);
+        (outcome, StreamStats::default())
+    } else {
+        let (tx, rx) = event_channel(cfg.stream.channel_capacity);
+        let tag = format!("{}-u{input_idx}-s{seed}", cfg.stream.tag_prefix);
+        std::thread::scope(|s| {
+            let producer = s.spawn(move || {
+                let mut tx = tx;
+                let mut sched = build_sched();
+                build_vm().run(sched.as_mut(), &mut tx)
+                // `tx` drops here, closing the channel.
+            });
+            // The consumer may panic (spill kill switch) while the
+            // producer is blocked on a full channel; catch it, release
+            // the producer by closing the receiver, join, and only
+            // then re-raise — otherwise the scope would deadlock and
+            // the crash payload would be lost.
+            let consumed = catch_unwind(AssertUnwindSafe(|| {
+                consume_stream(&rx, &mut detector, &cfg.stream, &tag)
+            }));
+            rx.close();
+            let outcome = match producer.join() {
+                Ok(o) => o,
+                Err(p) => resume_unwind(p),
+            };
+            match consumed {
+                Ok(stats) => (outcome, stats),
+                Err(p) => resume_unwind(p),
+            }
+        })
+    };
+
+    let cells_gced = detector.shadow_cells_gced();
     UnitOutput {
         suppressed: detector.suppressed(),
         reports_dropped: detector.reports_dropped(),
-        events_elided: detector
-            .epoch_stats()
-            .map_or(0, |s| s.events_elided()),
-        reports: detector.finish(module),
+        events_elided: detector.epoch_stats().map_or(0, |s| s.events_elided()),
+        // An aborted unit saw only a prefix of its trace: its partial
+        // reports are discarded so the (quarantined) result never
+        // mixes complete and truncated detection.
+        reports: if stream_stats.aborted {
+            Vec::new()
+        } else {
+            detector.finish(module)
+        },
         outcome,
+        spilled_bytes: stream_stats.spilled_bytes,
+        spill_segments: stream_stats.spill_segments,
+        pressure_events: stream_stats.pressure_events,
+        cells_gced,
+        mem_budget_aborted: stream_stats.aborted,
     }
 }
 
@@ -238,7 +454,14 @@ pub fn explore_with_deadline(
                 i
             };
             let (input_idx, k) = units[i];
-            let out = run_unit(module, entry, &inputs[input_idx], cfg.base_seed + k, cfg);
+            let out = run_unit(
+                module,
+                entry,
+                &inputs[input_idx],
+                input_idx,
+                cfg.base_seed + k,
+                cfg,
+            );
             *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
         }
     };
@@ -263,6 +486,11 @@ pub fn explore_with_deadline(
     let mut reports_dropped = 0usize;
     let mut injected_faults = 0u64;
     let mut events_elided = 0u64;
+    let mut trace_spilled_bytes = 0u64;
+    let mut trace_spill_segments = 0u64;
+    let mut mem_pressure_events = 0u64;
+    let mut shadow_cells_gced = 0u64;
+    let mut units_aborted_mem_budget = 0u64;
     for slot in slots {
         let Some(unit) = slot.into_inner().unwrap_or_else(PoisonError::into_inner) else {
             break;
@@ -272,6 +500,11 @@ pub fn explore_with_deadline(
         reports_dropped += unit.reports_dropped;
         injected_faults += unit.outcome.injected_faults.len() as u64;
         events_elided += unit.events_elided;
+        trace_spilled_bytes += unit.spilled_bytes;
+        trace_spill_segments += unit.spill_segments;
+        mem_pressure_events += unit.pressure_events;
+        shadow_cells_gced += unit.cells_gced;
+        units_aborted_mem_budget += u64::from(unit.mem_budget_aborted);
         outcomes.push(unit.outcome);
         for r in unit.reports {
             match by_key.entry(r.key()) {
@@ -308,6 +541,11 @@ pub fn explore_with_deadline(
         outcomes,
         injected_faults,
         events_elided,
+        trace_spilled_bytes,
+        trace_spill_segments,
+        mem_pressure_events,
+        shadow_cells_gced,
+        units_aborted_mem_budget,
         deadline_hit,
     }
 }
@@ -456,5 +694,160 @@ mod tests {
         let (m, main) = narrow_race();
         let r = explore(&m, main, &[], &ExplorerConfig::default());
         assert_eq!(site_pairs(&r.reports).len(), r.reports.len());
+    }
+
+    fn scratch_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "owl-explorer-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn cfg_with_stream(stream: StreamConfig) -> ExplorerConfig {
+        ExplorerConfig {
+            runs_per_input: 10,
+            stream,
+            ..ExplorerConfig::default()
+        }
+    }
+
+    #[test]
+    fn streaming_matches_inline_at_any_capacity() {
+        let (m, main) = narrow_race();
+        let base = explore(
+            &m,
+            main,
+            &[],
+            &cfg_with_stream(StreamConfig {
+                channel_capacity: 0,
+                ..StreamConfig::default()
+            }),
+        );
+        for capacity in [1, 2, 7, 1024] {
+            let r = explore(
+                &m,
+                main,
+                &[],
+                &cfg_with_stream(StreamConfig {
+                    channel_capacity: capacity,
+                    ..StreamConfig::default()
+                }),
+            );
+            assert_eq!(r.reports, base.reports, "capacity {capacity}");
+            assert_eq!(
+                (r.runs, r.suppressed, r.reports_dropped),
+                (base.runs, base.suppressed, base.reports_dropped),
+                "capacity {capacity}"
+            );
+        }
+    }
+
+    #[test]
+    fn budget_with_spill_dir_completes_and_matches_inline() {
+        let (m, main) = narrow_race();
+        let base = explore(
+            &m,
+            main,
+            &[],
+            &cfg_with_stream(StreamConfig {
+                channel_capacity: 0,
+                ..StreamConfig::default()
+            }),
+        );
+        let dir = scratch_dir("spill");
+        let r = explore(
+            &m,
+            main,
+            &[],
+            &cfg_with_stream(StreamConfig {
+                channel_capacity: 4,
+                max_trace_mem: Some(256),
+                spill_dir: Some(dir.clone()),
+                ..StreamConfig::default()
+            }),
+        );
+        assert!(r.trace_spill_segments > 0, "tiny budget must force spills");
+        assert!(r.trace_spilled_bytes > 0);
+        assert!(r.mem_pressure_events >= r.trace_spill_segments);
+        assert_eq!(r.units_aborted_mem_budget, 0);
+        assert_eq!(r.reports, base.reports, "spilling must not change reports");
+        // Every segment is replayed and deleted on the spot.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .map(|rd| rd.filter_map(|e| e.ok()).collect())
+            .unwrap_or_default();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn budget_without_spill_dir_aborts_units_typed() {
+        let (m, main) = narrow_race();
+        let r = explore(
+            &m,
+            main,
+            &[],
+            &cfg_with_stream(StreamConfig {
+                channel_capacity: 4,
+                max_trace_mem: Some(64),
+                spill_dir: None,
+                ..StreamConfig::default()
+            }),
+        );
+        assert_eq!(r.units_aborted_mem_budget, r.runs, "every unit overflows");
+        assert!(r.mem_pressure_events > 0);
+        assert!(
+            r.reports.is_empty(),
+            "aborted units must not leak partial reports: {:?}",
+            r.reports
+        );
+    }
+
+    #[test]
+    fn streaming_parallel_workers_stay_byte_identical() {
+        let (m, main) = narrow_race();
+        let dir = scratch_dir("parallel");
+        let run = |workers: usize| {
+            explore(
+                &m,
+                main,
+                &[],
+                &ExplorerConfig {
+                    runs_per_input: 12,
+                    workers,
+                    stream: StreamConfig {
+                        channel_capacity: 8,
+                        max_trace_mem: Some(512),
+                        spill_dir: Some(dir.clone()),
+                        ..StreamConfig::default()
+                    },
+                    ..ExplorerConfig::default()
+                },
+            )
+        };
+        let one = run(1);
+        for workers in [2, 4] {
+            let r = run(workers);
+            assert_eq!(r.reports, one.reports, "workers {workers}");
+            assert_eq!(
+                (
+                    r.runs,
+                    r.trace_spilled_bytes,
+                    r.trace_spill_segments,
+                    r.mem_pressure_events,
+                    r.shadow_cells_gced
+                ),
+                (
+                    one.runs,
+                    one.trace_spilled_bytes,
+                    one.trace_spill_segments,
+                    one.mem_pressure_events,
+                    one.shadow_cells_gced
+                ),
+                "workers {workers}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -115,6 +115,14 @@ pub struct HbDetector {
     ann_pairs: HashSet<(InstRef, InstRef)>,
     suppressed: usize,
     reports_dropped: usize,
+    /// Threads that have not yet been joined. Shadow-state GC prunes
+    /// against the pointwise minimum of their clocks: an access every
+    /// live thread already knows can never race again.
+    live: HashSet<ThreadId>,
+    /// Heap allocation sizes (in words), so a `Free` event can sweep
+    /// exactly the dying region.
+    malloc_sizes: HashMap<u64, u64>,
+    shadow_cells_gced: u64,
 }
 
 impl HbDetector {
@@ -146,6 +154,9 @@ impl HbDetector {
             ann_pairs,
             suppressed: 0,
             reports_dropped: 0,
+            live: HashSet::from([ThreadId::MAIN]),
+            malloc_sizes: HashMap::new(),
+            shadow_cells_gced: 0,
         }
     }
 
@@ -184,6 +195,109 @@ impl HbDetector {
         match &self.shadow {
             ShadowState::Epoch(s) => Some(s.stats()),
             ShadowState::Reference(_) => None,
+        }
+    }
+
+    /// Shadow cells reclaimed by GC at `Join`/`Free` events. Identical
+    /// across backends: both prune by the same happens-before-all-live
+    /// criterion (the private `gc_shadow` helper below).
+    pub fn shadow_cells_gced(&self) -> u64 {
+        self.shadow_cells_gced
+    }
+
+    /// Pointwise minimum over all live threads' clocks — the GC
+    /// horizon. An access ordered ≤ this meet happens-before every
+    /// live thread, and therefore before any future access: live
+    /// threads only advance their clocks, and a forked thread inherits
+    /// its parent's knowledge. `None` when no live thread has a clock
+    /// yet (nothing can be proved reclaimable).
+    fn min_live_clock(&self) -> Option<VectorClock> {
+        let mut it = self
+            .live
+            .iter()
+            .filter_map(|t| self.clocks.get(t.index()));
+        let mut min = it.next()?.clone();
+        for c in it {
+            min.meet(c);
+        }
+        Some(min)
+    }
+
+    /// Sweeps the whole shadow table against `min` (see
+    /// [`HbDetector::min_live_clock`]). Exactness holds on both
+    /// backends: for a full clock `vc` published by thread `t` at
+    /// epoch `c`, `c ≤ K[t] ⇔ vc ≤ K` for every live thread's clock
+    /// `K` (the FastTrack invariant), and a meet of clocks satisfying
+    /// that bi-implication satisfies it too — so the epoch test
+    /// `c ≤ min[t]` and the reference test `vc.le(min)` reclaim
+    /// exactly the same accesses, keeping the backends' observable
+    /// state (and this counter) identical.
+    fn gc_shadow(&mut self, min: &VectorClock) {
+        match &mut self.shadow {
+            ShadowState::Epoch(shadow) => {
+                self.shadow_cells_gced += shadow.gc(min);
+            }
+            ShadowState::Reference(map) => {
+                let before = map.len();
+                map.retain(|_, sh| {
+                    if let Some((wc, _)) = &sh.last_write {
+                        if wc.le(min) {
+                            sh.last_write = None;
+                        }
+                    }
+                    sh.reads.retain(|(rc, _)| !rc.le(min));
+                    sh.last_write.is_some() || !sh.reads.is_empty()
+                });
+                self.shadow_cells_gced += (before - map.len()) as u64;
+            }
+        }
+    }
+
+    /// Targeted sweep of `[start, end)` — a freed heap region.
+    fn gc_shadow_range(&mut self, start: u64, end: u64, min: &VectorClock) {
+        match &mut self.shadow {
+            ShadowState::Epoch(shadow) => {
+                self.shadow_cells_gced += shadow.gc_range(start, end, min);
+            }
+            ShadowState::Reference(map) => {
+                let keys: Vec<u64> = map.range(start..end).map(|(k, _)| *k).collect();
+                for k in keys {
+                    let sh = map.get_mut(&k).expect("key just enumerated");
+                    if let Some((wc, _)) = &sh.last_write {
+                        if wc.le(min) {
+                            sh.last_write = None;
+                        }
+                    }
+                    sh.reads.retain(|(rc, _)| !rc.le(min));
+                    if sh.last_write.is_none() && sh.reads.is_empty() {
+                        map.remove(&k);
+                        self.shadow_cells_gced += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Post-`Join` GC: the joined thread is dead, so the live-thread
+    /// meet just advanced — sweep the shadow table, drop sync clocks
+    /// the whole world already knows (re-acquiring them would be a
+    /// no-op join), and clear the dead thread's own clock when it has
+    /// been fully absorbed. The clock clearing is guarded by
+    /// `cc ≤ min`: the VM wakes *every* joiner of a finished thread,
+    /// so a second joiner may still need the clock if some live thread
+    /// has not absorbed it yet.
+    fn gc_after_join(&mut self, child: ThreadId) {
+        let Some(min) = self.min_live_clock() else {
+            return;
+        };
+        self.gc_shadow(&min);
+        self.lock_clocks.retain(|_, c| !c.le(&min));
+        self.atomic_clocks.retain(|_, c| !c.le(&min));
+        self.ann_clocks.retain(|_, c| !c.le(&min));
+        if let Some(cc) = self.clocks.get_mut(child.index()) {
+            if cc.le(&min) {
+                *cc = initial_clock(child);
+            }
         }
     }
 
@@ -471,14 +585,26 @@ impl TraceSink for HbDetector {
                 c.join(&parent);
                 c.tick(child);
                 self.clock_mut(ev.tid).tick(ev.tid);
+                self.live.insert(child);
             }
             EventKind::Join { child } => {
                 let cc = self.clock_mut(child).clone();
                 self.clock_mut(ev.tid).join(&cc);
+                self.live.remove(&child);
+                self.gc_after_join(child);
             }
-            EventKind::Malloc { .. } | EventKind::Free { .. } => {
-                // Allocation events carry no HB information here; the
-                // VM's memory model already reports UAF/double-free.
+            EventKind::Malloc { addr, size } => {
+                // No HB information (the VM's memory model already
+                // reports UAF/double-free), but remember the extent so
+                // the matching `Free` can sweep the dying region.
+                self.malloc_sizes.insert(addr, size.max(1));
+            }
+            EventKind::Free { addr } => {
+                if let Some(size) = self.malloc_sizes.remove(&addr) {
+                    if let Some(min) = self.min_live_clock() {
+                        self.gc_shadow_range(addr, addr + size, &min);
+                    }
+                }
             }
             EventKind::Fault { .. } => {
                 // Injected faults perturb execution but carry no HB
@@ -790,7 +916,12 @@ mod tests {
             let mut sched = RoundRobin::new(2);
             let vm = Vm::new(m, entry, ProgramInput::empty(), Default::default());
             let _ = vm.run(&mut sched, &mut det);
-            out.push((det.suppressed(), det.reports_dropped(), det.finish(m)));
+            out.push((
+                det.suppressed(),
+                det.reports_dropped(),
+                det.shadow_cells_gced(),
+                det.finish(m),
+            ));
         }
         assert_eq!(out[0], out[1], "epoch and reference must agree");
     }
@@ -876,6 +1007,40 @@ mod tests {
             det.reports()
         );
         assert_backends_agree(&m, main_id, &HbConfig::default());
+    }
+
+    #[test]
+    fn join_gc_reclaims_absorbed_cells_on_both_backends() {
+        // After both readers are joined, every remembered access to
+        // `x` happens-before the only live thread: the cell must be
+        // reclaimed, and no report may be lost.
+        let (m, main_id) = promote_demote_module();
+        for backend in [HbBackend::Epoch, HbBackend::Reference] {
+            let mut det = HbDetector::new(HbConfig {
+                backend,
+                ..HbConfig::default()
+            });
+            let mut sched = RoundRobin::new(3);
+            let vm = Vm::new(&m, main_id, ProgramInput::empty(), Default::default());
+            let _ = vm.run(&mut sched, &mut det);
+            assert!(
+                det.shadow_cells_gced() >= 1,
+                "{backend:?}: {}",
+                det.shadow_cells_gced()
+            );
+            assert!(det.reports().is_empty(), "{:?}", det.reports());
+        }
+        assert_backends_agree(&m, main_id, &HbConfig::default());
+    }
+
+    #[test]
+    fn gc_does_not_lose_already_racy_history() {
+        // The racy pair is reported before the join sweeps the cell;
+        // GC must never change what was detected.
+        let (m, main) = racy_module();
+        let reports = run_detector(&m, main, HbConfig::default());
+        assert_eq!(reports.len(), 1);
+        assert_backends_agree(&m, main, &HbConfig::default());
     }
 
     #[test]

@@ -63,15 +63,17 @@ mod explorer;
 mod hb;
 mod lockset;
 mod report;
+pub mod spill;
 mod vc;
 
 pub use atomicity::{AtomicityDetector, AtomicityPattern, AtomicityReport};
 pub use epoch::EpochStats;
 pub use explorer::{
     executions_until, explore, explore_with_deadline, site_pairs, ExploreResult, ExploreStrategy,
-    ExplorerConfig,
+    ExplorerConfig, StreamConfig,
 };
 pub use hb::{global_name_for_addr, HbAnnotation, HbBackend, HbConfig, HbDetector};
 pub use lockset::LocksetDetector;
 pub use report::{Access, RaceReport};
+pub use spill::{approx_event_bytes, SegmentRecovery, SpillKillSwitch};
 pub use vc::VectorClock;

@@ -54,6 +54,23 @@ impl VectorClock {
         }
     }
 
+    /// Pointwise minimum with `other` (the meet of the HB lattice).
+    /// Components missing from either clock read as zero, so the
+    /// result is truncated to the shorter clock's knowledge — exactly
+    /// the conservative behavior shadow-state GC wants: an access is
+    /// only reclaimable when *every* live thread provably knows it.
+    pub fn meet(&mut self, other: &VectorClock) {
+        if self.0.len() > other.0.len() {
+            self.0.truncate(other.0.len());
+        }
+        for (i, v) in self.0.iter_mut().enumerate() {
+            let o = other.0[i];
+            if o < *v {
+                *v = o;
+            }
+        }
+    }
+
     /// Whether `self ≤ other` pointwise — i.e. every event in `self`
     /// happens-before (or is) the knowledge in `other`.
     pub fn le(&self, other: &VectorClock) -> bool {

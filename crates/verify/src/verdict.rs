@@ -23,6 +23,11 @@ pub enum AbortCause {
     /// The verifier panicked and a supervisor caught it (the verdict
     /// is synthesized by the supervisor, not the verifier itself).
     Panicked,
+    /// The unit's in-flight trace outgrew the configured memory budget
+    /// (`--max-trace-mem`) and could not be spilled to disk. The
+    /// memory watchdog aborts the unit with this typed verdict instead
+    /// of letting it OOM; campaigns quarantine it and continue.
+    MemoryBudget,
 }
 
 impl fmt::Display for AbortCause {
@@ -31,6 +36,7 @@ impl fmt::Display for AbortCause {
             AbortCause::DeadlineExceeded => f.write_str("deadline exceeded"),
             AbortCause::StepBudgetExhausted => f.write_str("step budget exhausted"),
             AbortCause::Panicked => f.write_str("verifier panicked"),
+            AbortCause::MemoryBudget => f.write_str("memory budget exceeded"),
         }
     }
 }

@@ -157,6 +157,16 @@ impl TraceEvent {
 pub trait TraceSink {
     /// Called once per event, in execution order.
     fn on_event(&mut self, ev: &TraceEvent);
+
+    /// By-value variant of [`TraceSink::on_event`]. The VM constructs
+    /// every event it emits, so it hands the sink ownership through
+    /// this method; sinks that store or forward events (`VecSink`, the
+    /// streaming channel) override it to move the event instead of
+    /// cloning. The default delegates to `on_event`, so borrowing
+    /// sinks only implement the by-reference method.
+    fn on_event_owned(&mut self, ev: TraceEvent) {
+        self.on_event(&ev);
+    }
 }
 
 /// Discards all events.
@@ -178,11 +188,19 @@ impl TraceSink for VecSink {
     fn on_event(&mut self, ev: &TraceEvent) {
         self.events.push(ev.clone());
     }
+
+    fn on_event_owned(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
 }
 
 impl<S: TraceSink + ?Sized> TraceSink for &mut S {
     fn on_event(&mut self, ev: &TraceEvent) {
         (**self).on_event(ev);
+    }
+
+    fn on_event_owned(&mut self, ev: TraceEvent) {
+        (**self).on_event_owned(ev);
     }
 }
 

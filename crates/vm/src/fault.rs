@@ -44,6 +44,23 @@ pub enum FaultKind {
     JournalKill,
 }
 
+/// Panic payload of an armed durability kill point (the journal's
+/// `set_kill_after` and the trace spill layer's kill switch). It
+/// simulates the process dying right after an fsync — supervisors must
+/// re-raise it rather than retry, exactly as they would not survive a
+/// real `SIGKILL`. Defined here (rather than in the journal crate)
+/// because every layer that persists checksummed records — the
+/// campaign journal, the daemon's result store, the trace spill
+/// segments — shares the same simulated-crash protocol.
+#[derive(Debug)]
+pub struct JournalKilled {
+    /// Appends completed before the kill fired.
+    pub appends: u64,
+    /// The fault kind this injection is tagged with
+    /// ([`FaultKind::JournalKill`]).
+    pub kind: FaultKind,
+}
+
 impl std::fmt::Display for FaultKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {

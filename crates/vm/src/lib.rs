@@ -54,6 +54,7 @@ mod fault;
 mod input;
 pub mod mem;
 mod sched;
+pub mod stream;
 mod violation;
 mod vm;
 
@@ -61,7 +62,8 @@ pub use breakpoint::{
     BreakDecision, BreakWorld, Breakpoint, Controller, NoController, PendingAccess, Suspension,
 };
 pub use event::{CallStack, EventKind, NullSink, ThreadId, TraceEvent, TraceSink, VecSink};
-pub use fault::{FaultKind, FaultPlan, FaultRecord};
+pub use fault::{FaultKind, FaultPlan, FaultRecord, JournalKilled};
+pub use stream::{event_channel, ChannelReceiver, ChannelSender};
 pub use input::ProgramInput;
 pub use mem::Memory;
 pub use sched::{PctScheduler, RandomScheduler, ReplayScheduler, RoundRobin, Scheduler};

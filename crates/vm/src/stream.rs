@@ -1,0 +1,227 @@
+//! Bounded VM→detector event channel.
+//!
+//! The streaming hand-off between a producing VM and a consuming
+//! detector: the producer pushes owned [`TraceEvent`]s through a
+//! [`ChannelSender`] (a [`TraceSink`]), the consumer drains them from
+//! the paired [`ChannelReceiver`] in emission order. The queue is
+//! bounded — a full channel **blocks the producer** until the consumer
+//! catches up, so the in-flight window can never outgrow the
+//! configured capacity. Event order is preserved exactly, which is
+//! what keeps streamed detection byte-identical to an inline sink at
+//! any capacity.
+//!
+//! Shutdown is symmetric: dropping the sender closes the stream (the
+//! receiver drains what is queued, then sees end-of-stream), and
+//! closing the receiver releases a blocked producer (further sends are
+//! discarded — the consumer has abandoned the run, e.g. after a
+//! memory-budget abort, and only wants the VM to finish).
+
+use crate::event::{TraceEvent, TraceSink};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+struct ChannelState {
+    queue: VecDeque<TraceEvent>,
+    /// Producer finished (sender dropped).
+    closed: bool,
+    /// Consumer gone (receiver closed/dropped): sends are discarded.
+    receiver_gone: bool,
+}
+
+struct ChannelShared {
+    state: Mutex<ChannelState>,
+    capacity: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+/// Producer half of a bounded event channel; plug it into
+/// [`crate::Vm::run`] as the trace sink.
+pub struct ChannelSender {
+    shared: Arc<ChannelShared>,
+}
+
+/// Consumer half of a bounded event channel.
+pub struct ChannelReceiver {
+    shared: Arc<ChannelShared>,
+}
+
+/// Creates a bounded event channel. `capacity` is counted in events
+/// and clamped to at least 1.
+pub fn event_channel(capacity: usize) -> (ChannelSender, ChannelReceiver) {
+    let shared = Arc::new(ChannelShared {
+        state: Mutex::new(ChannelState {
+            queue: VecDeque::new(),
+            closed: false,
+            receiver_gone: false,
+        }),
+        capacity: capacity.max(1),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (
+        ChannelSender {
+            shared: Arc::clone(&shared),
+        },
+        ChannelReceiver { shared },
+    )
+}
+
+impl TraceSink for ChannelSender {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        self.on_event_owned(ev.clone());
+    }
+
+    fn on_event_owned(&mut self, ev: TraceEvent) {
+        let mut st = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while st.queue.len() >= self.shared.capacity && !st.receiver_gone {
+            st = self
+                .shared
+                .not_full
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.receiver_gone {
+            return;
+        }
+        st.queue.push_back(ev);
+        drop(st);
+        self.shared.not_empty.notify_one();
+    }
+}
+
+impl Drop for ChannelSender {
+    fn drop(&mut self) {
+        let mut st = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        st.closed = true;
+        drop(st);
+        self.shared.not_empty.notify_all();
+    }
+}
+
+impl ChannelReceiver {
+    /// Blocks for the next event; `None` means the producer is done
+    /// and the queue is drained.
+    pub fn recv(&self) -> Option<TraceEvent> {
+        let mut st = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(ev) = st.queue.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Some(ev);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self
+                .shared
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Abandons the stream: queued events are dropped and a blocked
+    /// producer is released (its further sends are discarded).
+    pub fn close(&self) {
+        let mut st = self
+            .shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        st.receiver_gone = true;
+        st.queue.clear();
+        drop(st);
+        self.shared.not_full.notify_all();
+    }
+}
+
+impl Drop for ChannelReceiver {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, ThreadId};
+    use owl_ir::{FuncId, InstId, InstRef};
+
+    fn ev(step: u64) -> TraceEvent {
+        TraceEvent {
+            step,
+            tid: ThreadId(0),
+            site: InstRef::new(FuncId(0), InstId(0)),
+            stack: std::sync::Arc::from(vec![].into_boxed_slice()),
+            kind: EventKind::Free { addr: step },
+            no_shadow: false,
+        }
+    }
+
+    #[test]
+    fn order_preserved_across_thread_boundary() {
+        let (mut tx, rx) = event_channel(4);
+        let received = std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100 {
+                    tx.on_event_owned(ev(i));
+                }
+            });
+            let mut got = Vec::new();
+            while let Some(e) = rx.recv() {
+                got.push(e.step);
+            }
+            got
+        });
+        assert_eq!(received, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn capacity_one_still_delivers_everything() {
+        let (mut tx, rx) = event_channel(1);
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..50 {
+                    tx.on_event_owned(ev(i));
+                }
+            });
+            let mut n = 0;
+            while rx.recv().is_some() {
+                n += 1;
+            }
+            assert_eq!(n, 50);
+        });
+    }
+
+    #[test]
+    fn closed_receiver_releases_blocked_producer() {
+        let (mut tx, rx) = event_channel(1);
+        std::thread::scope(|s| {
+            let h = s.spawn(move || {
+                // Far more events than capacity: without the close this
+                // producer would block forever.
+                for i in 0..1000 {
+                    tx.on_event_owned(ev(i));
+                }
+                true
+            });
+            let first = rx.recv();
+            assert!(first.is_some());
+            rx.close();
+            assert!(h.join().expect("producer finishes after close"));
+        });
+    }
+}

@@ -632,7 +632,7 @@ impl<'m> Vm<'m> {
         // so the stamp lands exclusively on their Read/Write events.
         let no_shadow = matches!(kind, EventKind::Read { .. } | EventKind::Write { .. })
             && self.elided.as_ref().is_some_and(|s| s.contains(&site));
-        sink.on_event(&TraceEvent {
+        sink.on_event_owned(TraceEvent {
             step: self.step,
             tid,
             site,

@@ -112,6 +112,45 @@ fn flag_missing_or_flaglike_value_is_rejected() {
 }
 
 #[test]
+fn max_trace_mem_accepts_suffixes_and_bounds_the_run() {
+    // A suffixed budget (case-insensitive) parses, the run completes,
+    // and the trace-memory governance line is reported.
+    let out = run_ok(&["run", "SSDB", "--quick", "--max-trace-mem", "64k"]);
+    assert!(out.contains("trace memory:"), "{out}");
+    assert!(out.contains("reports:"), "{out}");
+}
+
+#[test]
+fn max_trace_mem_rejects_zero_garbage_and_overflow() {
+    for (value, needle) in [
+        ("0", "zero trace-memory budget"),
+        ("0K", "zero trace-memory budget"),
+        ("xyz", "not a byte count"),
+        ("12Q", "not a byte count"),
+        ("K", "has no digits"),
+        ("99999999999999G", "overflows"),
+    ] {
+        let out = cli()
+            .args(["run", "SSDB", "--quick", "--max-trace-mem", value])
+            .output()
+            .expect("spawn");
+        assert!(!out.status.success(), "--max-trace-mem {value} must fail");
+        assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "{value}: {err}");
+        assert!(err.contains("--max-trace-mem"), "{value}: {err}");
+    }
+
+    let out = cli()
+        .args(["run", "SSDB", "--max-trace-mem"])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("requires a value"), "{err}");
+}
+
+#[test]
 fn campaign_runs_resumes_and_refuses_unresumed_reuse() {
     let mut dir = std::env::temp_dir();
     dir.push(format!("owl-cli-campaign-{}", std::process::id()));

@@ -8,8 +8,9 @@
 //! worker count.
 
 use owl_ir::InstRef;
-use owl_race::{explore, ExploreResult, ExplorerConfig, HbAnnotation, HbBackend};
+use owl_race::{explore, ExploreResult, ExplorerConfig, HbAnnotation, HbBackend, StreamConfig};
 use std::collections::HashSet;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 fn sweep(
@@ -124,6 +125,145 @@ fn elision_never_changes_report_streams() {
         total_elided_events > 0,
         "elision never fired across the whole corpus — the pre-pass is inert"
     );
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("owl-eq-spill-{}-{tag}", std::process::id()))
+}
+
+fn sweep_streamed(
+    p: &owl_corpus::CorpusProgram,
+    backend: HbBackend,
+    workers: usize,
+    capacity: usize,
+    budget: Option<u64>,
+    spill_dir: Option<PathBuf>,
+) -> ExploreResult {
+    let cfg = ExplorerConfig {
+        runs_per_input: 4,
+        workers,
+        hb_backend: backend,
+        stream: StreamConfig {
+            channel_capacity: capacity,
+            max_trace_mem: budget,
+            spill_dir,
+            ..StreamConfig::default()
+        },
+        ..ExplorerConfig::default()
+    };
+    explore(&p.module, p.entry, &p.workloads, &cfg)
+}
+
+/// The streaming hand-off and the spill layer are only allowed to
+/// bound *memory* — never to change results. Across the corpus, every
+/// channel capacity (including the inline capacity-0 baseline), spill
+/// threshold, and worker count must produce byte-identical report
+/// streams.
+#[test]
+fn streaming_and_spill_never_change_report_streams() {
+    for p in owl_corpus::all_programs() {
+        // Capacity 0 is the materialized (inline, no channel) path.
+        let baseline = sweep_streamed(&p, HbBackend::Epoch, 1, 0, None, None);
+        for capacity in [1usize, 4, 1024] {
+            let s = sweep_streamed(&p, HbBackend::Epoch, 1, capacity, None, None);
+            assert_eq!(
+                s.reports, baseline.reports,
+                "{} (capacity={capacity}): streaming diverges from inline",
+                p.name
+            );
+            assert_eq!(s.suppressed, baseline.suppressed, "{}", p.name);
+            assert_eq!(s.reports_dropped, baseline.reports_dropped, "{}", p.name);
+        }
+        let dir = scratch_dir(p.name);
+        for workers in [1usize, 2, 4] {
+            let s = sweep_streamed(
+                &p,
+                HbBackend::Epoch,
+                workers,
+                4,
+                Some(512),
+                Some(dir.clone()),
+            );
+            assert_eq!(
+                s.reports, baseline.reports,
+                "{} (workers={workers}): spilling changed the report stream",
+                p.name
+            );
+            assert_eq!(
+                s.units_aborted_mem_budget, 0,
+                "{} (workers={workers}): spill path aborted despite a spill dir",
+                p.name
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A trace at least 10× the memory budget must complete under the
+/// bounded pipeline with byte-identical reports, and both backends
+/// must degrade identically (same reports *and* the same GC count —
+/// the epoch and reference collectors reclaim exactly the same cells).
+#[test]
+fn trace_ten_times_budget_completes_with_identical_reports() {
+    let p = owl_corpus::program("MySQL").expect("corpus program");
+    let budget = 256u64;
+    let baseline = sweep_streamed(&p, HbBackend::Epoch, 1, 0, None, None);
+
+    let dir = scratch_dir("tenx-epoch");
+    let epoch = sweep_streamed(&p, HbBackend::Epoch, 1, 4, Some(budget), Some(dir.clone()));
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(epoch.reports, baseline.reports, "bounded epoch diverges");
+    assert_eq!(epoch.units_aborted_mem_budget, 0);
+    assert!(
+        epoch.trace_spilled_bytes >= 10 * budget,
+        "trace only spilled {} bytes against a {budget}-byte budget — \
+         not a 10x-over-budget workload",
+        epoch.trace_spilled_bytes
+    );
+    assert!(epoch.trace_spill_segments > 0);
+
+    let dir = scratch_dir("tenx-ref");
+    let reference =
+        sweep_streamed(&p, HbBackend::Reference, 1, 4, Some(budget), Some(dir.clone()));
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(
+        reference.reports, epoch.reports,
+        "backends diverge under memory pressure"
+    );
+    assert_eq!(
+        reference.shadow_cells_gced, epoch.shadow_cells_gced,
+        "shadow GC reclaimed different cell counts across backends"
+    );
+    assert_eq!(reference.trace_spilled_bytes, epoch.trace_spilled_bytes);
+    assert_eq!(reference.trace_spill_segments, epoch.trace_spill_segments);
+}
+
+/// Over the hard limit with nowhere to spill, the unit must abort with
+/// the typed memory-budget verdict — a `PipelineResult` error the
+/// campaign can quarantine — never an OOM or a silent truncation.
+#[test]
+fn over_budget_unit_aborts_with_typed_memory_budget_error() {
+    let p = owl_corpus::program("MySQL").expect("corpus program");
+    let mut cfg = owl::OwlConfig::quick();
+    cfg.detect.stream.max_trace_mem = Some(64);
+    cfg.detect.stream.spill_dir = None;
+    let owl_pipeline = owl::Owl::new(&p.module, p.entry, cfg);
+    let result = owl_pipeline.run(p.name, &p.workloads, &p.exploit_inputs);
+    match &result.error {
+        Some(owl::PipelineError::VerifierAborted {
+            stage,
+            cause,
+            attempts,
+        }) => {
+            assert_eq!(*stage, owl::Stage::Detect);
+            assert_eq!(*cause, owl::owl_verify::AbortCause::MemoryBudget);
+            assert!(*attempts > 0, "abort carries no unit count");
+        }
+        other => panic!("expected a typed memory-budget abort, got {other:?}"),
+    }
+    assert!(result.findings.is_empty());
+    assert!(result.health.units_aborted_mem_budget > 0);
+    assert!(result.health.mem_pressure_events > 0);
 }
 
 #[test]
