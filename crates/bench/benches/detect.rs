@@ -184,6 +184,56 @@ fn bench_detector_replay(c: &mut Criterion) {
         .expect("epoch backend exposes stats");
     metric("epoch_fast_path_rate", Json::Float(stats.fast_path_rate()));
 
+    // Predictive backends on the same trace: their report sets must
+    // subsume the reference sweep (prediction is strictly additive),
+    // and the replay cost — HB sweep plus candidate enumeration plus
+    // witness checks — is what the throughput rows quantify.
+    let keyset = |reports: &[owl_race::RaceReport]| {
+        reports
+            .iter()
+            .map(|r| (r.addr, r.key()))
+            .collect::<HashSet<_>>()
+    };
+    let ref_keys = keyset(&reference);
+    for backend in [HbBackend::SyncPreserving, HbBackend::SyncReversal] {
+        let predicted = replay(&events, backend).finish(&m);
+        assert!(
+            ref_keys.is_subset(&keyset(&predicted)),
+            "{backend:?} lost reference races on the bench trace"
+        );
+    }
+    let mut group = c.benchmark_group("detect_predict");
+    group.bench_function("replay_syncp", |b| {
+        b.iter(|| replay(&events, HbBackend::SyncPreserving).finish(&m))
+    });
+    group.bench_function("replay_syncrev", |b| {
+        b.iter(|| replay(&events, HbBackend::SyncReversal).finish(&m))
+    });
+    group.finish();
+    let mean_predictive_secs = |backend: HbBackend| {
+        black_box(replay(&events, backend).finish(&m));
+        let reps = 5u32;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            black_box(replay(&events, backend).finish(&m));
+        }
+        t0.elapsed().as_secs_f64() / f64::from(reps)
+    };
+    let syncp_secs = mean_predictive_secs(HbBackend::SyncPreserving);
+    let syncrev_secs = mean_predictive_secs(HbBackend::SyncReversal);
+    metric("events_per_sec_syncp", Json::UInt(throughput(syncp_secs)));
+    metric("events_per_sec_syncrev", Json::UInt(throughput(syncrev_secs)));
+    metric("syncp_overhead_over_epoch", Json::Float(syncp_secs / epoch_secs));
+    metric(
+        "syncrev_overhead_over_epoch",
+        Json::Float(syncrev_secs / epoch_secs),
+    );
+    let mut det = replay(&events, HbBackend::SyncPreserving);
+    det.run_prediction();
+    let pstats = det.predict_stats();
+    metric("predict_candidates", Json::UInt(pstats.candidates));
+    metric("predict_witnessed", Json::UInt(pstats.witnessed));
+
     // Per-class elided-site fractions plus how much of the trace the
     // elision actually removed from the shadow-memory path.
     let site_fraction = |n: usize| {
@@ -351,11 +401,177 @@ fn bench_explore_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Seed retirement (ablation A10): how many schedules per workload
+/// input each backend needs before it has found every race the epoch
+/// backend finds at the full 8-schedule budget. Predictive backends
+/// witness reorderings instead of waiting for the racy interleaving
+/// to be scheduled, so they reach full coverage on fewer (often
+/// single) schedules — the difference is the explorer seed budget the
+/// backend retires.
+fn bench_seed_retirement(_c: &mut Criterion) {
+    const FULL_BUDGET: u64 = 16;
+    const BACKENDS: [(&str, HbBackend); 3] = [
+        ("epoch", HbBackend::Epoch),
+        ("syncp", HbBackend::SyncPreserving),
+        ("syncrev", HbBackend::SyncReversal),
+    ];
+    let sweep = |p: &owl_corpus::CorpusProgram, backend: HbBackend, runs: u64| {
+        let cfg = ExplorerConfig {
+            runs_per_input: runs,
+            hb_backend: backend,
+            ..ExplorerConfig::default()
+        };
+        let r = explore(&p.module, p.entry, &p.workloads, &cfg);
+        r.reports
+            .iter()
+            .map(|rep| (rep.addr, rep.key()))
+            .collect::<HashSet<_>>()
+    };
+    let mut attack_totals = [0u64; 3];
+    let mut cost_totals = [0u64; 3];
+    for p in owl_corpus::all_programs() {
+        if p.attacks.is_empty() {
+            continue;
+        }
+        // The known race set: everything the widest backend reports at
+        // the full budget (a superset of every backend's full-budget
+        // set, by the subsumption contract).
+        let target = sweep(&p, HbBackend::SyncReversal, FULL_BUDGET);
+        for (slot, &(name, backend)) in BACKENDS.iter().enumerate() {
+            // Per-race seed cost: the schedule count at which this
+            // backend first reports each known race (FULL_BUDGET + 1
+            // for races it never reports), summed over the race set.
+            // Attack coverage: the schedule count at which every known
+            // attack's racy global has a report.
+            let mut cost = std::collections::HashMap::new();
+            let mut attacks_at = None;
+            for runs in 1..=FULL_BUDGET {
+                let cfg = ExplorerConfig {
+                    runs_per_input: runs,
+                    hb_backend: backend,
+                    ..ExplorerConfig::default()
+                };
+                let r = explore(&p.module, p.entry, &p.workloads, &cfg);
+                let found: HashSet<_> =
+                    r.reports.iter().map(|rep| (rep.addr, rep.key())).collect();
+                for race in target.intersection(&found) {
+                    cost.entry(*race).or_insert(runs);
+                }
+                if attacks_at.is_none()
+                    && p.attacks
+                        .iter()
+                        .all(|atk| r.reports_on(atk.race_global).next().is_some())
+                {
+                    attacks_at = Some(runs);
+                }
+            }
+            let attacks_at = attacks_at.unwrap_or_else(|| {
+                panic!("{} ({name}): attacks not covered within {FULL_BUDGET} schedules", p.name)
+            });
+            let seed_cost: u64 = target
+                .iter()
+                .map(|race| cost.get(race).copied().unwrap_or(FULL_BUDGET + 1))
+                .sum();
+            attack_totals[slot] += attacks_at;
+            cost_totals[slot] += seed_cost;
+            metric(
+                &format!("schedules_to_coverage_{}_{name}", p.name.to_lowercase()),
+                Json::UInt(attacks_at),
+            );
+            metric(
+                &format!("seed_cost_{}_{name}", p.name.to_lowercase()),
+                Json::UInt(seed_cost),
+            );
+        }
+    }
+    for (slot, &(name, _)) in BACKENDS.iter().enumerate() {
+        metric(
+            &format!("schedules_to_coverage_total_{name}"),
+            Json::UInt(attack_totals[slot]),
+        );
+        metric(&format!("seed_cost_total_{name}"), Json::UInt(cost_totals[slot]));
+        if name != "epoch" {
+            metric(
+                &format!("seeds_retired_{name}"),
+                Json::UInt(cost_totals[0].saturating_sub(cost_totals[slot])),
+            );
+        }
+    }
+
+    // The lock-handoff microbenchmark: a write inside one thread's
+    // critical section races with a read the other thread performs
+    // after its own (empty) critical section, and an I/O delay makes
+    // the writer win the lock in (virtually) every schedule. The
+    // unlock→lock edge then orders the pair in every observed trace —
+    // the epoch backend can only find the race in a schedule that
+    // defies the delay, while sync-reversal witnesses it by reordering
+    // the two critical sections from any single schedule. `0` means
+    // never found within the 64-schedule budget.
+    let (lh_module, lh_main) = lock_handoff_module();
+    for (name, backend) in BACKENDS {
+        let found = (1..=64u64).find(|&runs| {
+            let cfg = ExplorerConfig {
+                runs_per_input: runs,
+                hb_backend: backend,
+                ..ExplorerConfig::default()
+            };
+            explore(&lh_module, lh_main, &[ProgramInput::empty()], &cfg)
+                .reports_on("g")
+                .next()
+                .is_some()
+        });
+        metric(
+            &format!("lockhandoff_schedules_{name}"),
+            Json::UInt(found.unwrap_or(0)),
+        );
+    }
+}
+
+/// See [`bench_seed_retirement`]: the sync-ordered race the epoch
+/// backend needs timing luck to observe.
+fn lock_handoff_module() -> (Module, FuncId) {
+    let mut mb = ModuleBuilder::new("lock-handoff");
+    let g = mb.global("g", 1, Type::I64);
+    let m = mb.global("m", 1, Type::I64);
+    let writer = mb.declare_func("writer", 1);
+    {
+        let mut b = mb.build_func(writer);
+        let la = b.global_addr(m);
+        let ga = b.global_addr(g);
+        b.lock(la);
+        b.store(ga, 1);
+        b.unlock(la);
+        b.ret(None);
+    }
+    let reader = mb.declare_func("reader", 1);
+    {
+        let mut b = mb.build_func(reader);
+        b.io_delay(500);
+        let la = b.global_addr(m);
+        let ga = b.global_addr(g);
+        b.lock(la);
+        b.unlock(la);
+        b.load(ga, Type::I64);
+        b.ret(None);
+    }
+    let main = mb.declare_func("main", 0);
+    {
+        let mut b = mb.build_func(main);
+        let t1 = b.thread_create(writer, 0);
+        let t2 = b.thread_create(reader, 0);
+        b.thread_join(t1);
+        b.thread_join(t2);
+        b.ret(None);
+    }
+    (mb.finish(), main)
+}
+
 criterion_group!(
     benches,
     bench_detector_replay,
     bench_capture_handoff,
     bench_bounded_stream,
-    bench_explore_scaling
+    bench_explore_scaling,
+    bench_seed_retirement
 );
 criterion_main!(benches);

@@ -38,6 +38,15 @@ const EXIT_DEADLINE: u8 = 4;
 /// Typed `submit` exit code for a quarantined request.
 const EXIT_QUARANTINED: u8 = 5;
 
+/// `--hb-backend` help lines, derived from [`owl_race::HbBackend::ALL`]
+/// so the CLI can never drift from the real backend list.
+fn backend_help() -> String {
+    owl_race::HbBackend::ALL
+        .iter()
+        .map(|b| format!("                            `{}` — {}\n", b.name(), b.summary()))
+        .collect()
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: owl-cli <command> [args]\n\
@@ -58,7 +67,7 @@ fn usage() -> ExitCode {
          --max-verify-attempts <n> attempt budget for both dynamic verifiers\n\
          detector options (run/hints/audit/campaign):\n  \
          --explore-workers <n>     threads exploring schedules in the detection\n                            stage (default 1; reports are identical for any\n                            count and excluded from the campaign fingerprint)\n  \
-         --hb-backend <b>          happens-before shadow memory: `epoch` (fast\n                            path, default) or `reference` (full vector\n                            clocks, the oracle)\n  \
+         --hb-backend <b>          race-detection backend, one of:\n{backends}  \
          --max-trace-mem <n[K|M|G]>\n                            bound the detector's in-flight trace window;\n                            cold segments spill to disk and are replayed\n                            (reports are identical at any budget; without a\n                            spill dir over-budget units abort with a typed\n                            memory-budget verdict)\n  \
          --no-elide                disable the static check-elision pre-pass\n                            (reports are identical either way; elision only\n                            skips shadow-memory work at proved-safe sites)\n  \
          --elide-report            print the pre-pass per-site classification\n                            for <program> and exit\n\
@@ -72,7 +81,8 @@ fn usage() -> ExitCode {
          --metrics <dir>           write per-stage metrics: <dir>/spans.jsonl and\n                            <dir>/BENCH_campaign.json\n\
          static-analysis options (run/hints/audit/campaign):\n  \
          --no-points-to            disable memory-aware corruption propagation\n  \
-         --no-summaries            disable memoized function summaries and the\n                            whole-program caller walk"
+         --no-summaries            disable memoized function summaries and the\n                            whole-program caller walk",
+        backends = backend_help()
     );
     ExitCode::from(2)
 }
@@ -168,15 +178,12 @@ fn config(args: &[String]) -> Result<OwlConfig, String> {
         cfg.detect.workers = n;
     }
     if let Some(raw) = flag_value(args, "--hb-backend")? {
-        cfg.detect.hb_backend = match raw {
-            "epoch" => owl_race::HbBackend::Epoch,
-            "reference" => owl_race::HbBackend::Reference,
-            other => {
-                return Err(format!(
-                    "--hb-backend must be `epoch` or `reference`, got `{other}`"
-                ));
-            }
-        };
+        cfg.detect.hb_backend = owl_race::HbBackend::parse(raw).ok_or_else(|| {
+            format!(
+                "--hb-backend must be one of {}, got `{raw}`",
+                owl_race::HbBackend::names()
+            )
+        })?;
     }
     if let Some(raw) = flag_value(args, "--max-trace-mem")? {
         let bytes =
@@ -365,6 +372,16 @@ fn main() -> ExitCode {
                             h.trace_spill_segments,
                             h.trace_spilled_bytes,
                             h.shadow_cells_gced
+                        );
+                    }
+                    if cfg.detect.hb_backend.is_predictive() {
+                        println!(
+                            "prediction: {} candidate(s), {} witnessed ({} by sync reversal), \
+                             {} rejected by the witness check",
+                            h.predict_candidates,
+                            h.predict_witnessed,
+                            h.predict_reversal_races,
+                            h.predict_witness_rejected
                         );
                     }
                     if h.total_injected_faults() > 0
@@ -782,6 +799,16 @@ fn main() -> ExitCode {
                         (
                             "units_aborted_mem_budget",
                             Json::UInt(s.units_aborted_mem_budget),
+                        ),
+                        ("predict_candidates", Json::UInt(s.predict_candidates)),
+                        ("predict_witnessed", Json::UInt(s.predict_witnessed)),
+                        (
+                            "predict_witness_rejected",
+                            Json::UInt(s.predict_witness_rejected),
+                        ),
+                        (
+                            "predict_reversal_races",
+                            Json::UInt(s.predict_reversal_races),
                         ),
                     ]);
                     println!("{}", out.to_json_string());

@@ -781,6 +781,10 @@ pub(crate) fn record_attempt_metrics(
     m.counter("mem_pressure_events", h.mem_pressure_events);
     m.counter("shadow_cells_gced", h.shadow_cells_gced);
     m.counter("units_aborted_mem_budget", h.units_aborted_mem_budget);
+    m.counter("predict_candidates", h.predict_candidates);
+    m.counter("predict_witnessed", h.predict_witnessed);
+    m.counter("predict_witness_rejected", h.predict_witness_rejected);
+    m.counter("predict_reversal_races", h.predict_reversal_races);
 }
 
 /// Runs (or resumes) a campaign over `programs` against the journal at

@@ -728,6 +728,16 @@ pub fn encode_health(h: &crate::PipelineHealth) -> Json {
             "units_aborted_mem_budget",
             Json::UInt(h.units_aborted_mem_budget),
         ),
+        ("predict_candidates", Json::UInt(h.predict_candidates)),
+        ("predict_witnessed", Json::UInt(h.predict_witnessed)),
+        (
+            "predict_witness_rejected",
+            Json::UInt(h.predict_witness_rejected),
+        ),
+        (
+            "predict_reversal_races",
+            Json::UInt(h.predict_reversal_races),
+        ),
     ])
 }
 

@@ -282,6 +282,21 @@ pub struct PipelineHealth {
     /// because their trace outgrew `--max-trace-mem` with nowhere to
     /// spill. Reconstructed on resume from quarantine records.
     pub units_aborted_mem_budget: u64,
+    /// Conflicting access pairs the predictive detection backends
+    /// submitted to the witness machinery, summed over both detection
+    /// sweeps. Zero for non-predictive backends. (Live runs only —
+    /// not journaled.)
+    pub predict_candidates: u64,
+    /// Predicted-race candidates with a validated witness reordering.
+    /// (Live runs only — not journaled.)
+    pub predict_witnessed: u64,
+    /// Predicted-race candidates rejected by the closure, scheduler,
+    /// or witness validator. (Live runs only — not journaled.)
+    pub predict_witness_rejected: u64,
+    /// Witnessed predicted races that required reversing a
+    /// lock-acquire order (`syncrev` backend only). (Live runs only —
+    /// not journaled.)
+    pub predict_reversal_races: u64,
 }
 
 impl PipelineHealth {
@@ -342,6 +357,10 @@ impl PipelineHealth {
         self.mem_pressure_events += other.mem_pressure_events;
         self.shadow_cells_gced += other.shadow_cells_gced;
         self.units_aborted_mem_budget += other.units_aborted_mem_budget;
+        self.predict_candidates += other.predict_candidates;
+        self.predict_witnessed += other.predict_witnessed;
+        self.predict_witness_rejected += other.predict_witness_rejected;
+        self.predict_reversal_races += other.predict_reversal_races;
     }
 }
 
@@ -1696,6 +1715,10 @@ fn absorb_stream_health(health: &mut PipelineHealth, sweep: &owl_race::ExploreRe
     health.mem_pressure_events += sweep.mem_pressure_events;
     health.shadow_cells_gced += sweep.shadow_cells_gced;
     health.units_aborted_mem_budget += sweep.units_aborted_mem_budget;
+    health.predict_candidates += sweep.predict_candidates;
+    health.predict_witnessed += sweep.predict_witnessed;
+    health.predict_witness_rejected += sweep.predict_witness_rejected;
+    health.predict_reversal_races += sweep.predict_reversal_races;
 }
 
 /// Folds a quarantine's secondary effects (panic/deadline counters plus

@@ -259,6 +259,10 @@ impl ServeShared {
             mem_pressure_events: h.mem_pressure_events,
             shadow_cells_gced: h.shadow_cells_gced,
             units_aborted_mem_budget: h.units_aborted_mem_budget,
+            predict_candidates: h.predict_candidates,
+            predict_witnessed: h.predict_witnessed,
+            predict_witness_rejected: h.predict_witness_rejected,
+            predict_reversal_races: h.predict_reversal_races,
         }
     }
 }

@@ -154,6 +154,18 @@ pub struct StatusReport {
     /// Exploration units aborted with a typed memory-budget verdict,
     /// summed over executed requests.
     pub units_aborted_mem_budget: u64,
+    /// Predictive-backend candidate pairs submitted to the witness
+    /// machinery, summed over executed requests.
+    pub predict_candidates: u64,
+    /// Predicted races with a validated witness reordering, summed
+    /// over executed requests.
+    pub predict_witnessed: u64,
+    /// Predicted-race candidates rejected before reporting, summed
+    /// over executed requests.
+    pub predict_witness_rejected: u64,
+    /// Witnessed predicted races that needed a lock-acquire reversal,
+    /// summed over executed requests.
+    pub predict_reversal_races: u64,
 }
 
 /// One server response.
@@ -347,6 +359,16 @@ pub fn encode_response(resp: &Response) -> String {
                 "units_aborted_mem_budget",
                 Json::UInt(s.units_aborted_mem_budget),
             ),
+            ("predict_candidates", Json::UInt(s.predict_candidates)),
+            ("predict_witnessed", Json::UInt(s.predict_witnessed)),
+            (
+                "predict_witness_rejected",
+                Json::UInt(s.predict_witness_rejected),
+            ),
+            (
+                "predict_reversal_races",
+                Json::UInt(s.predict_reversal_races),
+            ),
         ]),
         Response::Bye => Json::obj([("resp", Json::str("bye"))]),
         Response::Error { message } => Json::obj([
@@ -435,6 +457,10 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                 mem_pressure_events: u("mem_pressure_events"),
                 shadow_cells_gced: u("shadow_cells_gced"),
                 units_aborted_mem_budget: u("units_aborted_mem_budget"),
+                predict_candidates: u("predict_candidates"),
+                predict_witnessed: u("predict_witnessed"),
+                predict_witness_rejected: u("predict_witness_rejected"),
+                predict_reversal_races: u("predict_reversal_races"),
             })))
         }
         "bye" => Ok(Response::Bye),

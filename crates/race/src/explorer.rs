@@ -184,6 +184,19 @@ pub struct ExploreResult {
     /// units contribute no reports; the pipeline turns a non-zero
     /// count into a typed memory-budget verdict.
     pub units_aborted_mem_budget: u64,
+    /// Conflicting pairs the predictive backends submitted to the
+    /// witness machinery, summed over units (0 for non-predictive
+    /// backends; see [`crate::PredictStats`]).
+    pub predict_candidates: u64,
+    /// Predicted-race candidates that got a validated witness
+    /// reordering, summed over units.
+    pub predict_witnessed: u64,
+    /// Candidates rejected by closure, scheduling, or witness
+    /// validation, summed over units.
+    pub predict_witness_rejected: u64,
+    /// Witnessed races that required a lock-acquire reversal (only
+    /// non-zero under [`HbBackend::SyncReversal`]), summed over units.
+    pub predict_reversal_races: u64,
     /// Whether a wall-clock budget cut the sweep short (see
     /// [`explore_with_deadline`]).
     pub deadline_hit: bool,
@@ -228,6 +241,7 @@ struct UnitOutput {
     pressure_events: u64,
     cells_gced: u64,
     mem_budget_aborted: bool,
+    predict: crate::PredictStats,
 }
 
 /// What the consuming side of one streamed unit did.
@@ -243,8 +257,9 @@ struct StreamStats {
 /// budget. With no budget every event is fed straight through; with a
 /// budget events buffer into a window that spills (and immediately
 /// replays) whole segments past the soft limit, and the unit aborts if
-/// the window crosses the hard limit with nowhere to spill. A spill
-/// I/O failure also aborts: the budget could not be honored, which is
+/// the window crosses the hard limit with nowhere to spill. A typed
+/// spill failure ([`crate::spill::SpillError`] — I/O or an uncodable
+/// event) also aborts: the budget could not be honored, which is
 /// exactly what the typed verdict reports.
 fn consume_stream(
     rx: &ChannelReceiver,
@@ -272,7 +287,7 @@ fn consume_stream(
         match &stream.spill_dir {
             Some(dir) => {
                 stats.pressure_events += 1;
-                let spilled = (|| -> std::io::Result<u64> {
+                let spilled = (|| -> Result<u64, spill::SpillError> {
                     std::fs::create_dir_all(dir)?;
                     let path = dir.join(format!("{tag}-{seq}.seg"));
                     if path.exists() {
@@ -380,7 +395,15 @@ fn run_unit(
         })
     };
 
+    // The predictive pass runs before any counter is read so its
+    // reports and stats land in this unit's output. An aborted unit
+    // saw only a trace prefix and reports nothing, so predicting on it
+    // would only waste time.
+    if !stream_stats.aborted {
+        detector.run_prediction();
+    }
     let cells_gced = detector.shadow_cells_gced();
+    let predict = detector.predict_stats();
     UnitOutput {
         suppressed: detector.suppressed(),
         reports_dropped: detector.reports_dropped(),
@@ -399,6 +422,7 @@ fn run_unit(
         pressure_events: stream_stats.pressure_events,
         cells_gced,
         mem_budget_aborted: stream_stats.aborted,
+        predict,
     }
 }
 
@@ -491,6 +515,10 @@ pub fn explore_with_deadline(
     let mut mem_pressure_events = 0u64;
     let mut shadow_cells_gced = 0u64;
     let mut units_aborted_mem_budget = 0u64;
+    let mut predict_candidates = 0u64;
+    let mut predict_witnessed = 0u64;
+    let mut predict_witness_rejected = 0u64;
+    let mut predict_reversal_races = 0u64;
     for slot in slots {
         let Some(unit) = slot.into_inner().unwrap_or_else(PoisonError::into_inner) else {
             break;
@@ -505,6 +533,10 @@ pub fn explore_with_deadline(
         mem_pressure_events += unit.pressure_events;
         shadow_cells_gced += unit.cells_gced;
         units_aborted_mem_budget += u64::from(unit.mem_budget_aborted);
+        predict_candidates += unit.predict.candidates;
+        predict_witnessed += unit.predict.witnessed;
+        predict_witness_rejected += unit.predict.witness_rejected;
+        predict_reversal_races += unit.predict.reversal_races;
         outcomes.push(unit.outcome);
         for r in unit.reports {
             match by_key.entry(r.key()) {
@@ -546,6 +578,10 @@ pub fn explore_with_deadline(
         mem_pressure_events,
         shadow_cells_gced,
         units_aborted_mem_budget,
+        predict_candidates,
+        predict_witnessed,
+        predict_witness_rejected,
+        predict_reversal_races,
         deadline_hit,
     }
 }

@@ -24,6 +24,7 @@
 //! identical report streams.
 
 use crate::epoch::{EpochShadow, EpochStats};
+use crate::predict::{PredictMode, PredictStats, Predictor};
 use crate::report::{Access, RaceReport};
 use crate::vc::VectorClock;
 use owl_ir::{InstRef, Module, Type};
@@ -31,10 +32,13 @@ use owl_vm::{EventKind, ThreadId, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-/// Which shadow-memory representation the detector runs on. Both
-/// backends implement the same happens-before relation and emit
-/// identical report streams (site pairs, watchlist read hints,
-/// suppression counts); they differ only in cost.
+/// Which detection backend the detector runs. The first two are
+/// interchangeable shadow-memory representations of the same
+/// happens-before relation — identical report streams (site pairs,
+/// watchlist read hints, suppression counts), different cost. The
+/// predictive backends run the epoch HB sweep *plus* a post-trace
+/// prediction pass (see the `predict` module), so their
+/// report sets are supersets of the HB backends' on every trace.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum HbBackend {
     /// FastTrack-style epochs (see [`EpochStats`]): O(1)
@@ -45,6 +49,63 @@ pub enum HbBackend {
     /// Full vector-clock histories in a `BTreeMap` — the original
     /// implementation, kept as the differential-testing oracle.
     Reference,
+    /// Epoch HB sweep plus sync-preserving race prediction: also
+    /// reports conflicting pairs reachable by a correct reordering of
+    /// the observed trace that keeps every same-object
+    /// synchronization order (arXiv 2010.16385).
+    SyncPreserving,
+    /// Epoch HB sweep plus optimistic sync-reversal prediction:
+    /// everything `SyncPreserving` finds, plus races that need a
+    /// lock-acquire order reversal (arXiv 2401.05642). Every pair is
+    /// still witness-validated before reporting.
+    SyncReversal,
+}
+
+impl HbBackend {
+    /// Every backend, in presentation order. The single source of
+    /// truth the CLI derives its help text, parser, and error message
+    /// from — a new variant added here is automatically everywhere.
+    pub const ALL: [HbBackend; 4] = [
+        HbBackend::Epoch,
+        HbBackend::Reference,
+        HbBackend::SyncPreserving,
+        HbBackend::SyncReversal,
+    ];
+
+    /// Canonical CLI spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            HbBackend::Epoch => "epoch",
+            HbBackend::Reference => "reference",
+            HbBackend::SyncPreserving => "syncp",
+            HbBackend::SyncReversal => "syncrev",
+        }
+    }
+
+    /// One-line description for `--help`.
+    pub fn summary(self) -> &'static str {
+        match self {
+            HbBackend::Epoch => "FastTrack epochs, the fast path (default)",
+            HbBackend::Reference => "full vector clocks, the differential oracle",
+            HbBackend::SyncPreserving => "epoch + sync-preserving race prediction",
+            HbBackend::SyncReversal => "epoch + optimistic sync-reversal prediction",
+        }
+    }
+
+    /// Parses a canonical spelling; `None` for anything else.
+    pub fn parse(s: &str) -> Option<HbBackend> {
+        HbBackend::ALL.into_iter().find(|b| b.name() == s)
+    }
+
+    /// Comma-separated list of every valid spelling, for error text.
+    pub fn names() -> String {
+        HbBackend::ALL.map(HbBackend::name).join(", ")
+    }
+
+    /// Whether this backend runs the post-trace prediction pass.
+    pub fn is_predictive(self) -> bool {
+        matches!(self, HbBackend::SyncPreserving | HbBackend::SyncReversal)
+    }
 }
 
 /// One annotated adhoc synchronization: the flag-setting write and the
@@ -123,6 +184,10 @@ pub struct HbDetector {
     /// exactly the dying region.
     malloc_sizes: HashMap<u64, u64>,
     shadow_cells_gced: u64,
+    /// Trace recorder for the predictive backends; `None` otherwise
+    /// and after the prediction pass has run.
+    predictor: Option<Box<Predictor>>,
+    predict_stats: PredictStats,
 }
 
 impl HbDetector {
@@ -135,9 +200,21 @@ impl HbDetector {
             .iter()
             .map(|a| normalize(a.write_site, a.read_site))
             .collect();
-        let shadow = match cfg.backend {
-            HbBackend::Reference => ShadowState::Reference(BTreeMap::new()),
-            HbBackend::Epoch => ShadowState::Epoch(Box::default()),
+        // The predictive backends reuse the epoch shadow for their HB
+        // sweep (epoch ≡ reference observably, so superset-of-Reference
+        // holds for the HB portion by construction) and record the
+        // trace on the side for the post-run prediction pass.
+        let (shadow, predictor) = match cfg.backend {
+            HbBackend::Reference => (ShadowState::Reference(BTreeMap::new()), None),
+            HbBackend::Epoch => (ShadowState::Epoch(Box::default()), None),
+            HbBackend::SyncPreserving => (
+                ShadowState::Epoch(Box::default()),
+                Some(Box::new(Predictor::new(PredictMode::SyncPreserving))),
+            ),
+            HbBackend::SyncReversal => (
+                ShadowState::Epoch(Box::default()),
+                Some(Box::new(Predictor::new(PredictMode::SyncReversal))),
+            ),
         };
         HbDetector {
             cfg,
@@ -157,6 +234,8 @@ impl HbDetector {
             live: HashSet::from([ThreadId::MAIN]),
             malloc_sizes: HashMap::new(),
             shadow_cells_gced: 0,
+            predictor,
+            predict_stats: PredictStats::default(),
         }
     }
 
@@ -171,11 +250,52 @@ impl HbDetector {
     }
 
     /// Consumes the detector, resolving global names from `module`.
+    /// Runs the prediction pass first if it has not run yet.
     pub fn finish(mut self, module: &Module) -> Vec<RaceReport> {
+        self.run_prediction();
         for r in &mut self.reports {
             r.global_name = global_name_for_addr(module, r.addr).map(str::to_string);
         }
         self.reports
+    }
+
+    /// Runs the predictive pass over the recorded trace (a no-op for
+    /// non-predictive backends and on second call). Predicted pairs
+    /// flow through the same report path as HB observations —
+    /// annotation suppression, site-pair dedup against what the HB
+    /// sweep already found, and the report cap — so the final set is
+    /// always a superset of the HB sweep's. [`HbDetector::finish`]
+    /// calls this automatically; callers that read counters before
+    /// finishing (the explorer) invoke it explicitly first.
+    pub fn run_prediction(&mut self) {
+        let Some(mut p) = self.predictor.take() else {
+            return;
+        };
+        let predicted = p.predict(&self.reported);
+        self.predict_stats = p.stats;
+        for r in predicted {
+            let before = self.reports.len();
+            self.record(r.addr, &r.first, &r.second);
+            if self.reports.len() == before {
+                continue; // suppressed, duplicate, or over the cap
+            }
+            let idx = self.reports.len() - 1;
+            if let Some(hint) = r.read_hint {
+                // The predictor found the first post-race read itself;
+                // take the pending §6.3 watch back (no further trace
+                // events will arrive to serve it anyway).
+                if let Some(v) = self.pending_hint.get_mut(&r.addr) {
+                    v.retain(|&i| i != idx);
+                }
+                self.reports[idx].read_hint = Some(hint);
+            }
+        }
+    }
+
+    /// Prediction-pass counters. All-zero for non-predictive backends
+    /// and before [`HbDetector::run_prediction`] has run.
+    pub fn predict_stats(&self) -> PredictStats {
+        self.predict_stats
     }
 
     /// Number of race observations suppressed by annotations.
@@ -540,6 +660,9 @@ impl HbDetector {
 
 impl TraceSink for HbDetector {
     fn on_event(&mut self, ev: &TraceEvent) {
+        if let Some(p) = &mut self.predictor {
+            p.record(ev);
+        }
         match ev.kind {
             EventKind::Read {
                 addr,
@@ -1064,6 +1187,77 @@ mod tests {
                 ..HbConfig::default()
             },
         );
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in HbBackend::ALL {
+            assert_eq!(HbBackend::parse(b.name()), Some(b));
+            assert!(HbBackend::names().contains(b.name()));
+            assert!(!b.summary().is_empty());
+        }
+        assert_eq!(HbBackend::parse("no-such-backend"), None);
+    }
+
+    #[test]
+    fn predictive_backends_are_supersets_on_unit_modules() {
+        for (m, main) in [racy_module(), locked_module()] {
+            let reference = run_detector(&m, main, HbConfig::default());
+            for backend in [HbBackend::SyncPreserving, HbBackend::SyncReversal] {
+                let predicted = run_detector(
+                    &m,
+                    main,
+                    HbConfig {
+                        backend,
+                        ..HbConfig::default()
+                    },
+                );
+                for r in &reference {
+                    assert!(
+                        predicted.iter().any(|p| p.key() == r.key()),
+                        "{backend:?} lost an HB report: {r:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutex_protected_module_predicts_nothing() {
+        // Both accesses are under the same lock: no correct reordering
+        // co-enables them, so even the OSR backend stays silent.
+        let (m, main) = locked_module();
+        let mut det = HbDetector::new(HbConfig {
+            backend: HbBackend::SyncReversal,
+            ..HbConfig::default()
+        });
+        let mut sched = RoundRobin::new(2);
+        let vm = Vm::new(&m, main, ProgramInput::empty(), Default::default());
+        let _ = vm.run(&mut sched, &mut det);
+        det.run_prediction();
+        let stats = det.predict_stats();
+        assert_eq!(stats.witnessed, 0, "{stats:?}");
+        assert!(det.reports().is_empty(), "{:?}", det.reports());
+    }
+
+    #[test]
+    fn run_prediction_is_idempotent_and_finish_implies_it() {
+        let (m, main) = racy_module();
+        let mut det = HbDetector::new(HbConfig {
+            backend: HbBackend::SyncPreserving,
+            ..HbConfig::default()
+        });
+        let mut sched = RoundRobin::new(2);
+        let vm = Vm::new(&m, main, ProgramInput::empty(), Default::default());
+        let _ = vm.run(&mut sched, &mut det);
+        det.run_prediction();
+        let stats = det.predict_stats();
+        let n = det.reports().len();
+        det.run_prediction(); // second call must change nothing
+        assert_eq!(det.predict_stats(), stats);
+        assert_eq!(det.reports().len(), n);
+        let reports = det.finish(&m);
+        assert_eq!(reports.len(), n);
     }
 
     #[test]

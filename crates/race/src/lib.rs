@@ -14,7 +14,9 @@
 //!   theory), with [`HbAnnotation`] support and read hints. It runs on
 //!   FastTrack-style epoch shadow cells by default; the original full
 //!   vector-clock backend is selectable as a differential oracle via
-//!   [`HbBackend`];
+//!   [`HbBackend`], and the predictive backends (`syncp`, `syncrev`)
+//!   additionally report witness-validated races reachable by
+//!   reordering the observed trace (see [`PredictStats`]);
 //! * [`LocksetDetector`] — an Eraser-style baseline used by the
 //!   benches to put the report flood in context;
 //! * [`explore`] — a PCT/random schedule-exploration driver (SKI's
@@ -62,12 +64,14 @@ mod epoch;
 mod explorer;
 mod hb;
 mod lockset;
+mod predict;
 mod report;
 pub mod spill;
 mod vc;
 
 pub use atomicity::{AtomicityDetector, AtomicityPattern, AtomicityReport};
 pub use epoch::EpochStats;
+pub use predict::PredictStats;
 pub use explorer::{
     executions_until, explore, explore_with_deadline, site_pairs, ExploreResult, ExploreStrategy,
     ExplorerConfig, StreamConfig,
@@ -75,5 +79,5 @@ pub use explorer::{
 pub use hb::{global_name_for_addr, HbAnnotation, HbBackend, HbConfig, HbDetector};
 pub use lockset::LocksetDetector;
 pub use report::{Access, RaceReport};
-pub use spill::{approx_event_bytes, SegmentRecovery, SpillKillSwitch};
+pub use spill::{approx_event_bytes, SegmentRecovery, SpillError, SpillKillSwitch};
 pub use vc::VectorClock;

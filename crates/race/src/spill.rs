@@ -30,6 +30,48 @@ use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
 
+/// Typed spill-layer failure. Everything here flows into the streaming
+/// pipeline's degradation ladder — the unit aborts with a typed
+/// verdict and the campaign quarantines-and-continues — instead of
+/// panicking in (and poisoning) the consumer thread.
+#[derive(Debug)]
+pub enum SpillError {
+    /// An event's call stack exceeds the codec's `u32` frame-count
+    /// field and cannot be represented in a segment record.
+    StackTooDeep {
+        /// Observed frame count.
+        frames: usize,
+    },
+    /// The underlying segment file operation failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for SpillError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpillError::StackTooDeep { frames } => {
+                write!(f, "call stack of {frames} frames exceeds the spill codec limit")
+            }
+            SpillError::Io(e) => write!(f, "spill segment I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpillError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpillError::StackTooDeep { .. } => None,
+            SpillError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for SpillError {
+    fn from(e: io::Error) -> Self {
+        SpillError::Io(e)
+    }
+}
+
 /// Approximate resident size of one in-flight event: the inline struct
 /// plus its share of the call-stack allocation. The streaming window
 /// accounts with this, so `--max-trace-mem` bounds the same quantity a
@@ -108,7 +150,19 @@ fn push_site(out: &mut Vec<u8>, s: InstRef) {
     out.extend_from_slice(&s.inst.0.to_le_bytes());
 }
 
-fn encode_event(ev: &TraceEvent) -> Vec<u8> {
+fn encode_event(ev: &TraceEvent) -> Result<Vec<u8>, SpillError> {
+    encode_event_limited(ev, u32::MAX as usize)
+}
+
+/// The codec body, with the frame-count ceiling injectable so tests
+/// can exercise the [`SpillError::StackTooDeep`] path without building
+/// a four-billion-frame stack.
+fn encode_event_limited(ev: &TraceEvent, max_frames: usize) -> Result<Vec<u8>, SpillError> {
+    if ev.stack.len() > max_frames {
+        return Err(SpillError::StackTooDeep {
+            frames: ev.stack.len(),
+        });
+    }
     let mut out = Vec::with_capacity(64 + ev.stack.len() * 8);
     out.extend_from_slice(&ev.step.to_le_bytes());
     out.extend_from_slice(&ev.tid.0.to_le_bytes());
@@ -169,12 +223,13 @@ fn encode_event(ev: &TraceEvent) -> Vec<u8> {
             out.push(encode_fault(kind));
         }
     }
-    let len = u32::try_from(ev.stack.len()).expect("call stack < 2^32 frames");
+    // Guarded above: `max_frames` never exceeds `u32::MAX`.
+    let len = ev.stack.len() as u32;
     out.extend_from_slice(&len.to_le_bytes());
     for s in ev.stack.iter() {
         push_site(&mut out, *s);
     }
-    out
+    Ok(out)
 }
 
 struct Cursor<'a> {
@@ -292,10 +347,10 @@ const LINE_PREFIX: &str = "{\"crc\":\"";
 const LINE_MID: &str = "\",\"rec\":\"";
 const LINE_SUFFIX: &str = "\"}";
 
-fn format_line(ev: &TraceEvent) -> String {
-    let hex = hex_encode(&encode_event(ev));
+fn format_line(ev: &TraceEvent) -> Result<String, SpillError> {
+    let hex = hex_encode(&encode_event(ev)?);
     let crc = fnv1a64(hex.as_bytes());
-    format!("{LINE_PREFIX}{crc:016x}{LINE_MID}{hex}{LINE_SUFFIX}\n")
+    Ok(format!("{LINE_PREFIX}{crc:016x}{LINE_MID}{hex}{LINE_SUFFIX}\n"))
 }
 
 /// Parses one segment line; `None` on any damage (bad framing, CRC
@@ -379,21 +434,23 @@ impl SpillKillSwitch {
 // ---------------------------------------------------------------------
 
 /// Writes `events` as one segment at `path` (truncating any previous
-/// content) and returns the bytes written. With an armed `kill`, the
-/// write may instead panic with [`JournalKilled`] partway through,
-/// leaving a torn tail for [`recover_segment`].
+/// content) and returns the bytes written. Failures — I/O or an
+/// uncodable event — come back as a typed [`SpillError`] so the
+/// streaming consumer can abort the unit gracefully. With an armed
+/// `kill`, the write may instead panic with [`JournalKilled`] partway
+/// through, leaving a torn tail for [`recover_segment`].
 pub fn write_segment<'a, I>(
     path: &Path,
     events: I,
     kill: Option<&SpillKillSwitch>,
-) -> io::Result<u64>
+) -> Result<u64, SpillError>
 where
     I: IntoIterator<Item = &'a TraceEvent>,
 {
     let mut out = BufWriter::new(File::create(path)?);
     let mut bytes = 0u64;
     for ev in events {
-        let line = format_line(ev);
+        let line = format_line(ev)?;
         out.write_all(line.as_bytes())?;
         bytes += line.len() as u64;
         if let Some(k) = kill {
@@ -627,6 +684,25 @@ mod tests {
         assert_eq!(replay_segment(&path, &mut sink).unwrap(), 2);
         assert_eq!(sink.events, events[..2]);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stack_too_deep_is_a_typed_error_not_a_panic() {
+        let events = sample_events(); // every sample carries 2 frames
+        let err = encode_event_limited(&events[0], 1).expect_err("2 frames over a limit of 1");
+        assert!(matches!(err, SpillError::StackTooDeep { frames: 2 }), "{err:?}");
+        assert!(err.to_string().contains("2 frames"), "{err}");
+        assert!(std::error::Error::source(&err).is_none());
+        assert!(encode_event(&events[0]).is_ok(), "real limit is u32::MAX");
+    }
+
+    #[test]
+    fn write_segment_surfaces_io_failure_as_spill_error() {
+        let events = sample_events();
+        let missing = scratch("no-such-dir").join("seg");
+        let err = write_segment(&missing, &events, None).expect_err("parent dir absent");
+        assert!(matches!(err, SpillError::Io(_)), "{err:?}");
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

@@ -404,7 +404,11 @@ fn explore_workers_and_hb_backend_flags() {
         .expect("spawn");
     assert!(!bogus.status.success(), "--hb-backend bogus must be rejected");
     let err = String::from_utf8_lossy(&bogus.stderr);
-    assert!(err.contains("`epoch` or `reference`"), "{err}");
+    // The rejection must list every valid backend, derived from the
+    // same table the parser uses.
+    for b in owl_race::HbBackend::ALL {
+        assert!(err.contains(b.name()), "missing `{}` in: {err}", b.name());
+    }
 
     let missing = cli()
         .args(["run", "SSDB", "--quick", "--hb-backend"])
