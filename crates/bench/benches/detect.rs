@@ -7,7 +7,8 @@
 //! so the VM's interpretation cost is excluded from the timed window.
 //! Alongside the per-iteration timings this target emits derived
 //! metrics (`events_per_sec_*`, `epoch_speedup`, `epoch_fast_path_rate`,
-//! `explore_wall_us_workers_*`) into `BENCH_detect.json`.
+//! `explore_wall_us_workers_*`, `fork_speedup_*`, `prefix_share_ratio`,
+//! `dedup_ratio`) into `BENCH_detect.json`.
 
 #[cfg(feature = "criterion")]
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -401,6 +402,204 @@ fn bench_explore_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Prefix-sharing fork mode against scratch re-execution across the
+/// whole corpus. Reports are asserted identical before anything is
+/// timed — the speedup only counts if the results are byte-equal —
+/// and the per-program counters quantify where the savings come from:
+/// `prefix_share_ratio` is the fraction of total scheduler steps the
+/// snapshot prefix avoided re-executing, `dedup_ratio` the fraction
+/// of seed units collapsed by schedule-signature dedup.
+fn bench_fork_prefix(c: &mut Criterion) {
+    // A seed-sweep-shaped budget: enough seeds per input that the
+    // shared prefix is amortized the way `run`/`campaign` amortize it.
+    const RUNS_PER_INPUT: u64 = 32;
+    let forked_cfg = ExplorerConfig {
+        runs_per_input: RUNS_PER_INPUT,
+        ..ExplorerConfig::default()
+    };
+    let scratch_cfg = ExplorerConfig {
+        fork: false,
+        ..forked_cfg.clone()
+    };
+
+    let mut group = c.benchmark_group("fork");
+    let mut forked_total = 0.0f64;
+    let mut scratch_total = 0.0f64;
+    let mut steps_total = 0u64;
+    let mut saved_total = 0u64;
+    let mut deduped_total = 0u64;
+    let mut runs_total = 0u64;
+    for p in owl_corpus::all_programs() {
+        let forked = explore(&p.module, p.entry, &p.workloads, &forked_cfg);
+        let scratch = explore(&p.module, p.entry, &p.workloads, &scratch_cfg);
+        assert_eq!(
+            forked.reports, scratch.reports,
+            "{}: fork mode changed the report stream",
+            p.name
+        );
+        assert_eq!(
+            forked.outcomes, scratch.outcomes,
+            "{}: fork mode changed an execution outcome",
+            p.name
+        );
+
+        let tag = p.name.to_lowercase();
+        group.bench_function(&format!("explore_forked_{tag}"), |b| {
+            b.iter(|| explore(&p.module, p.entry, &p.workloads, &forked_cfg))
+        });
+        group.bench_function(&format!("explore_scratch_{tag}"), |b| {
+            b.iter(|| explore(&p.module, p.entry, &p.workloads, &scratch_cfg))
+        });
+
+        // Best-of-reps: the min is the standard low-noise wall-time
+        // estimator on a shared box, and it is applied symmetrically
+        // to both modes.
+        let best = |cfg: &ExplorerConfig| {
+            (0..3)
+                .map(|_| {
+                    let t0 = Instant::now();
+                    black_box(explore(&p.module, p.entry, &p.workloads, cfg));
+                    t0.elapsed().as_secs_f64()
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let forked_secs = best(&forked_cfg);
+        let scratch_secs = best(&scratch_cfg);
+        forked_total += forked_secs;
+        scratch_total += scratch_secs;
+        metric(
+            &format!("explore_forked_us_{tag}"),
+            Json::UInt((forked_secs * 1e6) as u64),
+        );
+        metric(
+            &format!("explore_scratch_us_{tag}"),
+            Json::UInt((scratch_secs * 1e6) as u64),
+        );
+        metric(&format!("fork_speedup_{tag}"), Json::Float(scratch_secs / forked_secs));
+        metric(&format!("units_forked_{tag}"), Json::UInt(forked.units_forked));
+        metric(
+            &format!("prefix_steps_saved_{tag}"),
+            Json::UInt(forked.prefix_steps_saved),
+        );
+        metric(
+            &format!("schedules_deduped_{tag}"),
+            Json::UInt(forked.schedules_deduped),
+        );
+        metric(&format!("snapshot_bytes_{tag}"), Json::UInt(forked.snapshot_bytes));
+
+        steps_total += forked.outcomes.iter().map(|o| o.steps).sum::<u64>();
+        saved_total += forked.prefix_steps_saved;
+        deduped_total += forked.schedules_deduped;
+        runs_total += forked.runs;
+    }
+    group.finish();
+
+    metric("explore_forked_us_total", Json::UInt((forked_total * 1e6) as u64));
+    metric("explore_scratch_us_total", Json::UInt((scratch_total * 1e6) as u64));
+    metric("fork_speedup_total", Json::Float(scratch_total / forked_total));
+    metric(
+        "prefix_share_ratio",
+        Json::Float(if steps_total == 0 { 0.0 } else { saved_total as f64 / steps_total as f64 }),
+    );
+    metric(
+        "dedup_ratio",
+        Json::Float(if runs_total == 0 { 0.0 } else { deduped_total as f64 / runs_total as f64 }),
+    );
+
+    // The startup-weighted regime. The corpus models compress each
+    // application's initialization down to a handful of instructions —
+    // real OWL targets (MySQL, Apache) execute a long single-threaded
+    // startup before any request thread exists, and that startup is
+    // exactly what every scratch seed re-executes. This module keeps
+    // the corpus's concurrent shape but restores a realistic
+    // setup-to-concurrency ratio, so the row quantifies what prefix
+    // sharing buys once startup is not modeled away.
+    let (sm, s_entry) = startup_heavy_module();
+    let s_input = [ProgramInput::empty()];
+    let forked = explore(&sm, s_entry, &s_input, &forked_cfg);
+    let scratch = explore(&sm, s_entry, &s_input, &scratch_cfg);
+    assert_eq!(forked.reports, scratch.reports, "startup sweep: fork changed reports");
+    assert_eq!(forked.outcomes, scratch.outcomes, "startup sweep: fork changed outcomes");
+    assert!(!forked.reports.is_empty(), "startup sweep found no race — bench is inert");
+    let mut group = c.benchmark_group("fork");
+    group.bench_function("explore_forked_startup", |b| {
+        b.iter(|| explore(&sm, s_entry, &s_input, &forked_cfg))
+    });
+    group.bench_function("explore_scratch_startup", |b| {
+        b.iter(|| explore(&sm, s_entry, &s_input, &scratch_cfg))
+    });
+    group.finish();
+    let best = |cfg: &ExplorerConfig| {
+        (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(explore(&sm, s_entry, &s_input, cfg));
+                t0.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let forked_secs = best(&forked_cfg);
+    let scratch_secs = best(&scratch_cfg);
+    metric("explore_forked_us_startup", Json::UInt((forked_secs * 1e6) as u64));
+    metric("explore_scratch_us_startup", Json::UInt((scratch_secs * 1e6) as u64));
+    metric("fork_speedup_startup", Json::Float(scratch_secs / forked_secs));
+    metric("prefix_steps_saved_startup", Json::UInt(forked.prefix_steps_saved));
+    metric("schedules_deduped_startup", Json::UInt(forked.schedules_deduped));
+    metric("snapshot_bytes_startup", Json::UInt(forked.snapshot_bytes));
+    let steps: u64 = forked.outcomes.iter().map(|o| o.steps).sum();
+    metric(
+        "prefix_share_ratio_startup",
+        Json::Float(if steps == 0 { 0.0 } else { forked.prefix_steps_saved as f64 / steps as f64 }),
+    );
+}
+
+/// See [`bench_fork_prefix`]: a service model with a realistic
+/// single-threaded startup — building a table and a config area entry
+/// by entry, the work the corpus models elide — before two request
+/// threads race on a shared counter the way the corpus programs do.
+fn startup_heavy_module() -> (Module, FuncId) {
+    let mut mb = ModuleBuilder::new("startup-heavy");
+    let table = mb.global("table", 512, Type::I64);
+    let config = mb.global("config", 128, Type::I64);
+    let racy = mb.global("hits", 1, Type::I64);
+    let worker = mb.declare_func("worker", 1);
+    {
+        let mut b = mb.build_func(worker);
+        let ta = b.global_addr(table);
+        let ra = b.global_addr(racy);
+        // A request: read a few table entries, bump the hit counter
+        // unlocked (the corpus-style race under test).
+        for k in 0..8i64 {
+            let slot = b.gep(ta, (k * 37) % 512);
+            b.load(slot, Type::I64);
+        }
+        let v = b.load(ra, Type::I64);
+        b.store(ra, v);
+        b.ret(None);
+    }
+    let main = mb.declare_func("main", 0);
+    {
+        let mut b = mb.build_func(main);
+        let ta = b.global_addr(table);
+        let ca = b.global_addr(config);
+        // Startup: populate the table and config single-threaded.
+        for k in 0..512i64 {
+            let slot = b.gep(ta, k);
+            b.store(slot, k);
+        }
+        for k in 0..128i64 {
+            let slot = b.gep(ca, k);
+            b.store(slot, k * 3);
+        }
+        let t1 = b.thread_create(worker, 0);
+        let t2 = b.thread_create(worker, 0);
+        b.thread_join(t1);
+        b.thread_join(t2);
+        b.ret(None);
+    }
+    (mb.finish(), main)
+}
+
 /// Seed retirement (ablation A10): how many schedules per workload
 /// input each backend needs before it has found every race the epoch
 /// backend finds at the full 8-schedule budget. Predictive backends
@@ -572,6 +771,7 @@ criterion_group!(
     bench_capture_handoff,
     bench_bounded_stream,
     bench_explore_scaling,
+    bench_fork_prefix,
     bench_seed_retirement
 );
 criterion_main!(benches);

@@ -70,6 +70,7 @@ fn usage() -> ExitCode {
          --hb-backend <b>          race-detection backend, one of:\n{backends}  \
          --max-trace-mem <n[K|M|G]>\n                            bound the detector's in-flight trace window;\n                            cold segments spill to disk and are replayed\n                            (reports are identical at any budget; without a\n                            spill dir over-budget units abort with a typed\n                            memory-budget verdict)\n  \
          --no-elide                disable the static check-elision pre-pass\n                            (reports are identical either way; elision only\n                            skips shadow-memory work at proved-safe sites)\n  \
+         --no-fork                 disable prefix-sharing snapshot/fork in the\n                            detection stage (reports are identical either\n                            way and a journal resumes across the switch;\n                            forking only avoids re-executing each input's\n                            single-threaded startup prefix per seed)\n  \
          --elide-report            print the pre-pass per-site classification\n                            for <program> and exit\n\
          campaign options:\n  \
          --resume                  continue a journal instead of refusing it\n  \
@@ -103,6 +104,24 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Result<Option<&'a str>, Str
     match args.get(i + 1).map(String::as_str) {
         Some(v) if !v.starts_with("--") => Ok(Some(v)),
         _ => Err(format!("{name} requires a value")),
+    }
+}
+
+/// Presence of a valueless `--flag`. A non-flag token right after it
+/// is a usage error, not a silently ignored operand: positionals come
+/// before flags in every command, so `--no-fork 5` can only be a
+/// mistaken attempt to pass a value.
+fn presence_flag(args: &[String], name: &str) -> Result<bool, String> {
+    let mut hits = args.iter().enumerate().filter(|(_, a)| *a == name);
+    let Some((i, _)) = hits.next() else {
+        return Ok(false);
+    };
+    if hits.next().is_some() {
+        return Err(format!("{name} given more than once"));
+    }
+    match args.get(i + 1).map(String::as_str) {
+        Some(v) if !v.starts_with("--") => Err(format!("{name} takes no value, got `{v}`")),
+        _ => Ok(true),
     }
 }
 
@@ -197,6 +216,9 @@ fn config(args: &[String]) -> Result<OwlConfig, String> {
     }
     if args.iter().any(|a| a == "--no-elide") {
         cfg.elide = false;
+    }
+    if presence_flag(args, "--no-fork")? {
+        cfg.detect.fork = false;
     }
     if args.iter().any(|a| a == "--no-points-to") {
         cfg.vuln.points_to = false;
@@ -810,6 +832,10 @@ fn main() -> ExitCode {
                             "predict_reversal_races",
                             Json::UInt(s.predict_reversal_races),
                         ),
+                        ("units_forked", Json::UInt(s.units_forked)),
+                        ("prefix_steps_saved", Json::UInt(s.prefix_steps_saved)),
+                        ("schedules_deduped", Json::UInt(s.schedules_deduped)),
+                        ("snapshot_bytes", Json::UInt(s.snapshot_bytes)),
                     ]);
                     println!("{}", out.to_json_string());
                     Some(ExitCode::SUCCESS)

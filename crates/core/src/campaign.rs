@@ -144,6 +144,10 @@ pub fn campaign_fingerprint(owl: &OwlConfig, programs: &[String]) -> String {
         max_trace_mem,
         ..owl_race::StreamConfig::default()
     };
+    // Prefix-sharing fork mode is an execution strategy, not a result
+    // knob — reports and outcomes are byte-identical fork on or off —
+    // so a journal may be resumed across `--no-fork`.
+    owl.detect.fork = true;
     let ident = format!("{owl:?}|{programs:?}");
     format!("{:016x}", fnv1a64(ident.as_bytes()))
 }
@@ -785,6 +789,10 @@ pub(crate) fn record_attempt_metrics(
     m.counter("predict_witnessed", h.predict_witnessed);
     m.counter("predict_witness_rejected", h.predict_witness_rejected);
     m.counter("predict_reversal_races", h.predict_reversal_races);
+    m.counter("units_forked", h.units_forked);
+    m.counter("prefix_steps_saved", h.prefix_steps_saved);
+    m.counter("schedules_deduped", h.schedules_deduped);
+    m.counter("snapshot_bytes", h.snapshot_bytes);
 }
 
 /// Runs (or resumes) a campaign over `programs` against the journal at
@@ -990,6 +998,17 @@ mod tests {
             f1,
             campaign_fingerprint(&reference, &names),
             "--hb-backend changes the fingerprint"
+        );
+
+        // Fork mode is an execution strategy with byte-identical
+        // results: a journal written with forking on must resume under
+        // --no-fork, and vice versa.
+        let mut no_fork = OwlConfig::quick();
+        no_fork.detect.fork = false;
+        assert_eq!(
+            f1,
+            campaign_fingerprint(&no_fork, &names),
+            "--no-fork is excluded from the fingerprint"
         );
     }
 

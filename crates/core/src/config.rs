@@ -44,6 +44,7 @@ impl Default for OwlConfig {
                 hb_backend: owl_race::HbBackend::default(),
                 elided_sites: None,
                 stream: owl_race::StreamConfig::default(),
+                fork: true,
             },
             race_verify: RaceVerifyConfig {
                 max_schedules: 8,

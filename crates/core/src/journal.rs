@@ -738,6 +738,10 @@ pub fn encode_health(h: &crate::PipelineHealth) -> Json {
             "predict_reversal_races",
             Json::UInt(h.predict_reversal_races),
         ),
+        ("units_forked", Json::UInt(h.units_forked)),
+        ("prefix_steps_saved", Json::UInt(h.prefix_steps_saved)),
+        ("schedules_deduped", Json::UInt(h.schedules_deduped)),
+        ("snapshot_bytes", Json::UInt(h.snapshot_bytes)),
     ])
 }
 

@@ -297,6 +297,24 @@ pub struct PipelineHealth {
     /// lock-acquire order (`syncrev` backend only). (Live runs only —
     /// not journaled.)
     pub predict_reversal_races: u64,
+    /// Detection units the explorer launched from a mid-run snapshot
+    /// instead of instruction zero (prefix-sharing fork mode), summed
+    /// over both sweeps. Zero under `--no-fork`. (Live runs only —
+    /// not journaled.)
+    pub units_forked: u64,
+    /// VM steps detection units did not re-execute thanks to prefix
+    /// sharing. Zero under `--no-fork`. (Live runs only — not
+    /// journaled.)
+    pub prefix_steps_saved: u64,
+    /// Detection units whose realized schedule collapsed to an
+    /// already-run signature, so their outcome was reused without
+    /// executing the VM. Zero under `--no-fork`. (Live runs only —
+    /// not journaled.)
+    pub schedules_deduped: u64,
+    /// Estimated bytes of machine state captured by per-input
+    /// snapshots (heap payloads are CoW-shared). Zero under
+    /// `--no-fork`. (Live runs only — not journaled.)
+    pub snapshot_bytes: u64,
 }
 
 impl PipelineHealth {
@@ -361,6 +379,10 @@ impl PipelineHealth {
         self.predict_witnessed += other.predict_witnessed;
         self.predict_witness_rejected += other.predict_witness_rejected;
         self.predict_reversal_races += other.predict_reversal_races;
+        self.units_forked += other.units_forked;
+        self.prefix_steps_saved += other.prefix_steps_saved;
+        self.schedules_deduped += other.schedules_deduped;
+        self.snapshot_bytes += other.snapshot_bytes;
     }
 }
 
@@ -1719,6 +1741,10 @@ fn absorb_stream_health(health: &mut PipelineHealth, sweep: &owl_race::ExploreRe
     health.predict_witnessed += sweep.predict_witnessed;
     health.predict_witness_rejected += sweep.predict_witness_rejected;
     health.predict_reversal_races += sweep.predict_reversal_races;
+    health.units_forked += sweep.units_forked;
+    health.prefix_steps_saved += sweep.prefix_steps_saved;
+    health.schedules_deduped += sweep.schedules_deduped;
+    health.snapshot_bytes += sweep.snapshot_bytes;
 }
 
 /// Folds a quarantine's secondary effects (panic/deadline counters plus

@@ -263,6 +263,10 @@ impl ServeShared {
             predict_witnessed: h.predict_witnessed,
             predict_witness_rejected: h.predict_witness_rejected,
             predict_reversal_races: h.predict_reversal_races,
+            units_forked: h.units_forked,
+            prefix_steps_saved: h.prefix_steps_saved,
+            schedules_deduped: h.schedules_deduped,
+            snapshot_bytes: h.snapshot_bytes,
         }
     }
 }

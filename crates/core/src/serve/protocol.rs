@@ -166,6 +166,18 @@ pub struct StatusReport {
     /// Witnessed predicted races that needed a lock-acquire reversal,
     /// summed over executed requests.
     pub predict_reversal_races: u64,
+    /// Exploration units launched from a mid-run snapshot
+    /// (prefix-sharing fork mode), summed over executed requests.
+    pub units_forked: u64,
+    /// VM steps not re-executed thanks to prefix sharing, summed over
+    /// executed requests.
+    pub prefix_steps_saved: u64,
+    /// Exploration units deduped by schedule signature (outcome reused
+    /// without executing the VM), summed over executed requests.
+    pub schedules_deduped: u64,
+    /// Estimated snapshot footprint in bytes, summed over executed
+    /// requests.
+    pub snapshot_bytes: u64,
 }
 
 /// One server response.
@@ -369,6 +381,10 @@ pub fn encode_response(resp: &Response) -> String {
                 "predict_reversal_races",
                 Json::UInt(s.predict_reversal_races),
             ),
+            ("units_forked", Json::UInt(s.units_forked)),
+            ("prefix_steps_saved", Json::UInt(s.prefix_steps_saved)),
+            ("schedules_deduped", Json::UInt(s.schedules_deduped)),
+            ("snapshot_bytes", Json::UInt(s.snapshot_bytes)),
         ]),
         Response::Bye => Json::obj([("resp", Json::str("bye"))]),
         Response::Error { message } => Json::obj([
@@ -461,6 +477,10 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
                 predict_witnessed: u("predict_witnessed"),
                 predict_witness_rejected: u("predict_witness_rejected"),
                 predict_reversal_races: u("predict_reversal_races"),
+                units_forked: u("units_forked"),
+                prefix_steps_saved: u("prefix_steps_saved"),
+                schedules_deduped: u("schedules_deduped"),
+                snapshot_bytes: u("snapshot_bytes"),
             })))
         }
         "bye" => Ok(Response::Bye),

@@ -24,6 +24,41 @@
 //!
 //! Any worker count therefore yields byte-identical results; workers
 //! only change wall-clock time.
+//!
+//! ## Prefix-sharing fork mode
+//!
+//! With [`ExplorerConfig::fork`] on (the default), each input's units
+//! share the program's single-threaded startup prefix instead of each
+//! re-executing it. Every scheduler is *forced* to make identical
+//! choices while only one thread is runnable, so the explorer runs
+//! each input once up to the first point where ≥ 2 threads could
+//! interleave ([`Vm::run_until_concurrent`]), snapshots the machine
+//! there ([`Vm::snapshot`], CoW-cheap), forks the detector shadow
+//! state ([`HbDetector::fork`]), and launches every per-seed unit from
+//! the snapshot with its own scheduler fast-forwarded over the
+//! recorded prefix pick calls (which reproduces the exact RNG state a
+//! scratch run would have had at that point). A schedule-signature
+//! pass then dedups whole units: executed units record their realized
+//! choice sequence plus an incrementally-computed FNV signature; any
+//! later seed whose scheduler realizes an already-run sequence must
+//! produce the identical execution, so that unit's outcome is reused
+//! without running the VM at all. A serial sweep (`workers <= 1`, the
+//! default) merges recorded traces into a path-compressed decision
+//! trie, so probing every schedule realized so far costs a single
+//! walk; after [`DEDUP_PATIENCE`] consecutive misses the sweep stops
+//! recording and probing for that input, so sweeps that keep
+//! realizing distinct schedules shed the dedup overhead. A parallel
+//! sweep probes only against the first unit's (the pilot's) schedule,
+//! the one key that is complete before workers race. Either way the
+//! probe history — and so every fork counter — depends only on the
+//! deterministic claim order, never on thread timing.
+//!
+//! None of this changes results — reports, outcomes, and every
+//! pre-existing counter are byte-identical fork on or off, at any
+//! worker count × channel capacity × spill budget (enforced by
+//! `tests/detector_equivalence.rs`). Only the four fork counters
+//! ([`ExploreResult::units_forked`], `prefix_steps_saved`,
+//! `schedules_deduped`, `snapshot_bytes`) and wall-clock time differ.
 
 use crate::hb::{HbAnnotation, HbBackend, HbConfig, HbDetector};
 use crate::report::RaceReport;
@@ -31,7 +66,7 @@ use crate::spill::{self, SpillKillSwitch};
 use owl_ir::{FuncId, InstRef, Module};
 use owl_vm::{
     event_channel, ChannelReceiver, ExecOutcome, PctScheduler, ProgramInput, RandomScheduler,
-    RunConfig, Scheduler, TraceSink, Vm,
+    RunConfig, Scheduler, Snapshot, ThreadId, TraceEvent, TraceSink, Vm,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -129,6 +164,14 @@ pub struct ExplorerConfig {
     pub elided_sites: Option<Arc<HashSet<InstRef>>>,
     /// Streaming hand-off and memory governance (see [`StreamConfig`]).
     pub stream: StreamConfig,
+    /// Prefix-sharing fork mode (`--no-fork` clears it): run each
+    /// input's single-threaded startup prefix once, snapshot the VM at
+    /// the first point two threads could interleave, launch every
+    /// seed's unit from the snapshot, and dedup units whose realized
+    /// schedule collapses to an already-run signature. Results are
+    /// byte-identical either way (see the module docs); only the fork
+    /// counters and wall-clock time change.
+    pub fork: bool,
 }
 
 impl Default for ExplorerConfig {
@@ -144,6 +187,7 @@ impl Default for ExplorerConfig {
             hb_backend: HbBackend::default(),
             elided_sites: None,
             stream: StreamConfig::default(),
+            fork: true,
         }
     }
 }
@@ -197,6 +241,23 @@ pub struct ExploreResult {
     /// Witnessed races that required a lock-acquire reversal (only
     /// non-zero under [`HbBackend::SyncReversal`]), summed over units.
     pub predict_reversal_races: u64,
+    /// Units that executed from a mid-run snapshot instead of from
+    /// instruction zero: each input's pilot plus every unit whose
+    /// schedule diverged from the pilot's. Zero with
+    /// [`ExplorerConfig::fork`] off.
+    pub units_forked: u64,
+    /// VM steps not re-executed thanks to prefix sharing: the shared
+    /// prefix length times the number of units that reused it, summed
+    /// over inputs. Zero with fork off.
+    pub prefix_steps_saved: u64,
+    /// Units whose entire realized choice sequence collapsed to an
+    /// already-run schedule signature, so their outcome was reused
+    /// without executing the VM at all. Zero with fork off.
+    pub schedules_deduped: u64,
+    /// Bytes of machine state captured by per-input snapshots (an
+    /// upper-bound estimate; heap payloads are CoW-shared with the
+    /// resumed units), summed over inputs. Zero with fork off.
+    pub snapshot_bytes: u64,
     /// Whether a wall-clock budget cut the sweep short (see
     /// [`explore_with_deadline`]).
     pub deadline_hit: bool,
@@ -229,7 +290,10 @@ pub fn explore(
     explore_with_deadline(module, entry, inputs, cfg, None)
 }
 
-/// One `(input, seed)` execution's raw output, pre-merge.
+/// One `(input, seed)` execution's raw output, pre-merge. `Clone`
+/// because fork mode reuses a pilot's output verbatim for every unit
+/// whose schedule collapses to the pilot's signature.
+#[derive(Clone)]
 struct UnitOutput {
     reports: Vec<RaceReport>,
     suppressed: usize,
@@ -242,10 +306,21 @@ struct UnitOutput {
     cells_gced: u64,
     mem_budget_aborted: bool,
     predict: crate::PredictStats,
+    /// Unit executed from a snapshot (fork mode pilot or a
+    /// schedule-divergent unit).
+    forked: bool,
+    /// Unit's outcome was cloned from an identical already-run
+    /// schedule; no VM executed.
+    deduped: bool,
+    /// Prefix steps this unit did not re-execute.
+    prefix_steps_saved: u64,
+    /// Snapshot footprint charged to this unit (the pilot carries its
+    /// input's snapshot).
+    snapshot_bytes: u64,
 }
 
 /// What the consuming side of one streamed unit did.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct StreamStats {
     spilled_bytes: u64,
     spill_segments: u64,
@@ -253,80 +328,111 @@ struct StreamStats {
     aborted: bool,
 }
 
-/// Drains the event channel into the detector, enforcing the memory
-/// budget. With no budget every event is fed straight through; with a
-/// budget events buffer into a window that spills (and immediately
-/// replays) whole segments past the soft limit, and the unit aborts if
-/// the window crosses the hard limit with nowhere to spill. A typed
-/// spill failure ([`crate::spill::SpillError`] — I/O or an uncodable
-/// event) also aborts: the budget could not be honored, which is
-/// exactly what the typed verdict reports.
-fn consume_stream(
-    rx: &ChannelReceiver,
-    detector: &mut HbDetector,
-    stream: &StreamConfig,
-    tag: &str,
-) -> StreamStats {
-    let mut stats = StreamStats::default();
-    let Some(hard) = stream.max_trace_mem else {
-        while let Some(ev) = rx.recv() {
+/// The in-flight event window and spill bookkeeping of one unit's
+/// stream under the memory budget. Extracted from the consume loop so
+/// fork mode can run the shared prefix inline through the identical
+/// logic, clone this state per unit, and have every unit's counters
+/// come out exactly as if it had streamed its whole trace from
+/// scratch.
+#[derive(Clone, Default)]
+struct BudgetWindow {
+    window: VecDeque<TraceEvent>,
+    window_bytes: u64,
+    seq: u64,
+    stats: StreamStats,
+}
+
+impl BudgetWindow {
+    /// Feeds one event toward `detector`, enforcing the budget. With
+    /// no budget the event goes straight through; with one it buffers
+    /// into the window, which spills (and immediately replays) whole
+    /// segments past the soft limit (half the budget). Returns `false`
+    /// — with `stats.aborted` set — when the budget cannot be honored:
+    /// the window crossed the hard limit with nowhere to spill, or the
+    /// spill itself failed with a typed [`spill::SpillError`].
+    fn push(
+        &mut self,
+        ev: TraceEvent,
+        detector: &mut HbDetector,
+        stream: &StreamConfig,
+        tag: &str,
+    ) -> bool {
+        let Some(hard) = stream.max_trace_mem else {
             detector.on_event_owned(ev);
-        }
-        return stats;
-    };
-    let soft = (hard / 2).max(1);
-    let mut window: VecDeque<owl_vm::TraceEvent> = VecDeque::new();
-    let mut window_bytes = 0u64;
-    let mut seq = 0u64;
-    while let Some(ev) = rx.recv() {
-        window_bytes += spill::approx_event_bytes(&ev) as u64;
-        window.push_back(ev);
-        if window_bytes <= soft {
-            continue;
+            return true;
+        };
+        let soft = (hard / 2).max(1);
+        self.window_bytes += spill::approx_event_bytes(&ev) as u64;
+        self.window.push_back(ev);
+        if self.window_bytes <= soft {
+            return true;
         }
         match &stream.spill_dir {
             Some(dir) => {
-                stats.pressure_events += 1;
+                self.stats.pressure_events += 1;
                 let spilled = (|| -> Result<u64, spill::SpillError> {
                     std::fs::create_dir_all(dir)?;
-                    let path = dir.join(format!("{tag}-{seq}.seg"));
+                    let path = dir.join(format!("{tag}-{}.seg", self.seq));
                     if path.exists() {
                         // Leftover from a killed run: restore the
                         // every-line-valid invariant before reuse.
                         let _ = spill::recover_segment(&path);
                     }
                     let bytes =
-                        spill::write_segment(&path, window.iter(), stream.spill_kill.as_ref())?;
+                        spill::write_segment(&path, self.window.iter(), stream.spill_kill.as_ref())?;
                     spill::replay_segment(&path, detector)?;
                     std::fs::remove_file(&path)?;
                     Ok(bytes)
                 })();
                 match spilled {
                     Ok(bytes) => {
-                        stats.spilled_bytes += bytes;
-                        stats.spill_segments += 1;
-                        seq += 1;
-                        window.clear();
-                        window_bytes = 0;
+                        self.stats.spilled_bytes += bytes;
+                        self.stats.spill_segments += 1;
+                        self.seq += 1;
+                        self.window.clear();
+                        self.window_bytes = 0;
+                        true
                     }
                     Err(_) => {
-                        stats.aborted = true;
-                        return stats;
+                        self.stats.aborted = true;
+                        false
                     }
                 }
             }
-            None if window_bytes > hard => {
-                stats.pressure_events += 1;
-                stats.aborted = true;
-                return stats;
+            None if self.window_bytes > hard => {
+                self.stats.pressure_events += 1;
+                self.stats.aborted = true;
+                false
             }
-            None => {}
+            None => true,
         }
     }
-    for ev in window {
-        detector.on_event_owned(ev);
+
+    /// End of stream: the trailing window drains into the detector.
+    fn drain(&mut self, detector: &mut HbDetector) {
+        for ev in self.window.drain(..) {
+            detector.on_event_owned(ev);
+        }
+        self.window_bytes = 0;
     }
-    stats
+}
+
+/// Drains the event channel into the detector through `window`'s
+/// budget logic, stopping (with `window.stats.aborted` set) as soon as
+/// the budget cannot be honored.
+fn consume_stream(
+    rx: &ChannelReceiver,
+    detector: &mut HbDetector,
+    stream: &StreamConfig,
+    tag: &str,
+    window: &mut BudgetWindow,
+) {
+    while let Some(ev) = rx.recv() {
+        if !window.push(ev, detector, stream, tag) {
+            return;
+        }
+    }
+    window.drain(detector);
 }
 
 fn run_unit(
@@ -358,13 +464,13 @@ fn run_unit(
         vm
     };
 
-    let (outcome, stream_stats) = if cfg.stream.channel_capacity == 0 {
+    let mut window = BudgetWindow::default();
+    let outcome = if cfg.stream.channel_capacity == 0 {
         // Legacy inline path: the detector consumes directly inside
         // the VM's emit hook. Baseline for the streaming equivalence
         // tests; no budget applies (there is no in-flight window).
         let mut sched = build_sched();
-        let outcome = build_vm().run(sched.as_mut(), &mut detector);
-        (outcome, StreamStats::default())
+        build_vm().run(sched.as_mut(), &mut detector)
     } else {
         let (tx, rx) = event_channel(cfg.stream.channel_capacity);
         let tag = format!("{}-u{input_idx}-s{seed}", cfg.stream.tag_prefix);
@@ -381,7 +487,7 @@ fn run_unit(
             // then re-raise — otherwise the scope would deadlock and
             // the crash payload would be lost.
             let consumed = catch_unwind(AssertUnwindSafe(|| {
-                consume_stream(&rx, &mut detector, &cfg.stream, &tag)
+                consume_stream(&rx, &mut detector, &cfg.stream, &tag, &mut window);
             }));
             rx.close();
             let outcome = match producer.join() {
@@ -389,11 +495,12 @@ fn run_unit(
                 Err(p) => resume_unwind(p),
             };
             match consumed {
-                Ok(stats) => (outcome, stats),
+                Ok(()) => outcome,
                 Err(p) => resume_unwind(p),
             }
         })
     };
+    let stream_stats = window.stats;
 
     // The predictive pass runs before any counter is read so its
     // reports and stats land in this unit's output. An aborted unit
@@ -423,7 +530,626 @@ fn run_unit(
         cells_gced,
         mem_budget_aborted: stream_stats.aborted,
         predict,
+        forked: false,
+        deduped: false,
+        prefix_steps_saved: 0,
+        snapshot_bytes: 0,
     }
+}
+
+/// Builds a seed-fresh scheduler for fork mode. Identical to the
+/// closure inside [`run_unit`] except for the `Send` bound: fork mode
+/// constructs (and fast-forwards) schedulers on the claiming thread
+/// before moving them into a producer thread.
+fn build_sched_send(cfg: &ExplorerConfig, seed: u64) -> Box<dyn Scheduler + Send> {
+    match cfg.strategy {
+        ExploreStrategy::Random => Box::new(RandomScheduler::new(seed)),
+        ExploreStrategy::Pct { depth } => {
+            Box::new(PctScheduler::new(seed, depth, cfg.expected_steps))
+        }
+    }
+}
+
+/// Inline capacity for recorded runnable sets. Corpus programs rarely
+/// have more than a handful of runnable threads at any pick.
+const RUNNABLE_INLINE: usize = 8;
+
+/// Runnable-set storage for recorded pick calls. Recording captures
+/// one of these per VM step, so the common case must stay inline: a
+/// heap-allocating `Vec` clone per pick was measurably the *entire*
+/// wall-clock overhead of fork-mode recording on long-suffix corpus
+/// programs (~35% on Linux/MySQL), swamping the dedup savings.
+#[derive(Clone, Debug)]
+enum RunnableSet {
+    Inline(u8, [ThreadId; RUNNABLE_INLINE]),
+    Heap(Vec<ThreadId>),
+}
+
+impl RunnableSet {
+    fn from_slice(s: &[ThreadId]) -> Self {
+        if s.len() <= RUNNABLE_INLINE {
+            let mut buf = [ThreadId::default(); RUNNABLE_INLINE];
+            buf[..s.len()].copy_from_slice(s);
+            RunnableSet::Inline(s.len() as u8, buf)
+        } else {
+            RunnableSet::Heap(s.to_vec())
+        }
+    }
+
+    fn as_slice(&self) -> &[ThreadId] {
+        match self {
+            RunnableSet::Inline(n, buf) => &buf[..usize::from(*n)],
+            RunnableSet::Heap(v) => v,
+        }
+    }
+}
+
+impl PartialEq for RunnableSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+/// One scheduler invocation as the VM made it: the runnable set it
+/// saw, the step counter, and the choice that came back. The prefix
+/// records these so fresh schedulers can be fast-forwarded; the pilot
+/// records them as the dedup decision trace.
+#[derive(Clone, Debug)]
+struct PickCall {
+    runnable: RunnableSet,
+    step: u64,
+    chosen: ThreadId,
+}
+
+/// Cap on the recorded pilot decision trace. A pilot that makes more
+/// picks is marked truncated and its input skips schedule dedup — the
+/// cap depends only on the pick count, so the decision is
+/// deterministic.
+const DEDUP_TRACE_CAP: usize = 1 << 16;
+
+/// After this many consecutive probe misses, a serial sweep stops
+/// recording and probing for the rest of the input: the sweep is
+/// evidently realizing distinct schedules (seed sweeps over inputs
+/// with long concurrent phases usually do), so the dedup machinery
+/// would only add recording and probe overhead to every remaining
+/// unit. The cutoff depends solely on the claim-order probe history,
+/// which is deterministic in a serial sweep, so the fork counters
+/// remain deterministic for a fixed configuration.
+const DEDUP_PATIENCE: usize = 16;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Folds one realized pick into an FNV-1a schedule signature.
+fn fnv1a_pick(hash: u64, chosen: ThreadId, step: u64) -> u64 {
+    let mut h = hash;
+    for b in chosen
+        .0
+        .to_le_bytes()
+        .into_iter()
+        .chain(step.to_le_bytes())
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Wraps a scheduler, recording every pick call at the scheduler
+/// interface (which also captures picks whose chosen thread gets
+/// parked by fault injection and so never appears in the outcome's
+/// schedule) and folding the realized choices into an incremental
+/// FNV-1a signature.
+struct RecordingScheduler {
+    inner: Box<dyn Scheduler + Send>,
+    calls: Vec<PickCall>,
+    cap: usize,
+    truncated: bool,
+    signature: u64,
+}
+
+impl RecordingScheduler {
+    fn new(inner: Box<dyn Scheduler + Send>, cap: usize, hint: usize) -> Self {
+        RecordingScheduler {
+            inner,
+            // Reserving up to the sibling-trace length avoids the
+            // growth reallocs, whose memcpys dominate recording cost
+            // on long suffixes.
+            calls: Vec::with_capacity(hint.min(cap)),
+            cap,
+            truncated: false,
+            signature: FNV_OFFSET,
+        }
+    }
+}
+
+impl Scheduler for RecordingScheduler {
+    fn pick(&mut self, runnable: &[ThreadId], step: u64) -> ThreadId {
+        let chosen = self.inner.pick(runnable, step);
+        if self.calls.len() < self.cap {
+            self.signature = fnv1a_pick(self.signature, chosen, step);
+            self.calls.push(PickCall {
+                runnable: RunnableSet::from_slice(runnable),
+                step,
+                chosen,
+            });
+        } else {
+            self.truncated = true;
+        }
+        chosen
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// Replays the prefix's pick calls into a freshly-seeded scheduler.
+/// Every prefix pick had a singleton runnable set (the fork point is
+/// the first moment two threads could interleave), so any scheduler
+/// returns the same forced choice while consuming exactly the RNG it
+/// would have consumed executing the prefix itself — afterwards its
+/// internal state matches what a scratch run's scheduler would hold at
+/// the fork point.
+fn fast_forward(sched: &mut dyn Scheduler, prefix: &[PickCall]) {
+    for call in prefix {
+        let picked = sched.pick(call.runnable.as_slice(), call.step);
+        debug_assert_eq!(picked, call.chosen, "prefix pick was not forced");
+    }
+}
+
+/// One executed unit's realized suffix schedule: a dedup key for
+/// later seeds of the same input.
+struct RealizedTrace {
+    calls: Vec<PickCall>,
+    signature: u64,
+    truncated: bool,
+}
+
+/// Whether `sched` (fast-forwarded to the fork point) would realize
+/// exactly `trace`'s choice sequence. Feeds the trace's recorded
+/// runnable sets through `sched`, folding the choices into a candidate
+/// signature; dedup happens when the signature collapses to the
+/// trace's (the per-pick comparison makes a hash collision harmless).
+/// A full match means the unit's execution *is* the recorded one: the
+/// same choices from the same snapshot state drive the same
+/// instruction, fault, and trace sequence. On a mismatch the answer is
+/// `false` and `sched` is RNG-polluted — it consumed draws against the
+/// recorded runnable sets — so the caller must rebuild it before
+/// running the unit for real or probing another trace.
+fn matches_trace(sched: &mut dyn Scheduler, trace: &RealizedTrace) -> bool {
+    let mut signature = FNV_OFFSET;
+    for call in &trace.calls {
+        let picked = sched.pick(call.runnable.as_slice(), call.step);
+        if picked != call.chosen {
+            return false;
+        }
+        signature = fnv1a_pick(signature, picked, call.step);
+    }
+    signature == trace.signature
+}
+
+/// A decision trie over the realized suffix schedules of one input's
+/// executed units. Serial sweeps probe each new seed with a *single*
+/// walk — at every decision point the candidate scheduler picks
+/// against the recorded runnable set, and the walk follows the
+/// matching edge — instead of replaying against every stored trace
+/// one at a time. Contexts are path-determined (the VM is
+/// deterministic, so the same choice sequence always reproduces the
+/// same runnable set), which is what lets traces share prefix nodes
+/// at all. Walking also consumes exactly the scheduler RNG a real run
+/// would consume up to the divergence point, so a failed probe leaves
+/// the scheduler polluted (the caller rebuilds it), while a completed
+/// walk proves the unit's execution is the recorded one.
+///
+/// Paths are compressed: a stored trace's undisputed tail is kept as
+/// a `Tail` edge into the owned trace, and interior nodes are only
+/// materialized up to the point where a later trace actually
+/// diverges. Inserting is therefore O(shared depth) with O(1)
+/// allocations — materializing a node per recorded pick was
+/// measurably as expensive as executing the units it was meant to
+/// save.
+#[derive(Default)]
+struct TraceTrie {
+    nodes: Vec<TrieNode>,
+    traces: Vec<StoredTrace>,
+}
+
+/// An inserted trace, owned whole by the trie: `Tail` edges borrow
+/// slices of it instead of materializing per-pick nodes.
+struct StoredTrace {
+    calls: Vec<PickCall>,
+    signature: u64,
+    slot: usize,
+}
+
+/// One materialized decision point: the scheduler context to present,
+/// and an edge per distinct choice some recorded trace made here. The
+/// edge count is bounded by the runnable set, so a plain `Vec` only
+/// allocates at genuine branch points.
+struct TrieNode {
+    runnable: RunnableSet,
+    step: u64,
+    edges: Vec<(ThreadId, TrieChild)>,
+}
+
+#[derive(Clone, Copy)]
+enum TrieChild {
+    /// A materialized interior decision point.
+    Node(usize),
+    /// Path-compressed remainder: stored trace `trace`'s calls from
+    /// index `from` to its end (with `from` at the trace length this
+    /// is a pure leaf). No complete trace is a strict prefix of
+    /// another (identical picks force identical termination), so a
+    /// tail always ends the walk.
+    Tail { trace: usize, from: usize },
+}
+
+impl TraceTrie {
+    fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    fn node_from(call: &PickCall) -> TrieNode {
+        TrieNode {
+            runnable: call.runnable.clone(),
+            step: call.step,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Inserts an executed unit's recorded trace, taking ownership.
+    /// Truncated traces (and the impossible empty trace) are skipped
+    /// by the caller; a duplicate of a stored trace cannot reach
+    /// insertion because its probe would have deduped the unit.
+    fn insert(&mut self, trace: RealizedTrace, slot: usize) {
+        debug_assert!(!trace.calls.is_empty(), "a suffix trace always picks");
+        let calls = trace.calls;
+        let t_new = self.traces.len();
+        if self.nodes.is_empty() {
+            let mut root = Self::node_from(&calls[0]);
+            root.edges.push((calls[0].chosen, TrieChild::Tail { trace: t_new, from: 1 }));
+            self.nodes.push(root);
+            self.traces.push(StoredTrace { calls, signature: trace.signature, slot });
+            return;
+        }
+        let mut node = 0;
+        let mut d = 0usize;
+        loop {
+            debug_assert!(d < calls.len(), "complete trace is a strict prefix of another");
+            debug_assert_eq!(self.nodes[node].runnable, calls[d].runnable, "trie context diverged");
+            debug_assert_eq!(self.nodes[node].step, calls[d].step, "trie context diverged");
+            let chosen = calls[d].chosen;
+            let Some(e) = self.nodes[node].edges.iter().position(|(c, _)| *c == chosen) else {
+                // First trace to make this choice here: hang the whole
+                // remainder off one compressed edge.
+                self.nodes[node].edges.push((chosen, TrieChild::Tail { trace: t_new, from: d + 1 }));
+                break;
+            };
+            match self.nodes[node].edges[e].1 {
+                TrieChild::Node(next) => {
+                    node = next;
+                    d += 1;
+                }
+                TrieChild::Tail { trace: t_old, from } => {
+                    // Scan the compressed tail for the divergence
+                    // point, then materialize only the shared stretch.
+                    let mut j = 0usize;
+                    let div = loop {
+                        let (ni, oi) = (d + 1 + j, from + j);
+                        debug_assert!(
+                            ni < calls.len() && oi < self.traces[t_old].calls.len(),
+                            "duplicate or prefix trace inserted"
+                        );
+                        if ni >= calls.len() || oi >= self.traces[t_old].calls.len() {
+                            return;
+                        }
+                        if calls[ni].chosen != self.traces[t_old].calls[oi].chosen {
+                            break j;
+                        }
+                        j += 1;
+                    };
+                    let mut prev: Option<usize> = None;
+                    let mut first_new = 0usize;
+                    for m in 0..=div {
+                        let n = self.nodes.len();
+                        self.nodes.push(Self::node_from(&self.traces[t_old].calls[from + m]));
+                        match prev {
+                            Some(p) => {
+                                let c = self.traces[t_old].calls[from + m - 1].chosen;
+                                self.nodes[p].edges.push((c, TrieChild::Node(n)));
+                            }
+                            None => first_new = n,
+                        }
+                        prev = Some(n);
+                    }
+                    let branch = prev.expect("at least the branch node is materialized");
+                    let old_chosen = self.traces[t_old].calls[from + div].chosen;
+                    let new_chosen = calls[d + 1 + div].chosen;
+                    self.nodes[branch]
+                        .edges
+                        .push((old_chosen, TrieChild::Tail { trace: t_old, from: from + div + 1 }));
+                    self.nodes[branch]
+                        .edges
+                        .push((new_chosen, TrieChild::Tail { trace: t_new, from: d + 1 + div + 1 }));
+                    self.nodes[node].edges[e].1 = TrieChild::Node(first_new);
+                    break;
+                }
+            }
+        }
+        self.traces.push(StoredTrace { calls, signature: trace.signature, slot });
+    }
+
+    /// Walks `sched` through the trie. `Some(slot)` means the
+    /// scheduler realized a recorded trace exactly (per-pick equality
+    /// plus the FNV signature folded along the walk) — the caller
+    /// clones `slot`'s output. `None` means it diverged from every
+    /// recorded trace and is now RNG-polluted; rebuild before running.
+    fn probe(&self, sched: &mut dyn Scheduler) -> Option<usize> {
+        if self.nodes.is_empty() {
+            return None;
+        }
+        let mut node = 0;
+        let mut signature = FNV_OFFSET;
+        let (t, mut i) = loop {
+            let n = &self.nodes[node];
+            let picked = sched.pick(n.runnable.as_slice(), n.step);
+            signature = fnv1a_pick(signature, picked, n.step);
+            match n.edges.iter().find(|(c, _)| *c == picked) {
+                Some((_, TrieChild::Node(next))) => node = *next,
+                Some((_, TrieChild::Tail { trace, from })) => break (*trace, *from),
+                None => return None,
+            }
+        };
+        let stored = &self.traces[t];
+        while i < stored.calls.len() {
+            let call = &stored.calls[i];
+            let picked = sched.pick(call.runnable.as_slice(), call.step);
+            if picked != call.chosen {
+                return None;
+            }
+            signature = fnv1a_pick(signature, picked, call.step);
+            i += 1;
+        }
+        (signature == stored.signature).then_some(stored.slot)
+    }
+}
+
+/// Sink for the shared prefix execution: feeds the prefix detector
+/// through the same budget logic a streamed unit applies. Once the
+/// budget proves unsatisfiable the rest of the prefix is discarded,
+/// mirroring a streamed unit whose consumer has aborted (its events
+/// vanish into the closed channel).
+struct PrefixSink<'a> {
+    detector: &'a mut HbDetector,
+    window: &'a mut BudgetWindow,
+    stream: &'a StreamConfig,
+    tag: String,
+}
+
+impl TraceSink for PrefixSink<'_> {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        self.on_event_owned(ev.clone());
+    }
+
+    fn on_event_owned(&mut self, ev: TraceEvent) {
+        if self.window.stats.aborted {
+            return;
+        }
+        let _ = self.window.push(ev, self.detector, self.stream, &self.tag);
+    }
+}
+
+/// Everything one input's forked units share: the machine snapshot at
+/// the fork point, the recorded prefix pick calls, the in-flight
+/// budget window, and the detector state over the prefix events.
+struct ForkPrefix {
+    snap: Snapshot,
+    calls: Vec<PickCall>,
+    window: BudgetWindow,
+    detector: HbDetector,
+    steps: u64,
+    bytes: u64,
+}
+
+/// What running one input's shared prefix produced.
+enum PrefixResult {
+    /// The program terminated before two threads could ever
+    /// interleave: the execution was fully forced, so this single
+    /// output serves every seed.
+    Finished(Box<UnitOutput>),
+    /// Paused at the first concurrency point; the boxed scheduler is
+    /// seed 0's continuation (already advanced past the prefix), which
+    /// the pilot resumes with.
+    Forked(Box<ForkPrefix>, Box<dyn Scheduler + Send>),
+}
+
+/// Runs one input's shared prefix: a fresh VM under seed 0's scheduler
+/// (wrapped to record pick calls) up to the first point where ≥ 2
+/// threads could interleave, feeding the prefix events through the
+/// budget window into the prefix detector exactly as a scratch unit's
+/// stream would.
+fn run_prefix(
+    module: &Module,
+    entry: FuncId,
+    input: &ProgramInput,
+    input_idx: usize,
+    cfg: &ExplorerConfig,
+) -> PrefixResult {
+    let mut detector = HbDetector::new(HbConfig {
+        annotations: cfg.annotations.clone(),
+        backend: cfg.hb_backend,
+        ..HbConfig::default()
+    });
+    let mut rec = RecordingScheduler::new(build_sched_send(cfg, cfg.base_seed), usize::MAX, 0);
+    let mut vm = Vm::new(module, entry, input.clone(), cfg.run_config.clone());
+    if let Some(elided) = &cfg.elided_sites {
+        vm = vm.with_elided_sites(Arc::clone(elided));
+    }
+    let mut window = BudgetWindow::default();
+    let inline = cfg.stream.channel_capacity == 0;
+    let finished = if inline {
+        // Inline mode feeds the detector directly (no budget applies),
+        // matching the scratch inline path.
+        vm.run_until_concurrent(&mut rec, &mut detector)
+    } else {
+        let mut sink = PrefixSink {
+            detector: &mut detector,
+            window: &mut window,
+            stream: &cfg.stream,
+            tag: format!("{}-u{input_idx}-prefix", cfg.stream.tag_prefix),
+        };
+        vm.run_until_concurrent(&mut rec, &mut sink)
+    };
+    match finished {
+        Some(outcome) => {
+            let aborted = window.stats.aborted;
+            if !aborted {
+                window.drain(&mut detector);
+                detector.run_prediction();
+            }
+            let stats = window.stats;
+            let cells_gced = detector.shadow_cells_gced();
+            let predict = detector.predict_stats();
+            PrefixResult::Finished(Box::new(UnitOutput {
+                suppressed: detector.suppressed(),
+                reports_dropped: detector.reports_dropped(),
+                events_elided: detector.epoch_stats().map_or(0, |s| s.events_elided()),
+                reports: if aborted {
+                    Vec::new()
+                } else {
+                    detector.finish(module)
+                },
+                outcome,
+                spilled_bytes: stats.spilled_bytes,
+                spill_segments: stats.spill_segments,
+                pressure_events: stats.pressure_events,
+                cells_gced,
+                mem_budget_aborted: aborted,
+                predict,
+                forked: false,
+                deduped: false,
+                prefix_steps_saved: 0,
+                snapshot_bytes: 0,
+            }))
+        }
+        None => {
+            let snap = vm.snapshot();
+            PrefixResult::Forked(
+                Box::new(ForkPrefix {
+                    steps: snap.step(),
+                    bytes: snap.approx_bytes(),
+                    snap,
+                    calls: rec.calls,
+                    window,
+                    detector,
+                }),
+                rec.inner,
+            )
+        }
+    }
+}
+
+/// Runs one unit from the fork point: forks the prefix detector,
+/// clones the budget window, resumes the snapshot under `sched`, and
+/// continues the stream exactly where the prefix left off. With
+/// `record` set (the pilot) the suffix decision trace comes back for
+/// dedup. The unit's counters equal a scratch run's because its stats
+/// are the shared prefix's stats plus its own suffix activity.
+fn run_forked_unit(
+    module: &Module,
+    prefix: &ForkPrefix,
+    sched: Box<dyn Scheduler + Send>,
+    record_hint: Option<usize>,
+    input_idx: usize,
+    seed: u64,
+    cfg: &ExplorerConfig,
+) -> (UnitOutput, Option<RealizedTrace>) {
+    let mut detector = prefix.detector.fork();
+    let mut window = prefix.window.clone();
+    let vm = Vm::resume(module, prefix.snap.clone());
+    let run_suffix = |sched: Box<dyn Scheduler + Send>,
+                      vm: Vm<'_>,
+                      sink: &mut dyn TraceSink|
+     -> (ExecOutcome, Option<RealizedTrace>) {
+        if let Some(hint) = record_hint {
+            let mut rec = RecordingScheduler::new(sched, DEDUP_TRACE_CAP, hint);
+            let outcome = vm.run(&mut rec, sink);
+            let trace = RealizedTrace {
+                calls: rec.calls,
+                signature: rec.signature,
+                truncated: rec.truncated,
+            };
+            (outcome, Some(trace))
+        } else {
+            let mut sched = sched;
+            (vm.run(sched.as_mut(), sink), None)
+        }
+    };
+
+    let (outcome, trace) = if cfg.stream.channel_capacity == 0 {
+        run_suffix(sched, vm, &mut detector)
+    } else {
+        let (tx, rx) = event_channel(cfg.stream.channel_capacity);
+        let tag = format!("{}-u{input_idx}-s{seed}", cfg.stream.tag_prefix);
+        let aborted_at_fork = window.stats.aborted;
+        std::thread::scope(|s| {
+            let producer = s.spawn(move || {
+                let mut tx = tx;
+                run_suffix(sched, vm, &mut tx)
+            });
+            // The budget already proved unsatisfiable during the
+            // shared prefix: a scratch unit's consumer would have
+            // aborted at that same prefix event, so the suffix events
+            // are dropped unseen (closing the receiver releases the
+            // producer, as in the scratch path).
+            let consumed = if aborted_at_fork {
+                Ok(())
+            } else {
+                catch_unwind(AssertUnwindSafe(|| {
+                    consume_stream(&rx, &mut detector, &cfg.stream, &tag, &mut window);
+                }))
+            };
+            rx.close();
+            let joined = match producer.join() {
+                Ok(v) => v,
+                Err(p) => resume_unwind(p),
+            };
+            match consumed {
+                Ok(()) => joined,
+                Err(p) => resume_unwind(p),
+            }
+        })
+    };
+
+    let stream_stats = window.stats;
+    if !stream_stats.aborted {
+        detector.run_prediction();
+    }
+    let cells_gced = detector.shadow_cells_gced();
+    let predict = detector.predict_stats();
+    let out = UnitOutput {
+        suppressed: detector.suppressed(),
+        reports_dropped: detector.reports_dropped(),
+        events_elided: detector.epoch_stats().map_or(0, |s| s.events_elided()),
+        reports: if stream_stats.aborted {
+            Vec::new()
+        } else {
+            detector.finish(module)
+        },
+        outcome,
+        spilled_bytes: stream_stats.spilled_bytes,
+        spill_segments: stream_stats.spill_segments,
+        pressure_events: stream_stats.pressure_events,
+        cells_gced,
+        mem_budget_aborted: stream_stats.aborted,
+        predict,
+        forked: true,
+        deduped: false,
+        prefix_steps_saved: 0,
+        snapshot_bytes: 0,
+    };
+    (out, trace)
 }
 
 /// Claim state for the sweep: units are handed out strictly in order,
@@ -460,44 +1186,48 @@ pub fn explore_with_deadline(
         deadline_hit: false,
     });
     let slots: Vec<Mutex<Option<UnitOutput>>> = units.iter().map(|_| Mutex::new(None)).collect();
-    let worker = || {
-        loop {
-            let i = {
-                let mut c = claim.lock().unwrap_or_else(PoisonError::into_inner);
-                if c.next >= units.len() {
-                    break;
-                }
-                if let Some(d) = deadline {
-                    if c.next > 0 && start.elapsed() >= d {
-                        c.deadline_hit = true;
+    if cfg.fork {
+        explore_forked(module, entry, inputs, cfg, deadline, start, &units, &claim, &slots);
+    } else {
+        let worker = || {
+            loop {
+                let i = {
+                    let mut c = claim.lock().unwrap_or_else(PoisonError::into_inner);
+                    if c.next >= units.len() {
                         break;
                     }
-                }
-                let i = c.next;
-                c.next += 1;
-                i
-            };
-            let (input_idx, k) = units[i];
-            let out = run_unit(
-                module,
-                entry,
-                &inputs[input_idx],
-                input_idx,
-                cfg.base_seed + k,
-                cfg,
-            );
-            *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
-        }
-    };
-    let workers = cfg.workers.max(1).min(units.len().max(1));
-    if workers <= 1 {
-        worker();
-    } else {
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(worker);
+                    if let Some(d) = deadline {
+                        if c.next > 0 && start.elapsed() >= d {
+                            c.deadline_hit = true;
+                            break;
+                        }
+                    }
+                    let i = c.next;
+                    c.next += 1;
+                    i
+                };
+                let (input_idx, k) = units[i];
+                let out = run_unit(
+                    module,
+                    entry,
+                    &inputs[input_idx],
+                    input_idx,
+                    cfg.base_seed + k,
+                    cfg,
+                );
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
             }
-        });
+        };
+        let workers = cfg.workers.max(1).min(units.len().max(1));
+        if workers <= 1 {
+            worker();
+        } else {
+            std::thread::scope(|s| {
+                for _ in 0..workers {
+                    s.spawn(worker);
+                }
+            });
+        }
     }
 
     // Deterministic merge, in unit order. Claims are a prefix, so the
@@ -519,6 +1249,10 @@ pub fn explore_with_deadline(
     let mut predict_witnessed = 0u64;
     let mut predict_witness_rejected = 0u64;
     let mut predict_reversal_races = 0u64;
+    let mut units_forked = 0u64;
+    let mut prefix_steps_saved = 0u64;
+    let mut schedules_deduped = 0u64;
+    let mut snapshot_bytes = 0u64;
     for slot in slots {
         let Some(unit) = slot.into_inner().unwrap_or_else(PoisonError::into_inner) else {
             break;
@@ -537,6 +1271,10 @@ pub fn explore_with_deadline(
         predict_witnessed += unit.predict.witnessed;
         predict_witness_rejected += unit.predict.witness_rejected;
         predict_reversal_races += unit.predict.reversal_races;
+        units_forked += u64::from(unit.forked);
+        prefix_steps_saved += unit.prefix_steps_saved;
+        schedules_deduped += u64::from(unit.deduped);
+        snapshot_bytes += unit.snapshot_bytes;
         outcomes.push(unit.outcome);
         for r in unit.reports {
             match by_key.entry(r.key()) {
@@ -582,7 +1320,226 @@ pub fn explore_with_deadline(
         predict_witnessed,
         predict_witness_rejected,
         predict_reversal_races,
+        units_forked,
+        prefix_steps_saved,
+        schedules_deduped,
+        snapshot_bytes,
         deadline_hit,
+    }
+}
+
+/// The fork-mode sweep driver. Inputs are processed sequentially: the
+/// claiming thread runs the input's shared prefix and its pilot unit,
+/// then a per-input worker pool fans the remaining seeds out from the
+/// snapshot. Units are still claimed strictly in sweep order from the
+/// same global claim state as the scratch path, so completed units
+/// form a contiguous prefix and the deadline semantics are unchanged.
+#[allow(clippy::too_many_arguments)]
+fn explore_forked(
+    module: &Module,
+    entry: FuncId,
+    inputs: &[ProgramInput],
+    cfg: &ExplorerConfig,
+    deadline: Option<Duration>,
+    start: Instant,
+    units: &[(usize, u64)],
+    claim: &Mutex<Claim>,
+    slots: &[Mutex<Option<UnitOutput>>],
+) {
+    let per_input = cfg.runs_per_input as usize;
+    // Claims the next unit, refusing to cross `limit` (the end of the
+    // current input — later inputs' prefixes have not run yet).
+    let try_claim = |limit: usize| -> Option<usize> {
+        let mut c = claim.lock().unwrap_or_else(PoisonError::into_inner);
+        if c.next >= limit || c.next >= units.len() {
+            return None;
+        }
+        if let Some(d) = deadline {
+            if c.next > 0 && start.elapsed() >= d {
+                c.deadline_hit = true;
+                return None;
+            }
+        }
+        let i = c.next;
+        c.next += 1;
+        Some(i)
+    };
+    let fill = |i: usize, out: UnitOutput| {
+        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
+    };
+    for (input_idx, input) in inputs.iter().enumerate() {
+        let Some(first) = try_claim(units.len()) else {
+            break;
+        };
+        debug_assert_eq!(units[first], (input_idx, 0));
+        let limit = first + per_input;
+        match run_prefix(module, entry, input, input_idx, cfg) {
+            PrefixResult::Finished(template) => {
+                // The whole execution was forced: every later seed is
+                // marched through the same singleton picks, so one
+                // execution serves all of them.
+                let steps = template.outcome.steps;
+                fill(first, (*template).clone());
+                while let Some(i) = try_claim(limit) {
+                    let mut out = (*template).clone();
+                    out.deduped = true;
+                    out.prefix_steps_saved = steps;
+                    fill(i, out);
+                }
+            }
+            PrefixResult::Forked(prefix, pilot_sched) => {
+                let (mut pilot_out, trace) = run_forked_unit(
+                    module,
+                    &prefix,
+                    pilot_sched,
+                    Some(cfg.expected_steps.min(DEDUP_TRACE_CAP as u64) as usize),
+                    input_idx,
+                    cfg.base_seed,
+                    cfg,
+                );
+                pilot_out.snapshot_bytes = prefix.bytes;
+                let pilot = trace.expect("pilot records its trace");
+                fill(first, pilot_out);
+                // Clones the already-filled slot a deduped unit
+                // collapses to, relabeling the counters: a deduped
+                // unit did no forked work of its own.
+                let dedup_clone = |slot: usize| {
+                    let mut out = slots[slot]
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .as_ref()
+                        .expect("matched slot is filled")
+                        .clone();
+                    out.forked = false;
+                    out.deduped = true;
+                    out.prefix_steps_saved = prefix.steps;
+                    out.snapshot_bytes = 0;
+                    out
+                };
+                let workers = cfg.workers.max(1).min(per_input.saturating_sub(1).max(1));
+                if workers <= 1 {
+                    // Serial sweep: every executed unit records its
+                    // realized suffix schedule into a decision trie,
+                    // and each new seed is probed against *every*
+                    // already-run schedule with one trie walk before
+                    // it is allowed to execute. Claim order is unit
+                    // order here, so the trie contents at each probe
+                    // — and with them every fork counter — are
+                    // deterministic.
+                    let mut trie = TraceTrie::default();
+                    let mut hint = pilot.calls.len();
+                    if !pilot.truncated {
+                        trie.insert(pilot, first);
+                    }
+                    let mut misses = 0usize;
+                    let mut dedup_on = true;
+                    while let Some(i) = try_claim(limit) {
+                        let (_, k) = units[i];
+                        let seed = cfg.base_seed + k;
+                        let mut sk = build_sched_send(cfg, seed);
+                        fast_forward(sk.as_mut(), &prefix.calls);
+                        // One trie walk probes every recorded
+                        // schedule at once: shared prefixes cost a
+                        // single pick, and the walk is bounded by the
+                        // longest recorded suffix, not by the number
+                        // of stored traces.
+                        let probed = if dedup_on { trie.probe(sk.as_mut()) } else { None };
+                        let out = match probed {
+                            Some(slot) => {
+                                misses = 0;
+                                dedup_clone(slot)
+                            }
+                            None => {
+                                // A failed walk consumed RNG draws
+                                // against the recorded runnable sets,
+                                // so the real run starts from a
+                                // rebuilt, re-fast-forwarded
+                                // scheduler (unless nothing probed and
+                                // nothing was consumed).
+                                let sched = if dedup_on && !trie.is_empty() {
+                                    let mut fresh = build_sched_send(cfg, seed);
+                                    fast_forward(fresh.as_mut(), &prefix.calls);
+                                    fresh
+                                } else {
+                                    sk
+                                };
+                                let record = dedup_on.then_some(hint);
+                                let (mut out, t) = run_forked_unit(
+                                    module, &prefix, sched, record, input_idx, seed, cfg,
+                                );
+                                out.prefix_steps_saved = prefix.steps;
+                                if let Some(t) = t {
+                                    if !t.truncated {
+                                        hint = t.calls.len();
+                                        trie.insert(t, i);
+                                    }
+                                }
+                                if dedup_on {
+                                    misses += 1;
+                                    if misses >= DEDUP_PATIENCE {
+                                        dedup_on = false;
+                                    }
+                                }
+                                out
+                            }
+                        };
+                        fill(i, out);
+                    }
+                } else {
+                    // Parallel sweep: workers race for units, so the
+                    // set of completed traces at any probe is timing-
+                    // dependent. Only the pilot's schedule — complete
+                    // before any worker starts — is a deterministic
+                    // dedup key, so parallel sweeps dedup against the
+                    // pilot alone (the serial sweep is the thorough
+                    // one; parallelism trades dedup reach for cores).
+                    let worker = || {
+                        while let Some(i) = try_claim(limit) {
+                            let (_, k) = units[i];
+                            let seed = cfg.base_seed + k;
+                            let mut sk = build_sched_send(cfg, seed);
+                            fast_forward(sk.as_mut(), &prefix.calls);
+                            let deduped = !pilot.truncated && matches_trace(sk.as_mut(), &pilot);
+                            let out = if deduped {
+                                dedup_clone(first)
+                            } else {
+                                // After a mismatch `sk` has consumed
+                                // RNG against the pilot's runnable
+                                // sets; rebuild it clean. A truncated
+                                // pilot skips the check, so `sk` is
+                                // untouched past the prefix and can
+                                // run directly.
+                                let sched = if pilot.truncated {
+                                    sk
+                                } else {
+                                    let mut fresh = build_sched_send(cfg, seed);
+                                    fast_forward(fresh.as_mut(), &prefix.calls);
+                                    fresh
+                                };
+                                let (mut out, _) = run_forked_unit(
+                                    module, &prefix, sched, None, input_idx, seed, cfg,
+                                );
+                                out.prefix_steps_saved = prefix.steps;
+                                out
+                            };
+                            fill(i, out);
+                        }
+                    };
+                    std::thread::scope(|s| {
+                        for _ in 0..workers {
+                            s.spawn(worker);
+                        }
+                    });
+                }
+            }
+        }
+        if claim
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .deadline_hit
+        {
+            break;
+        }
     }
 }
 
@@ -838,6 +1795,81 @@ mod tests {
             "aborted units must not leak partial reports: {:?}",
             r.reports
         );
+    }
+
+    #[test]
+    fn fork_matches_scratch_and_counts_its_work() {
+        let (m, main) = narrow_race();
+        let run = |fork: bool| {
+            explore(
+                &m,
+                main,
+                &[],
+                &ExplorerConfig {
+                    runs_per_input: 20,
+                    fork,
+                    ..ExplorerConfig::default()
+                },
+            )
+        };
+        let forked = run(true);
+        let scratch = run(false);
+        assert_eq!(forked.reports, scratch.reports);
+        assert_eq!(forked.outcomes, scratch.outcomes);
+        assert_eq!(
+            (forked.runs, forked.suppressed, forked.injected_faults),
+            (scratch.runs, scratch.suppressed, scratch.injected_faults),
+        );
+        // Fork mode did real work: a pilot ran per input, the shared
+        // prefix was reused, and the snapshot has a footprint.
+        assert!(forked.units_forked > 0, "{forked:?}");
+        assert!(forked.prefix_steps_saved > 0, "{forked:?}");
+        assert!(forked.snapshot_bytes > 0, "{forked:?}");
+        // Scratch mode reports all fork counters as zero.
+        assert_eq!(
+            (
+                scratch.units_forked,
+                scratch.prefix_steps_saved,
+                scratch.schedules_deduped,
+                scratch.snapshot_bytes
+            ),
+            (0, 0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn single_threaded_input_dedups_every_seed() {
+        // No thread is ever created: the whole execution is forced, so
+        // fork mode runs it once and reuses the output for all seeds.
+        let mut mb = ModuleBuilder::new("single");
+        let g = mb.global("x", 1, Type::I64);
+        let main = mb.declare_func("main", 0);
+        {
+            let mut b = mb.build_func(main);
+            let a = b.global_addr(g);
+            b.store(a, 41);
+            let v = b.load(a, Type::I64);
+            b.output(0, v);
+            b.ret(None);
+        }
+        let m = mb.finish();
+        let main = m.func_by_name("main").unwrap();
+        let r = explore(
+            &m,
+            main,
+            &[],
+            &ExplorerConfig {
+                runs_per_input: 8,
+                ..ExplorerConfig::default()
+            },
+        );
+        assert_eq!(r.runs, 8);
+        assert_eq!(r.schedules_deduped, 7, "{r:?}");
+        assert_eq!(r.units_forked, 0, "no snapshot is ever taken");
+        assert_eq!(r.snapshot_bytes, 0);
+        assert!(r.prefix_steps_saved > 0);
+        assert_eq!(r.outcomes.len(), 8);
+        assert!(r.outcomes.windows(2).all(|w| w[0] == w[1]));
     }
 
     #[test]

@@ -244,6 +244,22 @@ impl HbDetector {
         HbDetector::new(HbConfig::default())
     }
 
+    /// A detector continuing from this one's state: the explorer feeds
+    /// a shared trace prefix into one detector, then forks it once per
+    /// seed so each unit's detector is exactly what a fresh detector
+    /// would hold after replaying the same prefix. Every field —
+    /// vector clocks, shadow state (reference map or epoch table),
+    /// dedup/suppression bookkeeping, the predictor's recorded trace —
+    /// is deep-copied, so forks never share mutable state.
+    pub fn fork(&self) -> HbDetector {
+        let mut forked = self.clone();
+        forked.shadow = match &self.shadow {
+            ShadowState::Reference(clocks) => ShadowState::Reference(clocks.clone()),
+            ShadowState::Epoch(shadow) => ShadowState::Epoch(Box::new(shadow.fork())),
+        };
+        forked
+    }
+
     /// Reports accumulated so far (one per distinct site pair).
     pub fn reports(&self) -> &[RaceReport] {
         &self.reports

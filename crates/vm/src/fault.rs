@@ -168,8 +168,10 @@ impl Default for FaultPlan {
     }
 }
 
-/// Live injection state for one execution.
-#[derive(Debug)]
+/// Live injection state for one execution. `Clone` captures the RNG
+/// mid-stream, so a [`crate::Snapshot`] resumes drawing exactly where
+/// the snapshotted run left off.
+#[derive(Clone, Debug)]
 pub(crate) struct FaultState {
     pub(crate) plan: FaultPlan,
     rng: StdRng,

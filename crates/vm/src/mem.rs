@@ -11,6 +11,7 @@
 use owl_ir::{GlobalId, Module};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Base address of the global region (everything below is the NULL
 /// page).
@@ -42,6 +43,11 @@ pub enum RegionKind {
 }
 
 /// One contiguous allocation.
+///
+/// The payload is behind an [`Arc`]: cloning a region (or the whole
+/// [`Memory`], as [`crate::Vm::snapshot`] does) shares the words, and
+/// the first write through either copy un-shares just that region
+/// (copy-on-write via [`Arc::make_mut`]).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Region {
     /// First word address.
@@ -50,7 +56,7 @@ pub struct Region {
     pub size: u64,
     /// Storage kind.
     pub kind: RegionKind,
-    data: Vec<i64>,
+    data: Arc<Vec<i64>>,
 }
 
 impl Region {
@@ -125,7 +131,7 @@ impl Memory {
                     base,
                     size: g.size as u64,
                     kind: RegionKind::Global(GlobalId::from_index(gi)),
-                    data,
+                    data: Arc::new(data),
                 },
             );
             mem.global_cursor += g.size as u64;
@@ -215,7 +221,8 @@ impl Memory {
             Some(r) => {
                 let base = r.base;
                 let freed = r.kind == RegionKind::FreedHeap;
-                r.data[(addr - base) as usize] = val;
+                // Un-share the region on first write after a snapshot.
+                Arc::make_mut(&mut r.data)[(addr - base) as usize] = val;
                 if freed {
                     Err(MemError::UseAfterFree {
                         addr,
@@ -240,7 +247,7 @@ impl Memory {
                 base,
                 size,
                 kind: RegionKind::Heap,
-                data: vec![0; size as usize],
+                data: Arc::new(vec![0; size as usize]),
             },
         );
         base
@@ -277,7 +284,7 @@ impl Memory {
                 base,
                 size: size.max(1),
                 kind: RegionKind::Stack { tid },
-                data: vec![0; size.max(1) as usize],
+                data: Arc::new(vec![0; size.max(1) as usize]),
             },
         );
         base
@@ -291,6 +298,15 @@ impl Memory {
             self.region_containing(addr).map(|r| r.kind),
             Some(RegionKind::Global(_)) | Some(RegionKind::Heap) | Some(RegionKind::FreedHeap)
         )
+    }
+
+    /// Approximate heap bytes a fresh clone of this memory uniquely
+    /// owns: the region index (map entry, bounds, one shared payload
+    /// handle per region) plus stack cursors. Payload words are
+    /// excluded — immediately after a clone they are CoW-shared with
+    /// the original and cost nothing until one side writes.
+    pub fn approx_index_bytes(&self) -> u64 {
+        (self.regions.len() as u64) * 64 + (self.stack_cursors.len() as u64) * 16
     }
 
     /// Name of the global containing `addr`, for reports.
@@ -403,6 +419,37 @@ mod tests {
         let s1 = mem.alloca(1, 4);
         assert_ne!(s0, s1);
         assert_eq!(s1, STACK_BASE + STACK_SIZE);
+    }
+
+    #[test]
+    fn clone_shares_payloads_until_first_write() {
+        let m = module_with_globals();
+        let mut mem = Memory::new(&m);
+        let h = mem.malloc(4);
+        let snap = mem.clone();
+        let a = mem.global_addr(GlobalId(0));
+        assert!(Arc::ptr_eq(
+            &mem.regions[&a].data,
+            &snap.regions[&a].data
+        ));
+        // Reads keep sharing; a write un-shares only the touched region.
+        let _ = mem.read(h).unwrap();
+        assert!(Arc::ptr_eq(
+            &mem.regions[&h].data,
+            &snap.regions[&h].data
+        ));
+        mem.write(h + 1, 5).unwrap();
+        assert!(!Arc::ptr_eq(
+            &mem.regions[&h].data,
+            &snap.regions[&h].data
+        ));
+        assert!(Arc::ptr_eq(
+            &mem.regions[&a].data,
+            &snap.regions[&a].data
+        ));
+        // The snapshot still sees the pre-write value.
+        assert_eq!(snap.read(h + 1).unwrap(), 0);
+        assert_eq!(mem.read(h + 1).unwrap(), 5);
     }
 
     #[test]

@@ -126,8 +126,10 @@ pub struct PctScheduler {
     rng: StdRng,
     /// Priority per thread index (higher runs first).
     priorities: Vec<i64>,
-    /// Steps at which the running thread's priority drops.
+    /// Steps at which the running thread's priority drops (sorted).
     change_points: Vec<u64>,
+    /// Cursor into `change_points`; everything before it is consumed.
+    next_change: usize,
     next_low_priority: i64,
 }
 
@@ -144,6 +146,7 @@ impl PctScheduler {
             rng,
             priorities: Vec::new(),
             change_points,
+            next_change: 0,
             next_low_priority: -1,
         }
     }
@@ -166,8 +169,16 @@ impl Scheduler for PctScheduler {
             .copied()
             .max_by_key(|t| self.priority(*t))
             .expect("runnable is never empty");
-        if self.change_points.first().is_some_and(|&c| step >= c) {
-            self.change_points.remove(0);
+        // Consume every change point due at or before `step` in one
+        // pick (a cursor, not `remove(0)`: O(1) per point, and change
+        // points can no longer drift later than the seed placed them
+        // when several fall between two picks).
+        let due = self.change_points[self.next_change..]
+            .iter()
+            .take_while(|&&c| step >= c)
+            .count();
+        if due > 0 {
+            self.next_change += due;
             // Demote the thread we just chose below every other.
             let p = self.next_low_priority;
             self.next_low_priority -= 1;
@@ -286,6 +297,21 @@ mod tests {
         let picks: Vec<_> = (0..100).map(|i| s.pick(&r, i)).collect();
         assert!(picks.contains(&ThreadId(0)));
         assert!(picks.contains(&ThreadId(1)));
+    }
+
+    #[test]
+    fn pct_consumes_all_due_change_points_in_one_pick() {
+        // Every change point lies far before the first pick's step, so
+        // all of them are due at once: exactly one demotion happens and
+        // the priority order is stable afterwards.
+        let mut s = PctScheduler::new(3, 8, 16);
+        let r = tids(&[0, 1]);
+        let first = s.pick(&r, 1_000);
+        let second = s.pick(&r, 1_001);
+        assert_ne!(first, second, "the chosen thread is demoted once");
+        for step in 1_002..1_050 {
+            assert_eq!(s.pick(&r, step), second, "no further demotions");
+        }
     }
 
     #[test]

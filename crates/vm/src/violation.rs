@@ -123,7 +123,7 @@ impl fmt::Display for Violation {
 }
 
 /// A violation plus where and who.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ViolationRecord {
     /// The violation.
     pub violation: Violation,
@@ -161,7 +161,7 @@ pub enum SecurityEvent {
 }
 
 /// A security event plus provenance.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SecurityRecord {
     /// The action.
     pub event: SecurityEvent,

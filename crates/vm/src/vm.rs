@@ -101,7 +101,7 @@ pub struct DeadlockInfo {
 }
 
 /// Everything observable about one execution.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ExecOutcome {
     /// Termination class.
     pub status: ExitStatus,
@@ -209,6 +209,88 @@ struct MutexState {
     owner: Option<ThreadId>,
 }
 
+/// A resumable copy of a paused [`Vm`]'s complete deterministic
+/// machine state: thread frames and block cursors, the word-addressed
+/// memory (CoW-shared with the live VM until either side writes), the
+/// mutex table, pending suspensions and breakpoints, the remaining
+/// program input, the fault plan with its RNG mid-state and records
+/// so far, the elision map, the step counter, and the partial outcome
+/// (outputs, violations, schedule prefix, …).
+///
+/// Cheap to take and to clone: region payloads and call-stack caches
+/// are `Arc`-shared, so the cost is O(live regions + frames), not
+/// O(heap words). Pair with [`Vm::resume`]; the module passed there
+/// must be the module the snapshotted VM was executing (checked by
+/// name).
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    module_name: String,
+    mem: Memory,
+    threads: Vec<Thread>,
+    mutexes: BTreeMap<u64, MutexState>,
+    suspended: BTreeMap<ThreadId, Suspension>,
+    breakpoints: Vec<Breakpoint>,
+    input: ProgramInput,
+    config: RunConfig,
+    faults: FaultState,
+    elided: Option<Arc<HashSet<InstRef>>>,
+    step: u64,
+    outcome: ExecOutcome,
+}
+
+impl Snapshot {
+    /// Step counter at the pause point.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Approximate heap bytes this snapshot uniquely owns. CoW-shared
+    /// payloads (region words, stack caches) are excluded: until one
+    /// side writes, they cost one `Arc` handle, which is counted in
+    /// the per-region/per-frame overhead.
+    pub fn approx_bytes(&self) -> u64 {
+        let threads: u64 = self
+            .threads
+            .iter()
+            .map(|t| {
+                64 + t
+                    .frames
+                    .iter()
+                    .map(|f| 48 + (f.regs.len() as u64) * 9 + (f.args.len() as u64) * 8)
+                    .sum::<u64>()
+            })
+            .sum();
+        let outcome = (self.outcome.outputs.len() as u64) * 16
+            + (self.outcome.violations.len() as u64) * 64
+            + (self.outcome.security.len() as u64) * 32
+            + (self.outcome.schedule.len() as u64) * 4
+            + (self.outcome.injected_faults.len() as u64) * 48
+            + self
+                .outcome
+                .files
+                .values()
+                .map(|v| 24 + (v.len() as u64) * 8)
+                .sum::<u64>();
+        256 + self.mem.approx_index_bytes()
+            + threads
+            + (self.mutexes.len() as u64) * 24
+            + (self.suspended.len() as u64) * 96
+            + (self.breakpoints.len() as u64) * 48
+            + outcome
+    }
+}
+
+/// Where [`Vm::run_loop_inner`] may leave the interpreter loop early.
+enum Pause {
+    /// Run to termination.
+    Never,
+    /// Pause at the first scheduling point where ≥ 2 threads could
+    /// interleave.
+    Concurrent,
+    /// Pause once the step counter reaches the given value.
+    AtStep(u64),
+}
+
 /// The virtual machine for one execution.
 pub struct Vm<'m> {
     module: &'m Module,
@@ -309,7 +391,8 @@ impl<'m> Vm<'m> {
 
     /// Runs to completion with no breakpoints/controller.
     pub fn run(mut self, sched: &mut dyn Scheduler, sink: &mut dyn TraceSink) -> ExecOutcome {
-        self.run_loop(sched, sink, &mut NoController)
+        self.run_loop_inner(sched, sink, &mut NoController, Pause::Never);
+        self.take_outcome()
     }
 
     /// Runs to completion under `controller` (verifier mode).
@@ -319,7 +402,141 @@ impl<'m> Vm<'m> {
         sink: &mut dyn TraceSink,
         controller: &mut dyn Controller,
     ) -> ExecOutcome {
-        self.run_loop(sched, sink, controller)
+        self.run_loop_inner(sched, sink, controller, Pause::Never);
+        self.take_outcome()
+    }
+
+    /// Runs until the first scheduling point where at least two
+    /// threads could interleave (see `Vm::concurrency_potential` for
+    /// the exact — deliberately conservative — predicate). Up to that
+    /// point every scheduler pick is a forced singleton, so the
+    /// executed prefix is identical for *any* scheduler seed.
+    ///
+    /// Returns `Some(outcome)` if the program terminated without ever
+    /// reaching such a point (single-threaded programs). Returns
+    /// `None` if the VM paused: take a [`Vm::snapshot`], then continue
+    /// this VM (or any [`Vm::resume`]d copy) with [`Vm::run`].
+    pub fn run_until_concurrent(
+        &mut self,
+        sched: &mut dyn Scheduler,
+        sink: &mut dyn TraceSink,
+    ) -> Option<ExecOutcome> {
+        if self.run_loop_inner(sched, sink, &mut NoController, Pause::Concurrent) {
+            None
+        } else {
+            Some(self.take_outcome())
+        }
+    }
+
+    /// Runs until the step counter reaches `step` (pausing at the next
+    /// iteration boundary), or to termination, whichever comes first.
+    /// Same pause semantics as [`Vm::run_until_concurrent`]; exists so
+    /// snapshot/resume can be exercised at arbitrary points.
+    pub fn run_until_step(
+        &mut self,
+        sched: &mut dyn Scheduler,
+        sink: &mut dyn TraceSink,
+        step: u64,
+    ) -> Option<ExecOutcome> {
+        if self.run_loop_inner(sched, sink, &mut NoController, Pause::AtStep(step)) {
+            None
+        } else {
+            Some(self.take_outcome())
+        }
+    }
+
+    /// Captures the complete machine state at the current pause point.
+    /// Meaningful after [`Vm::run_until_concurrent`] /
+    /// [`Vm::run_until_step`] returned `None` (or before the first
+    /// step); region payloads are CoW-shared, so the copy is cheap.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            module_name: self.module.name.clone(),
+            mem: self.mem.clone(),
+            threads: self.threads.clone(),
+            mutexes: self.mutexes.clone(),
+            suspended: self.suspended.clone(),
+            breakpoints: self.breakpoints.clone(),
+            input: self.input.clone(),
+            config: self.config.clone(),
+            faults: self.faults.clone(),
+            elided: self.elided.clone(),
+            step: self.step,
+            outcome: self.outcome.clone(),
+        }
+    }
+
+    /// Reconstructs a VM from `snap`, ready to continue exactly where
+    /// the snapshotted VM paused — same step counter, same pending
+    /// fault RNG state, same partial outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module` is not the module the snapshot was taken
+    /// from (compared by name).
+    pub fn resume(module: &'m Module, snap: Snapshot) -> Vm<'m> {
+        assert_eq!(
+            module.name, snap.module_name,
+            "snapshot resumed against a different module"
+        );
+        Vm {
+            module,
+            mem: snap.mem,
+            threads: snap.threads,
+            mutexes: snap.mutexes,
+            suspended: snap.suspended,
+            breakpoints: snap.breakpoints,
+            input: snap.input,
+            config: snap.config,
+            faults: snap.faults,
+            elided: snap.elided,
+            step: snap.step,
+            outcome: snap.outcome,
+        }
+    }
+
+    /// Upper bound on the number of threads that could interleave at
+    /// the next scheduling point: runnable threads, delayed threads
+    /// already due, suspended threads (a controller may resume them),
+    /// and — only when spurious wakeups are enabled — condition
+    /// waiters. Over-counting is safe (a prefix-sharing explorer just
+    /// forks earlier than strictly necessary); under-counting never
+    /// happens, which is what makes every pre-pause pick a forced
+    /// singleton.
+    fn concurrency_potential(&self) -> usize {
+        self.threads
+            .iter()
+            .filter(|t| match t.state {
+                ThreadState::Runnable | ThreadState::Suspended => true,
+                ThreadState::Delayed { until } => until <= self.step,
+                ThreadState::WaitingCond { .. } => self.faults.plan.spurious_wakeup_rate > 0.0,
+                ThreadState::Blocked { .. } | ThreadState::Joining { .. } => false,
+                ThreadState::Finished => false,
+            })
+            .count()
+    }
+
+    /// Finalizes and takes the outcome after the loop terminated.
+    fn take_outcome(&mut self) -> ExecOutcome {
+        self.outcome.steps = self.step;
+        self.outcome.injected_faults = std::mem::take(&mut self.faults.records);
+        std::mem::replace(
+            &mut self.outcome,
+            ExecOutcome {
+                status: ExitStatus::Finished,
+                steps: 0,
+                outputs: vec![],
+                violations: vec![],
+                security: vec![],
+                files: BTreeMap::new(),
+                privilege: ExecOutcome::DEFAULT_PRIVILEGE,
+                schedule: vec![],
+                threads_spawned: 0,
+                return_value: None,
+                deadlock: None,
+                injected_faults: vec![],
+            },
+        )
     }
 
     /// Convenience: run with the default config and a [`NullSink`].
@@ -332,14 +549,38 @@ impl<'m> Vm<'m> {
         Vm::new(module, entry, input, RunConfig::default()).run(sched, &mut NullSink)
     }
 
-    fn run_loop(
+    /// The interpreter loop. Returns `true` if execution paused at a
+    /// resumable boundary (per `pause`) rather than terminating.
+    ///
+    /// Pausing happens at the very top of an iteration — before the
+    /// budget check, any delayed-thread wake, and any fault-RNG draw —
+    /// so a paused VM (or a [`Snapshot`] of it) re-executes the whole
+    /// iteration prologue exactly once on resume, byte-identical to an
+    /// uninterrupted run. Only termination finalizes the outcome (via
+    /// [`Vm::take_outcome`]); a paused VM keeps accumulating into the
+    /// same partial outcome.
+    fn run_loop_inner(
         &mut self,
         sched: &mut dyn Scheduler,
         sink: &mut dyn TraceSink,
         controller: &mut dyn Controller,
-    ) -> ExecOutcome {
+        pause: Pause,
+    ) -> bool {
         let mut runnable: Vec<ThreadId> = Vec::new();
         loop {
+            match pause {
+                Pause::Never => {}
+                Pause::Concurrent => {
+                    if self.concurrency_potential() >= 2 {
+                        return true;
+                    }
+                }
+                Pause::AtStep(at) => {
+                    if self.step >= at {
+                        return true;
+                    }
+                }
+            }
             // A drawn step-exhaustion fault shrinks the budget.
             let budget = match self.faults.cutoff {
                 Some(c) => c.min(self.config.max_steps),
@@ -488,25 +729,7 @@ impl<'m> Vm<'m> {
             self.step += 1;
             self.exec_one(tid, sink, controller);
         }
-        self.outcome.steps = self.step;
-        self.outcome.injected_faults = std::mem::take(&mut self.faults.records);
-        std::mem::replace(
-            &mut self.outcome,
-            ExecOutcome {
-                status: ExitStatus::Finished,
-                steps: 0,
-                outputs: vec![],
-                violations: vec![],
-                security: vec![],
-                files: BTreeMap::new(),
-                privilege: ExecOutcome::DEFAULT_PRIVILEGE,
-                schedule: vec![],
-                threads_spawned: 0,
-                return_value: None,
-                deadlock: None,
-                injected_faults: vec![],
-            },
-        )
+        false
     }
 
     /// Builds the per-thread wait diagnosis for a deadlock.

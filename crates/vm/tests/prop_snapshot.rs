@@ -1,0 +1,139 @@
+//! Snapshot/resume round-trip property: for random racy programs and
+//! seeds, pausing a run at an arbitrary step, snapshotting, and
+//! resuming the snapshot must produce a trace, outputs, violations,
+//! and schedule byte-identical to the uninterrupted run of the same
+//! schedule — the correctness contract behind the explorer's
+//! prefix-sharing fork.
+
+use owl_ir::{BinOp, ModuleBuilder, Operand, Type};
+use owl_vm::{
+    ExecOutcome, FaultPlan, ProgramInput, RandomScheduler, RunConfig, TraceEvent, VecSink, Vm,
+};
+use proptest::prelude::*;
+
+/// A small racy program: `workers` threads each read-modify-write a
+/// shared global (optionally under a mutex), with a per-thread
+/// `IoDelay` so thread lifetimes overlap in interesting ways.
+fn build_racy(workers: u32, use_lock: bool, delay: i64) -> (owl_ir::Module, owl_ir::FuncId) {
+    let mut mb = ModuleBuilder::new("snap-prop");
+    let g = mb.global("g", 1, Type::I64);
+    let l = mb.global("l", 1, Type::I64);
+    let w = mb.declare_func("w", 1);
+    let main = mb.declare_func("main", 0);
+    {
+        let mut b = mb.build_func(w);
+        let ga = b.global_addr(g);
+        let la = b.global_addr(l);
+        b.io_delay(Operand::Param(0));
+        if use_lock {
+            b.lock(la);
+        }
+        let v = b.load(ga, Type::I64);
+        let v2 = b.bin(BinOp::Mul, v, 3);
+        let v3 = b.add(v2, Operand::Param(0));
+        b.store(ga, v3);
+        if use_lock {
+            b.unlock(la);
+        }
+        b.ret(None);
+    }
+    {
+        let mut b = mb.build_func(main);
+        let ga = b.global_addr(g);
+        b.store(ga, 7);
+        let mut joins = Vec::new();
+        for i in 0..workers {
+            joins.push(b.thread_create(w, i64::from(i) + delay));
+        }
+        for t in joins {
+            b.thread_join(t);
+        }
+        let v = b.load(ga, Type::I64);
+        b.output(0, v);
+        b.ret(None);
+    }
+    let m = mb.finish();
+    let main_id = m.func_by_name("main").unwrap();
+    (m, main_id)
+}
+
+fn assert_same(a: &ExecOutcome, b: &ExecOutcome, ta: &[TraceEvent], tb: &[TraceEvent]) {
+    assert_eq!(a, b, "outcome diverged across snapshot/resume");
+    assert_eq!(ta, tb, "trace diverged across snapshot/resume");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn snapshot_resume_round_trips(
+        seed in 0u64..500,
+        fork_step in 0u64..300,
+        workers in 1u32..4,
+        use_lock in any::<bool>(),
+        delay in 0i64..40,
+        chaos in any::<bool>(),
+    ) {
+        let (m, main) = build_racy(workers, use_lock, delay);
+        let mut cfg = RunConfig::default();
+        if chaos {
+            // Fault RNG state must survive the snapshot too.
+            let mut plan = FaultPlan::none();
+            plan.seed = seed ^ 0x5eed;
+            plan.sched_delay_rate = 0.05;
+            plan.sched_delay_steps = 3;
+            cfg.fault = plan;
+        }
+
+        // Uninterrupted oracle run.
+        let mut s1 = RandomScheduler::new(seed);
+        let mut t1 = VecSink::default();
+        let o1 = Vm::new(&m, main, ProgramInput::empty(), cfg.clone())
+            .run(&mut s1, &mut t1);
+
+        // Same schedule, paused at `fork_step`, snapshotted, resumed.
+        let mut s2 = RandomScheduler::new(seed);
+        let mut t2 = VecSink::default();
+        let mut vm = Vm::new(&m, main, ProgramInput::empty(), cfg);
+        match vm.run_until_step(&mut s2, &mut t2, fork_step) {
+            Some(o2) => {
+                // Terminated before the fork point: already a full run.
+                assert_same(&o1, &o2, &t1.events, &t2.events);
+            }
+            None => {
+                let snap = vm.snapshot();
+                prop_assert_eq!(snap.step(), vm.snapshot().step());
+                prop_assert!(snap.approx_bytes() > 0);
+                drop(vm);
+                let resumed = Vm::resume(&m, snap);
+                let o2 = resumed.run(&mut s2, &mut t2);
+                assert_same(&o1, &o2, &t1.events, &t2.events);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_pause_prefix_is_seed_independent(
+        seed_a in 0u64..200,
+        seed_b in 200u64..400,
+        workers in 1u32..4,
+    ) {
+        // Up to the concurrent pause point every pick is a forced
+        // singleton, so two different seeds must execute an identical
+        // prefix (same step counter, same trace) — the property that
+        // lets the explorer share one prefix across all seeds.
+        let (m, main) = build_racy(workers, false, 0);
+        let run_prefix = |seed: u64| {
+            let mut sched = RandomScheduler::new(seed);
+            let mut trace = VecSink::default();
+            let mut vm = Vm::new(&m, main, ProgramInput::empty(), RunConfig::default());
+            let fin = vm.run_until_concurrent(&mut sched, &mut trace);
+            (fin.is_none(), vm.snapshot().step(), trace.events)
+        };
+        let (paused_a, step_a, trace_a) = run_prefix(seed_a);
+        let (paused_b, step_b, trace_b) = run_prefix(seed_b);
+        prop_assert_eq!(paused_a, paused_b);
+        prop_assert_eq!(step_a, step_b);
+        prop_assert_eq!(trace_a, trace_b);
+    }
+}

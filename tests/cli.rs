@@ -418,3 +418,75 @@ fn explore_workers_and_hb_backend_flags() {
     let err = String::from_utf8_lossy(&missing.stderr);
     assert!(err.contains("requires a value"), "{err}");
 }
+
+#[test]
+fn no_fork_flag_is_valueless_and_composes() {
+    // --no-fork disables prefix-sharing fork mode without changing any
+    // result: the findings lines match a default (forked) run exactly.
+    let forked = run_ok(&["run", "SSDB", "--quick"]);
+    let scratch = run_ok(&[
+        "run", "SSDB", "--quick", "--no-fork", "--explore-workers", "2", "--max-trace-mem", "64k",
+    ]);
+    let key_line = |out: &str| {
+        out.lines()
+            .find(|l| l.starts_with("reports:"))
+            .map(str::to_string)
+            .unwrap_or_else(|| panic!("no reports line in:\n{out}"))
+    };
+    assert_eq!(key_line(&scratch), key_line(&forked));
+    assert!(scratch.contains("finding on `db`"), "{scratch}");
+
+    // The fork counters are zero under --no-fork and non-zero by
+    // default — the flag really switches the execution strategy.
+    let doc = owl::json::parse(&run_ok(&["run", "SSDB", "--quick", "--json"]))
+        .expect("valid JSON");
+    let counter = |doc: &owl::json::Json, key: &str| {
+        doc.get("health").and_then(|h| h.get(key)).and_then(|j| j.as_u64()).unwrap_or(0)
+    };
+    assert!(counter(&doc, "units_forked") > 0, "default run forks");
+    let doc = owl::json::parse(&run_ok(&["run", "SSDB", "--quick", "--json", "--no-fork"]))
+        .expect("valid JSON");
+    for key in ["units_forked", "prefix_steps_saved", "schedules_deduped", "snapshot_bytes"] {
+        assert_eq!(counter(&doc, key), 0, "`{key}` must be zero under --no-fork");
+    }
+
+    // It takes no value: a trailing operand is a usage error, not a
+    // silently swallowed argument.
+    let valued = cli()
+        .args(["run", "SSDB", "--quick", "--no-fork", "5"])
+        .output()
+        .expect("spawn");
+    assert!(!valued.status.success(), "--no-fork 5 must be rejected");
+    assert_eq!(valued.status.code(), Some(2), "usage errors exit 2");
+    let err = String::from_utf8_lossy(&valued.stderr);
+    assert!(err.contains("takes no value"), "{err}");
+
+    // Repeating it is an error too — it almost always means a mangled
+    // command line.
+    let twice = cli()
+        .args(["run", "SSDB", "--quick", "--no-fork", "--no-fork"])
+        .output()
+        .expect("spawn");
+    assert!(!twice.status.success(), "duplicate --no-fork must be rejected");
+    let err = String::from_utf8_lossy(&twice.stderr);
+    assert!(err.contains("more than once"), "{err}");
+}
+
+#[test]
+fn campaign_resumes_across_fork_mode() {
+    // The campaign fingerprint normalizes the fork knob: a journal
+    // written with fork mode on resumes byte-identically under
+    // --no-fork, because forking is an execution strategy, not a
+    // result-affecting configuration.
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("owl-cli-fork-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let d = dir.to_str().expect("utf8 temp path");
+
+    let first = run_ok(&["campaign", d, "--quick"]);
+    assert!(first.contains("campaign summary"), "{first}");
+    let resumed = run_ok(&["campaign", d, "--quick", "--resume", "--no-fork"]);
+    assert_eq!(resumed, first, "--no-fork must not invalidate the journal");
+
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -266,6 +266,166 @@ fn over_budget_unit_aborts_with_typed_memory_budget_error() {
     assert!(result.health.mem_pressure_events > 0);
 }
 
+fn sweep_forked(
+    p: &owl_corpus::CorpusProgram,
+    backend: HbBackend,
+    fork: bool,
+    workers: usize,
+    capacity: usize,
+    budget: Option<u64>,
+    spill_dir: Option<PathBuf>,
+) -> ExploreResult {
+    let cfg = ExplorerConfig {
+        runs_per_input: 4,
+        workers,
+        hb_backend: backend,
+        fork,
+        stream: StreamConfig {
+            channel_capacity: capacity,
+            max_trace_mem: budget,
+            spill_dir,
+            ..StreamConfig::default()
+        },
+        ..ExplorerConfig::default()
+    };
+    explore(&p.module, p.entry, &p.workloads, &cfg)
+}
+
+/// Asserts fork-on and fork-off produced byte-identical results:
+/// reports, outcomes (schedules, violations, outputs, fault records),
+/// and every pre-existing counter. The four fork counters are the one
+/// permitted difference — they describe *how* the sweep executed, not
+/// what it found.
+fn assert_fork_equivalent(forked: &ExploreResult, scratch: &ExploreResult, ctx: &str) {
+    assert_eq!(forked.reports, scratch.reports, "{ctx}: reports diverge");
+    assert_eq!(forked.outcomes, scratch.outcomes, "{ctx}: outcomes diverge");
+    assert_eq!(forked.runs, scratch.runs, "{ctx}");
+    assert_eq!(forked.suppressed, scratch.suppressed, "{ctx}");
+    assert_eq!(forked.reports_dropped, scratch.reports_dropped, "{ctx}");
+    assert_eq!(forked.injected_faults, scratch.injected_faults, "{ctx}");
+    assert_eq!(forked.events_elided, scratch.events_elided, "{ctx}");
+    assert_eq!(forked.shadow_cells_gced, scratch.shadow_cells_gced, "{ctx}");
+    assert_eq!(
+        forked.trace_spilled_bytes, scratch.trace_spilled_bytes,
+        "{ctx}: spill bytes diverge"
+    );
+    assert_eq!(
+        forked.trace_spill_segments, scratch.trace_spill_segments,
+        "{ctx}"
+    );
+    assert_eq!(
+        forked.mem_pressure_events, scratch.mem_pressure_events,
+        "{ctx}"
+    );
+    assert_eq!(
+        forked.units_aborted_mem_budget, scratch.units_aborted_mem_budget,
+        "{ctx}"
+    );
+    assert_eq!(
+        (
+            forked.predict_candidates,
+            forked.predict_witnessed,
+            forked.predict_witness_rejected,
+            forked.predict_reversal_races
+        ),
+        (
+            scratch.predict_candidates,
+            scratch.predict_witnessed,
+            scratch.predict_witness_rejected,
+            scratch.predict_reversal_races
+        ),
+        "{ctx}: predict counters diverge"
+    );
+    assert_eq!(
+        (
+            scratch.units_forked,
+            scratch.prefix_steps_saved,
+            scratch.schedules_deduped,
+            scratch.snapshot_bytes
+        ),
+        (0, 0, 0, 0),
+        "{ctx}: scratch mode must report zero fork counters"
+    );
+}
+
+/// Prefix-sharing fork mode is only allowed to *skip re-execution* —
+/// never to change results. Fork-on must match fork-off byte-for-byte
+/// across the corpus, under all four backends, at every worker count
+/// and channel capacity, and under a spill budget. The fork counters
+/// must also show the machinery actually engaged somewhere, or this
+/// test proves nothing.
+#[test]
+fn fork_mode_never_changes_results() {
+    let mut total_forked = 0u64;
+    let mut total_prefix_saved = 0u64;
+    for p in owl_corpus::all_programs() {
+        for backend in [
+            HbBackend::Reference,
+            HbBackend::Epoch,
+            HbBackend::SyncPreserving,
+            HbBackend::SyncReversal,
+        ] {
+            let scratch = sweep_forked(&p, backend, false, 1, 1024, None, None);
+            for workers in [1usize, 2, 4] {
+                for capacity in [0usize, 1, 1024] {
+                    let scratch_cap = sweep_forked(&p, backend, false, 1, capacity, None, None);
+                    let forked = sweep_forked(&p, backend, true, workers, capacity, None, None);
+                    let ctx =
+                        format!("{} ({backend:?}, workers={workers}, capacity={capacity})", p.name);
+                    assert_fork_equivalent(&forked, &scratch_cap, &ctx);
+                    assert_eq!(
+                        forked.reports, scratch.reports,
+                        "{ctx}: capacity changed reports"
+                    );
+                    total_forked += forked.units_forked;
+                    total_prefix_saved += forked.prefix_steps_saved;
+                }
+            }
+        }
+        // Under a spill budget the per-unit spill/pressure counters
+        // must still come out identical: the forked units inherit the
+        // shared prefix's window state and spill at the same event
+        // boundaries a scratch unit would.
+        let dir_scratch = scratch_dir(&format!("fork-off-{}", p.name));
+        let dir_forked = scratch_dir(&format!("fork-on-{}", p.name));
+        let scratch = sweep_forked(
+            &p,
+            HbBackend::Epoch,
+            false,
+            1,
+            4,
+            Some(512),
+            Some(dir_scratch.clone()),
+        );
+        for workers in [1usize, 2, 4] {
+            let forked = sweep_forked(
+                &p,
+                HbBackend::Epoch,
+                true,
+                workers,
+                4,
+                Some(512),
+                Some(dir_forked.clone()),
+            );
+            assert_fork_equivalent(
+                &forked,
+                &scratch,
+                &format!("{} (budgeted, workers={workers})", p.name),
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir_scratch);
+        let _ = std::fs::remove_dir_all(&dir_forked);
+    }
+    assert!(
+        total_forked > 0,
+        "fork mode never launched a unit from a snapshot across the corpus — inert"
+    );
+    assert!(
+        total_prefix_saved > 0,
+        "fork mode never saved a prefix step across the corpus — inert"
+    );
+}
+
 #[test]
 fn parallel_exploration_matches_serial_for_both_backends() {
     for p in owl_corpus::all_programs() {

@@ -71,6 +71,10 @@ fn distinct_health() -> (PipelineHealth, Vec<(&'static str, u64)>) {
         predict_witnessed: 518,
         predict_witness_rejected: 519,
         predict_reversal_races: 520,
+        units_forked: 521,
+        prefix_steps_saved: 522,
+        schedules_deduped: 523,
+        snapshot_bytes: 524,
     };
     // Re-bind by exhaustive destructuring so a new field cannot be
     // added without revisiting this function.
@@ -99,6 +103,10 @@ fn distinct_health() -> (PipelineHealth, Vec<(&'static str, u64)>) {
         predict_witnessed,
         predict_witness_rejected,
         predict_reversal_races,
+        units_forked,
+        prefix_steps_saved,
+        schedules_deduped,
+        snapshot_bytes,
     } = h.clone();
     let keys = vec![
         ("summary_cache_hits", summary_cache_hits),
@@ -120,6 +128,10 @@ fn distinct_health() -> (PipelineHealth, Vec<(&'static str, u64)>) {
         ("predict_witnessed", predict_witnessed),
         ("predict_witness_rejected", predict_witness_rejected),
         ("predict_reversal_races", predict_reversal_races),
+        ("units_forked", units_forked),
+        ("prefix_steps_saved", prefix_steps_saved),
+        ("schedules_deduped", schedules_deduped),
+        ("snapshot_bytes", snapshot_bytes),
     ];
     (h, keys)
 }
@@ -194,6 +206,10 @@ fn campaign_json_and_metrics_carry_every_health_counter() {
         "predict_witnessed",
         "predict_witness_rejected",
         "predict_reversal_races",
+        "units_forked",
+        "prefix_steps_saved",
+        "schedules_deduped",
+        "snapshot_bytes",
     ] {
         assert!(bench.contains(key), "BENCH_campaign.json dropped `{key}`:\n{bench}");
     }
@@ -233,6 +249,10 @@ fn status_report_round_trips_every_field() {
         predict_witnessed: 23,
         predict_witness_rejected: 24,
         predict_reversal_races: 25,
+        units_forked: 26,
+        prefix_steps_saved: 27,
+        schedules_deduped: 28,
+        snapshot_bytes: 29,
     };
     let line = encode_response(&Response::Status(Box::new(report.clone())));
     match parse_response(&line).expect("parseable status") {
